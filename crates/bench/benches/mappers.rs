@@ -1,0 +1,41 @@
+//! Criterion benches of end-to-end mapping (one full event-driven
+//! simulation per iteration) for each benchmark circuit and policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qspr_bench::Workbench;
+use qspr_fabric::TechParams;
+use qspr_sim::{Mapper, MapperPolicy, Placement};
+
+fn bench_mappers(c: &mut Criterion) {
+    let wb = Workbench::load();
+    let tech = TechParams::date2012();
+    let mut group = c.benchmark_group("map");
+    group.sample_size(20);
+    for bench in &wb.benchmarks {
+        let placement = Placement::center(&wb.fabric, bench.program.num_qubits());
+        for (policy_name, policy) in [
+            ("qspr", MapperPolicy::qspr(&tech)),
+            ("quale", MapperPolicy::quale(&tech)),
+            ("qpos", MapperPolicy::qpos(&tech)),
+        ] {
+            let mapper = Mapper::new(&wb.fabric, tech, policy);
+            group.bench_with_input(
+                BenchmarkId::new(policy_name, &bench.name),
+                &bench.program,
+                |b, program| {
+                    b.iter(|| {
+                        mapper
+                            .map(program, &placement)
+                            .expect("benchmarks map cleanly")
+                            .latency()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benches of the substrates: parsing, fabric
+//! construction, routing, scheduling analysis, and encoder synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qspr_fabric::{Coord, Fabric, TechParams};
+use qspr_qasm::Program;
+use qspr_qecc::codes;
+use qspr_qecc::encoder::encoding_circuit;
+use qspr_route::{ResourceState, Router, RouterConfig};
+use qspr_sched::Qidg;
+
+fn bench_micro(c: &mut Criterion) {
+    let tech = TechParams::date2012();
+
+    c.bench_function("qasm_parse_fig3", |b| {
+        b.iter(|| Program::parse(codes::FIG3_QASM).expect("parses"))
+    });
+
+    c.bench_function("fabric_build_45x85", |b| b.iter(Fabric::quale_45x85));
+
+    let fabric = Fabric::quale_45x85();
+    let topo = fabric.topology();
+    let router = Router::new(topo, RouterConfig::qspr(&tech));
+    let state = ResourceState::new(topo);
+    let order = topo.traps_by_distance(Coord::new(0, 0));
+    let (from, to) = (order[0], *order.last().expect("traps exist"));
+    c.bench_function("route_corner_to_corner", |b| {
+        b.iter(|| router.route(&state, from, to).expect("routable"))
+    });
+
+    let golay = codes::twenty_three_one_seven();
+    let program = encoding_circuit(&golay).expect("encodes");
+    c.bench_function("qidg_build_golay", |b| {
+        b.iter(|| Qidg::new(&program, &tech).critical_path_delay())
+    });
+
+    c.bench_function("encoder_synthesis_golay", |b| {
+        b.iter(|| encoding_circuit(&golay).expect("encodes"))
+    });
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches of the placers (paper Table 1 machinery): MVFB
+//! iterations vs Monte Carlo sampling at small, fixed budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qspr_bench::Workbench;
+use qspr_fabric::TechParams;
+use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer};
+use qspr_sim::{Mapper, MapperPolicy};
+
+fn bench_placers(c: &mut Criterion) {
+    let wb = Workbench::quick(3);
+    let tech = TechParams::date2012();
+    let mapper = Mapper::new(&wb.fabric, tech, MapperPolicy::qspr(&tech));
+    let mut group = c.benchmark_group("place");
+    group.sample_size(10);
+    for bench in &wb.benchmarks {
+        group.bench_with_input(
+            BenchmarkId::new("mvfb_m2", &bench.name),
+            &bench.program,
+            |b, program| {
+                let placer = MvfbPlacer::new(MvfbConfig::new(2, 7));
+                b.iter(|| placer.place(&mapper, program).expect("places").latency)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("monte_carlo_8", &bench.name),
+            &bench.program,
+            |b, program| {
+                let placer = MonteCarloPlacer::new(8, 7);
+                b.iter(|| placer.place(&mapper, program).expect("places").latency)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placers);
+criterion_main!(benches);

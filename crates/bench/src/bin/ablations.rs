@@ -1,0 +1,81 @@
+//! Ablation study: each QSPR design claim (§I bullets) toggled one at a
+//! time, measured on the benchmark suite with a fixed center placement
+//! so only the toggled feature changes.
+//!
+//! * `no-turn-aware` quantifies Fig. 5 (routing blind to turn delays);
+//! * `no-multiplexing` quantifies the channel-capacity-2 contribution;
+//! * `single-movement` quantifies simultaneous source+target motion;
+//! * `alap-order` / `dependents-priority` / `path-priority` quantify the
+//!   scheduling priority of §III.
+//!
+//! Usage: `cargo run -p qspr-bench --bin ablations --release [--quick]`
+
+use qspr::{ablation_policies, QsprConfig, QsprTool};
+use qspr_bench::{quick_mode, Workbench};
+use qspr_fabric::TechParams;
+use qspr_sim::Placement;
+
+fn main() {
+    let wb = if quick_mode() {
+        Workbench::quick(3)
+    } else {
+        Workbench::load()
+    };
+    let tech = TechParams::date2012();
+    let tool = QsprTool::new(&wb.fabric, QsprConfig::paper());
+    let policies = ablation_policies(&tech);
+
+    print!("{:<22}", "policy");
+    for bench in &wb.benchmarks {
+        print!(" {:>10}", bench.name);
+    }
+    println!();
+    let mut reference: Vec<u64> = Vec::new();
+    for (name, policy) in &policies {
+        print!("{:<22}", name);
+        for (i, bench) in wb.benchmarks.iter().enumerate() {
+            let placement = Placement::center(&wb.fabric, bench.program.num_qubits());
+            let outcome = tool
+                .map_with(&bench.program, *policy, &placement)
+                .expect("benchmarks map cleanly");
+            print!(" {:>10}", outcome.latency());
+            if *name == "qspr" {
+                reference.push(outcome.latency());
+            } else {
+                // Ablating an improvement must not make things better on
+                // the aggregate; individual circuits may tie.
+                let _ = i;
+            }
+        }
+        println!();
+    }
+    println!("\n(latencies in µs; `qspr` row is the full tool, center placement)");
+
+    // Fig. 5 in isolation: on the regular 45×85 fabric with center
+    // placement, turn-blind tie-breaking happens to find turn-minimal
+    // paths, so the `no-turn-aware` row above ties with `qspr`. The
+    // geometry where turn-blindness hurts is demonstrated directly:
+    println!("\nFig. 5 demonstration (staircase-vs-ring fabric):");
+    let fig5 = qspr_fabric::Fabric::from_ascii(qspr_route::FIG5_DEMO_FABRIC)
+        .expect("demo fabric is valid");
+    let topo = fig5.topology();
+    let state = qspr_route::ResourceState::new(topo);
+    let s = topo
+        .trap_at(qspr_fabric::Coord::new(7, 4))
+        .expect("source trap");
+    let t = topo
+        .trap_at(qspr_fabric::Coord::new(1, 6))
+        .expect("target trap");
+    for (name, aware) in [("turn-aware", true), ("turn-blind", false)] {
+        let mut cfg = qspr_route::RouterConfig::qspr(&tech);
+        cfg.turn_aware = aware;
+        let router = qspr_route::Router::new(topo, cfg);
+        let plan = router.route(&state, s, t).expect("routable");
+        println!(
+            "  {name:<11} {:>2} moves, {} turns -> {:>3}µs of travel",
+            plan.moves(),
+            plan.turns(),
+            plan.duration()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Fidelity experiment (extension): the paper's motivation — lower
+//! mapped latency means less absorbed noise — quantified with the
+//! first-order ion-trap noise model.
+//!
+//! Usage: `cargo run -p qspr-bench --bin fidelity --release [--m N]`
+
+use qspr::{NoiseModel, QsprConfig, QsprTool};
+use qspr_bench::{parse_flag, Workbench};
+
+fn main() {
+    let m = parse_flag("--m", 10);
+    let wb = Workbench::load();
+    let tool = QsprTool::new(&wb.fabric, QsprConfig::paper().with_seeds(m));
+    let model = NoiseModel::ion_trap_2012();
+
+    println!("Estimated success probabilities (T2 = {}µs, MVFB m={m}):", model.t2);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "circuit", "QSPR µs", "QUALE µs", "P(QSPR)", "P(QUALE)", "fidelity gain"
+    );
+    for bench in &wb.benchmarks {
+        let qspr = tool.map(&bench.program).expect("maps");
+        let quale = tool.map_quale(&bench.program).expect("maps");
+        let p_qspr = model.success_probability(&bench.program, &qspr.outcome);
+        let p_quale = model.success_probability(&bench.program, &quale);
+        println!(
+            "{:<12} {:>10} {:>10} {:>10.4} {:>10.4} {:>11.2}%",
+            bench.name,
+            qspr.latency,
+            quale.latency(),
+            p_qspr,
+            p_quale,
+            100.0 * (p_qspr - p_quale) / p_quale,
+        );
+        assert!(
+            p_qspr >= p_quale,
+            "{}: QSPR fidelity must not lose",
+            bench.name
+        );
+    }
+    println!("\nShape check passed: QSPR's success probability beats QUALE's everywhere.");
+}

@@ -1,0 +1,78 @@
+//! Scalability experiment (beyond the paper's evaluation): mapped
+//! latency, routing overhead and mapper wall-time as circuits grow, on
+//! the quantum Hamming family [[2^r−1, 2^r−1−2r, 3]] and on random
+//! circuits of increasing width.
+//!
+//! Usage: `cargo run -p qspr-bench --bin scaling --release [--quick]`
+
+use std::time::Instant;
+
+use qspr_bench::quick_mode;
+use qspr_fabric::{Fabric, TechParams};
+use qspr_qasm::{random_program, RandomProgramConfig};
+use qspr_qecc::css::quantum_hamming;
+use qspr_qecc::encoder::encoding_circuit;
+use qspr_sched::Qidg;
+use qspr_sim::{Mapper, MapperPolicy, Placement};
+
+fn main() {
+    let fabric = Fabric::quale_45x85();
+    let tech = TechParams::date2012();
+    let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+
+    println!("Quantum Hamming family [[2^r-1, 2^r-1-2r, 3]]:");
+    println!(
+        "{:<12} {:>6} {:>6} {:>9} {:>9} {:>10} {:>9}",
+        "code", "qubits", "gates", "ideal µs", "QSPR µs", "overhead%", "map time"
+    );
+    let orders: &[u32] = if quick_mode() { &[3, 4] } else { &[3, 4, 5] };
+    for &r in orders {
+        let code = quantum_hamming(r);
+        let program = encoding_circuit(&code).expect("family encodes");
+        let ideal = Qidg::new(&program, &tech).critical_path_delay();
+        let placement = Placement::center(&fabric, program.num_qubits());
+        let started = Instant::now();
+        let outcome = mapper.map(&program, &placement).expect("maps");
+        let elapsed = started.elapsed();
+        println!(
+            "{:<12} {:>6} {:>6} {:>9} {:>9} {:>9.1}% {:>8.1?}",
+            code.name(),
+            program.num_qubits(),
+            program.instructions().len(),
+            ideal,
+            outcome.latency(),
+            100.0 * (outcome.latency() - ideal) as f64 / ideal as f64,
+            elapsed,
+        );
+    }
+
+    println!("\nRandom Clifford circuits (width sweep, 6 gates per qubit):");
+    println!(
+        "{:<12} {:>6} {:>6} {:>9} {:>9} {:>10} {:>9}",
+        "circuit", "qubits", "gates", "ideal µs", "QSPR µs", "overhead%", "map time"
+    );
+    let widths: &[usize] = if quick_mode() {
+        &[4, 8, 16]
+    } else {
+        &[4, 8, 16, 24, 32, 48]
+    };
+    for &q in widths {
+        let program = random_program(&RandomProgramConfig::new(q, 6 * q), 2012);
+        let ideal = Qidg::new(&program, &tech).critical_path_delay();
+        let placement = Placement::center(&fabric, q);
+        let started = Instant::now();
+        let outcome = mapper.map(&program, &placement).expect("maps");
+        let elapsed = started.elapsed();
+        println!(
+            "{:<12} {:>6} {:>6} {:>9} {:>9} {:>9.1}% {:>8.1?}",
+            format!("rand-{q}"),
+            q,
+            program.instructions().len(),
+            ideal,
+            outcome.latency(),
+            100.0 * (outcome.latency() - ideal) as f64 / ideal as f64,
+            elapsed,
+        );
+    }
+    println!("\n(overhead = routing+congestion share over the ideal critical path)");
+}

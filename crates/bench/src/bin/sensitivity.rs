@@ -1,0 +1,48 @@
+//! Sensitivity of the MVFB placer to the number of random seeds `m`
+//! (discussed in §IV.A and §V.B of the paper: more seeds never hurt,
+//! m=100 beats m=25).
+//!
+//! Usage: `cargo run -p qspr-bench --bin sensitivity --release [--quick]`
+
+use qspr::{QsprConfig, QsprTool};
+use qspr_bench::{quick_mode, Workbench};
+
+fn main() {
+    let ms: &[usize] = if quick_mode() {
+        &[1, 5, 10]
+    } else {
+        &[1, 5, 10, 25, 50, 100]
+    };
+    let wb = if quick_mode() {
+        Workbench::quick(3)
+    } else {
+        Workbench::load()
+    };
+
+    println!("Sensitivity of QSPR latency to the MVFB seed count m");
+    print!("{:<12}", "circuit");
+    for m in ms {
+        print!(" {:>8}", format!("m={m}"));
+    }
+    println!(" {:>10}", "runs@max");
+    for bench in &wb.benchmarks {
+        print!("{:<12}", bench.name);
+        let mut last_latency = u64::MAX;
+        let mut runs_at_max = 0;
+        for &m in ms {
+            let tool = QsprTool::new(&wb.fabric, QsprConfig::paper().with_seeds(m));
+            let result = tool.map(&bench.program).expect("maps cleanly");
+            print!(" {:>8}", result.latency);
+            // Larger m keeps a superset of seeds: latency is monotone.
+            assert!(
+                result.latency <= last_latency,
+                "{}: m={m} regressed",
+                bench.name
+            );
+            last_latency = result.latency;
+            runs_at_max = result.runs;
+        }
+        println!(" {:>10}", runs_at_max);
+    }
+    println!("\nShape check passed: latency is non-increasing in m.");
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's Table 1: MVFB vs Monte Carlo placement at
+//! equal placement-run budgets, for m = 25 and m = 100.
+//!
+//! Usage: `cargo run -p qspr-bench --bin table1 --release [--quick]`
+
+use qspr::{QsprConfig, QsprTool};
+use qspr_bench::{quick_mode, Workbench, PAPER_TABLE1};
+
+fn main() {
+    let ms: &[usize] = if quick_mode() { &[5] } else { &[25, 100] };
+    let wb = Workbench::load();
+
+    for &m in ms {
+        println!("Table 1 — MVFB vs Monte Carlo, m={m} (45x85 fabric)");
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>9} {:>6} | paper(m={m}): MVFB/MC µs, runs",
+            "circuit", "MVFB µs", "MVFB ms", "MC µs", "MC ms", "runs"
+        );
+        let tool = QsprTool::new(&wb.fabric, QsprConfig::paper().with_seeds(m));
+        for (bench, paper) in wb.benchmarks.iter().zip(PAPER_TABLE1) {
+            let row = tool
+                .compare_placers(&bench.name, &bench.program)
+                .expect("benchmarks map cleanly");
+            let paper_ref = match m {
+                25 => format!("{} / {} ({})", paper.1, paper.2, paper.3),
+                100 => format!("{} / {} ({})", paper.4, paper.5, paper.6),
+                _ => "-".to_owned(),
+            };
+            println!(
+                "{:<12} {:>9} {:>9} {:>9} {:>9} {:>6} | {}",
+                row.circuit,
+                row.mvfb_latency,
+                row.mvfb_cpu.as_millis(),
+                row.mc_latency,
+                row.mc_cpu.as_millis(),
+                row.runs,
+                paper_ref,
+            );
+            assert!(
+                row.mvfb_wins(),
+                "{}: MVFB ({}) must not lose to MC ({}) at equal runs",
+                row.circuit,
+                row.mvfb_latency,
+                row.mc_latency
+            );
+        }
+        println!();
+    }
+    println!("Shape checks passed: MVFB <= MC at equal placement runs everywhere.");
+}

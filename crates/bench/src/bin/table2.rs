@@ -1,0 +1,40 @@
+//! Regenerates the paper's Table 2: ideal baseline vs QUALE vs QSPR
+//! execution latency on the six QECC encoding circuits.
+//!
+//! Usage: `cargo run -p qspr-bench --bin table2 --release [--m 100] [--quick]`
+
+use qspr::{QsprConfig, QsprTool};
+use qspr_bench::{parse_flag, quick_mode, Workbench, PAPER_TABLE2};
+
+fn main() {
+    let m = parse_flag("--m", if quick_mode() { 5 } else { 100 });
+    let wb = Workbench::load();
+    let tool = QsprTool::new(&wb.fabric, QsprConfig::paper().with_seeds(m));
+
+    println!("Table 2 — Baseline vs QUALE vs QSPR (45x85 fabric, MVFB m={m})");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>8} | paper: {:>6} {:>6} {:>6} {:>7}",
+        "circuit", "baseline", "QUALE", "QSPR", "impr%", "base", "QUALE", "QSPR", "impr%"
+    );
+    for (bench, paper) in wb.benchmarks.iter().zip(PAPER_TABLE2) {
+        let row = tool
+            .compare(&bench.name, &bench.program)
+            .expect("benchmarks map cleanly");
+        let paper_impr = 100.0 * (paper.2 as f64 - paper.3 as f64) / paper.2 as f64;
+        println!(
+            "{:<12} {:>9}µ {:>9}µ {:>9}µ {:>7.2}% | paper: {:>6} {:>6} {:>6} {:>6.2}%",
+            row.circuit,
+            row.baseline,
+            row.quale,
+            row.qspr,
+            row.improvement_pct(),
+            paper.1,
+            paper.2,
+            paper.3,
+            paper_impr,
+        );
+        assert!(row.baseline <= row.qspr, "baseline is a lower bound");
+        assert!(row.qspr <= row.quale, "QSPR must beat QUALE");
+    }
+    println!("\nShape checks passed: baseline <= QSPR <= QUALE on every circuit.");
+}

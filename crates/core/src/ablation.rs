@@ -1,0 +1,79 @@
+//! Ablation policies: the QSPR improvements of §I, toggled one at a time.
+
+use qspr_fabric::TechParams;
+use qspr_sched::PriorityWeights;
+use qspr_sim::{IssueOrder, MapperPolicy, MovementPolicy};
+
+/// One mapper policy per design claim of the paper, for measuring how
+/// much each QSPR feature contributes:
+///
+/// * `qspr` — the full tool (reference point);
+/// * `no-turn-aware` — router ignores turn delays (Fig. 5 deficiency);
+/// * `no-multiplexing` — channel/junction capacity 1 (pre-\[10\] hardware);
+/// * `single-movement` — only the source qubit moves (QPOS-style);
+/// * `alap-order` — ALAP extraction instead of the priority list;
+/// * `dependents-priority` — QPOS's priority term alone;
+/// * `path-priority` — the Whitney et al. priority term alone.
+///
+/// # Examples
+///
+/// ```
+/// use qspr::ablation_policies;
+/// use qspr_fabric::TechParams;
+///
+/// let policies = ablation_policies(&TechParams::date2012());
+/// assert_eq!(policies[0].0, "qspr");
+/// assert_eq!(policies.len(), 7);
+/// ```
+pub fn ablation_policies(tech: &TechParams) -> Vec<(&'static str, MapperPolicy)> {
+    let full = MapperPolicy::qspr(tech);
+    let mut no_turn = full;
+    no_turn.router.turn_aware = false;
+    let mut no_mux = full;
+    no_mux.router.channel_capacity = 1;
+    no_mux.router.junction_capacity = 1;
+    let mut single = full;
+    single.movement = MovementPolicy::SourceToDestination;
+    let mut alap = full;
+    alap.order = IssueOrder::Alap;
+    let mut deps_only = full;
+    deps_only.order = IssueOrder::PriorityList(PriorityWeights::dependents_only());
+    let mut path_only = full;
+    path_only.order = IssueOrder::PriorityList(PriorityWeights::path_delay_only());
+    vec![
+        ("qspr", full),
+        ("no-turn-aware", no_turn),
+        ("no-multiplexing", no_mux),
+        ("single-movement", single),
+        ("alap-order", alap),
+        ("dependents-priority", deps_only),
+        ("path-priority", path_only),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_differ_from_the_reference() {
+        let tech = TechParams::date2012();
+        let policies = ablation_policies(&tech);
+        let reference = policies[0].1;
+        for (name, policy) in &policies[1..] {
+            assert_ne!(*policy, reference, "{name} must toggle something");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let tech = TechParams::date2012();
+        let mut names: Vec<_> = ablation_policies(&tech)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

@@ -1,0 +1,328 @@
+//! `qspr` — command-line front end for the QSPR mapper.
+//!
+//! ```text
+//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F]
+//! qspr compare <file.qasm> [--m N] [--fabric F]
+//! qspr suite [--m N]
+//! qspr fabric [--fabric F]
+//! qspr encode <CODE>
+//! ```
+//!
+//! `--fabric` takes either `quale45x85` (default) or a path to an ASCII
+//! fabric file; `CODE` is one of `5,1,3`, `7,1,3`, `9,1,3`, `14,8,3`,
+//! `19,1,7`, `23,1,7`.
+
+use std::process::ExitCode;
+
+use qspr::{QsprConfig, QsprTool};
+use qspr_fabric::Fabric;
+use qspr_qasm::Program;
+use qspr_qecc::codes;
+use qspr_sim::MapperPolicy;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("qspr: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F]
+  qspr compare <file.qasm> [--m N] [--fabric F]
+  qspr suite [--m N] [--fabric F]
+  qspr fabric [--fabric F]
+  qspr encode <CODE>          (5,1,3 | 7,1,3 | 9,1,3 | 14,8,3 | 19,1,7 | 23,1,7)
+
+options:
+  --fabric F    quale45x85 (default) or a path to an ASCII fabric file
+  --policy P    mapper policy for `map` (default qspr)
+  --m N         MVFB seed count (default 25)
+  --trace       print the micro-command trace after mapping";
+
+/// Minimal flag parser: collects positional arguments and `--key value` /
+/// `--switch` options.
+struct Cli {
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Result<Cli, String> {
+        const VALUE_FLAGS: [&str; 3] = ["--fabric", "--policy", "--m"];
+        const SWITCHES: [&str; 1] = ["--trace"];
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(flag) = a.strip_prefix("--").map(|_| a.as_str()) {
+                if VALUE_FLAGS.contains(&flag) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag {flag} needs a value"))?;
+                    options.push((flag.to_owned(), Some(value.clone())));
+                } else if SWITCHES.contains(&flag) {
+                    options.push((flag.to_owned(), None));
+                } else {
+                    return Err(format!("unknown flag {flag}"));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Cli {
+            positional,
+            options,
+        })
+    }
+
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(f, _)| f == flag)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn switch(&self, flag: &str) -> bool {
+        self.options.iter().any(|(f, _)| f == flag)
+    }
+
+    fn m(&self) -> Result<usize, String> {
+        match self.value("--m") {
+            None => Ok(25),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--m expects a number, got {v:?}")),
+        }
+    }
+
+    fn fabric(&self) -> Result<Fabric, String> {
+        match self.value("--fabric") {
+            None | Some("quale45x85") => Ok(Fabric::quale_45x85()),
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read fabric {path}: {e}"))?;
+                Fabric::from_ascii(&text).map_err(|e| format!("bad fabric {path}: {e}"))
+            }
+        }
+    }
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Program::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".to_owned());
+    };
+    let cli = Cli::parse(&args[1..])?;
+    match command.as_str() {
+        "map" => cmd_map(&cli),
+        "compare" => cmd_compare(&cli),
+        "suite" => cmd_suite(&cli),
+        "fabric" => cmd_fabric(&cli),
+        "encode" => cmd_encode(&cli),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_map(cli: &Cli) -> Result<(), String> {
+    let path = cli
+        .positional
+        .first()
+        .ok_or("map needs a QASM file argument")?;
+    let program = load_program(path)?;
+    let fabric = cli.fabric()?;
+    let mut config = QsprConfig::paper().with_seeds(cli.m()?);
+    config.record_trace = cli.switch("--trace");
+    let tool = QsprTool::new(&fabric, config);
+    let tech = config.tech;
+
+    let policy = cli.value("--policy").unwrap_or("qspr");
+    match policy {
+        "qspr" => {
+            let result = tool.map(&program).map_err(|e| e.to_string())?;
+            println!("policy          qspr (MVFB m={})", config.mvfb.seeds);
+            println!("latency         {}µs", result.latency);
+            println!("ideal baseline  {}µs", tool.ideal_latency(&program));
+            println!("placement runs  {}", result.runs);
+            println!(
+                "movement        {} moves, {} turns",
+                result.outcome.totals().moves,
+                result.outcome.totals().turns
+            );
+            println!(
+                "congestion wait {}µs total",
+                result.outcome.totals().congestion_wait
+            );
+            if let Some(trace) = &result.forward_trace {
+                println!("\ntrace ({} commands):", trace.len());
+                for entry in trace {
+                    println!("  {entry}");
+                }
+            }
+        }
+        "quale" | "qpos" => {
+            let policy = match policy {
+                "quale" => MapperPolicy::quale(&tech),
+                _ => MapperPolicy::qpos(&tech),
+            };
+            let placement =
+                qspr_sim::Placement::center(&fabric, program.num_qubits());
+            let outcome = tool
+                .map_with(&program, policy, &placement)
+                .map_err(|e| e.to_string())?;
+            println!("policy          {}", cli.value("--policy").expect("set"));
+            println!("latency         {}µs", outcome.latency());
+            println!("ideal baseline  {}µs", tool.ideal_latency(&program));
+            println!(
+                "movement        {} moves, {} turns",
+                outcome.totals().moves,
+                outcome.totals().turns
+            );
+        }
+        other => return Err(format!("unknown policy {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_compare(cli: &Cli) -> Result<(), String> {
+    let path = cli
+        .positional
+        .first()
+        .ok_or("compare needs a QASM file argument")?;
+    let program = load_program(path)?;
+    let fabric = cli.fabric()?;
+    let tool = QsprTool::new(&fabric, QsprConfig::paper().with_seeds(cli.m()?));
+    let row = tool.compare(path, &program).map_err(|e| e.to_string())?;
+    println!("{row}");
+    Ok(())
+}
+
+fn cmd_suite(cli: &Cli) -> Result<(), String> {
+    let fabric = cli.fabric()?;
+    let tool = QsprTool::new(&fabric, QsprConfig::paper().with_seeds(cli.m()?));
+    for bench in codes::benchmark_suite() {
+        let row = tool
+            .compare(&bench.name, &bench.program)
+            .map_err(|e| e.to_string())?;
+        println!("{row}");
+    }
+    Ok(())
+}
+
+fn cmd_fabric(cli: &Cli) -> Result<(), String> {
+    let fabric = cli.fabric()?;
+    let topo = fabric.topology();
+    println!("{fabric}");
+    println!(
+        "{}x{} cells | {} traps, {} junctions, {} segments | center {}",
+        fabric.rows(),
+        fabric.cols(),
+        topo.traps().len(),
+        topo.junctions().len(),
+        topo.segments().len(),
+        fabric.center(),
+    );
+    let stats = fabric.stats();
+    println!(
+        "connected: {} | diameter: {} moves / {} hops | mean trap distance {:.1} | empty {:.0}%",
+        stats.connected,
+        stats.junction_diameter_moves,
+        stats.junction_diameter_hops,
+        stats.mean_trap_distance,
+        100.0 * stats.empty_fraction,
+    );
+    Ok(())
+}
+
+fn cmd_encode(cli: &Cli) -> Result<(), String> {
+    let name = cli
+        .positional
+        .first()
+        .ok_or("encode needs a code argument")?;
+    let code = match name.trim_matches(|c| c == '[' || c == ']').trim() {
+        "5,1,3" => codes::five_one_three(),
+        "7,1,3" => codes::steane(),
+        "9,1,3" => codes::nine_one_three(),
+        "14,8,3" => codes::fourteen_eight_three(),
+        "19,1,7" => codes::nineteen_one_seven(),
+        "23,1,7" => codes::twenty_three_one_seven(),
+        other => return Err(format!("unknown code {other:?}")),
+    };
+    let program =
+        qspr_qecc::encoder::encoding_circuit(&code).map_err(|e| e.to_string())?;
+    print!("{}", program.to_qasm());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cli_parses_flags_and_positionals() {
+        let cli = Cli::parse(&strings(&[
+            "file.qasm",
+            "--m",
+            "7",
+            "--trace",
+            "--policy",
+            "quale",
+        ]))
+        .unwrap();
+        assert_eq!(cli.positional, vec!["file.qasm"]);
+        assert_eq!(cli.m().unwrap(), 7);
+        assert!(cli.switch("--trace"));
+        assert_eq!(cli.value("--policy"), Some("quale"));
+    }
+
+    #[test]
+    fn cli_rejects_unknown_flags_and_missing_values() {
+        assert!(Cli::parse(&strings(&["--frobnicate"])).is_err());
+        assert!(Cli::parse(&strings(&["--m"])).is_err());
+    }
+
+    #[test]
+    fn default_m_is_25() {
+        let cli = Cli::parse(&[]).unwrap();
+        assert_eq!(cli.m().unwrap(), 25);
+    }
+
+    #[test]
+    fn run_rejects_unknown_commands() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn encode_produces_parseable_qasm() {
+        // Drive the command path end to end for one code.
+        let cli = Cli::parse(&strings(&["5,1,3"])).unwrap();
+        cmd_encode(&cli).unwrap();
+    }
+
+    #[test]
+    fn suite_names_resolve() {
+        for name in ["5,1,3", "7,1,3", "9,1,3", "14,8,3", "19,1,7", "23,1,7"] {
+            let cli = Cli::parse(&strings(&[name])).unwrap();
+            assert!(cmd_encode(&cli).is_ok(), "{name}");
+        }
+        let cli = Cli::parse(&strings(&["31,1,7"])).unwrap();
+        assert!(cmd_encode(&cli).is_err());
+    }
+}

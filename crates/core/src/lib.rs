@@ -1,0 +1,57 @@
+//! QSPR — Quantum mapper based on Scheduling, Placement and Routing.
+//!
+//! Top-level reproduction of the DATE 2012 paper *"Minimizing the Latency
+//! of Quantum Circuits during Mapping to the Ion-Trap Circuit Fabric"*
+//! (Dousti & Pedram). This crate ties the substrates together into the
+//! tool the paper evaluates:
+//!
+//! * [`QsprTool`] — the full flow: QASM program → QIDG scheduling → MVFB
+//!   placement → turn-aware congestion-weighted routing → event-driven
+//!   simulation → latency, stats and a micro-command trace;
+//! * baselines: the **ideal** lower bound (`T_routing = T_congestion =
+//!   0`), a reimplementation of **QUALE** (center placement, ALAP
+//!   extraction, turn-blind PathFinder-style routing, no channel
+//!   multiplexing, single moving qubit) and of **QPOS** (ASAP +
+//!   dependent-count priority, destination operand fixed);
+//! * [`ComparisonRow`] / [`PlacerComparisonRow`] — the rows of the
+//!   paper's Table 2 and Table 1;
+//! * [`ablation_policies`] — one policy per QSPR design claim, for the
+//!   ablation benches called out in DESIGN.md.
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr::{QsprConfig, QsprTool};
+//! use qspr_fabric::Fabric;
+//! use qspr_qasm::Program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fabric = Fabric::quale_45x85();
+//! let tool = QsprTool::new(&fabric, QsprConfig::fast());
+//! let program = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n")?;
+//!
+//! let result = tool.map(&program)?;
+//! let ideal = tool.ideal_latency(&program);
+//! assert!(result.latency >= ideal);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ablation;
+mod noise;
+mod report;
+mod tool;
+
+pub use ablation::ablation_policies;
+pub use noise::NoiseModel;
+pub use report::{ComparisonRow, PlacerComparisonRow};
+pub use tool::{QsprConfig, QsprResult, QsprTool};
+
+// Re-export the layered API so downstream users need only one dependency.
+pub use qspr_fabric as fabric;
+pub use qspr_place as place;
+pub use qspr_qasm as qasm;
+pub use qspr_qecc as qecc;
+pub use qspr_route as route;
+pub use qspr_sched as sched;
+pub use qspr_sim as sim;

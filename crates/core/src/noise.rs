@@ -1,0 +1,158 @@
+//! Post-mapping error analysis: the paper's motivation, quantified.
+//!
+//! The paper's introduction argues that minimizing mapped latency
+//! minimizes the noise a circuit absorbs (and hence the QECC overhead
+//! the synthesizer must add, closing the loop of Fig. 1). This module
+//! provides the simple first-order noise model that turns a
+//! [`MappingOutcome`] into a success probability, so the QSPR-vs-QUALE
+//! latency gap can be read in fidelity terms.
+
+use qspr_qasm::Program;
+use qspr_sim::MappingOutcome;
+
+/// First-order ion-trap noise model: exponential dephasing during the
+/// circuit plus independent per-operation error probabilities.
+///
+/// Success probability of a mapped execution:
+///
+/// ```text
+/// P = exp(−n·L / T2) · (1−e1)^#1q · (1−e2)^#2q · (1−em)^#moves · (1−et)^#turns
+/// ```
+///
+/// where `n` is the qubit count and `L` the mapped latency — the term
+/// the QSPR mapper minimizes.
+///
+/// # Examples
+///
+/// ```
+/// use qspr::NoiseModel;
+///
+/// let model = NoiseModel::ion_trap_2012();
+/// assert!(model.memory_fidelity(5, 634) > model.memory_fidelity(5, 832));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Dephasing (memory) time constant, µs per qubit.
+    pub t2: f64,
+    /// Error probability of a one-qubit gate.
+    pub gate_error_1q: f64,
+    /// Error probability of a two-qubit gate.
+    pub gate_error_2q: f64,
+    /// Error probability of one ballistic cell move.
+    pub move_error: f64,
+    /// Error probability of one junction turn.
+    pub turn_error: f64,
+}
+
+impl NoiseModel {
+    /// Plausible 2012-era trapped-ion parameters: T2 = 0.1s, 10⁻⁴
+    /// one-qubit and 10⁻³ two-qubit gate errors, 10⁻⁵ per relocation.
+    pub fn ion_trap_2012() -> NoiseModel {
+        NoiseModel {
+            t2: 100_000.0,
+            gate_error_1q: 1e-4,
+            gate_error_2q: 1e-3,
+            move_error: 1e-5,
+            turn_error: 1e-5,
+        }
+    }
+
+    /// The collective memory fidelity of `qubits` idling for `latency`
+    /// microseconds: `exp(−qubits·latency/T2)`.
+    pub fn memory_fidelity(&self, qubits: usize, latency: u64) -> f64 {
+        (-(qubits as f64) * latency as f64 / self.t2).exp()
+    }
+
+    /// Estimated success probability of a mapped execution.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qspr::{NoiseModel, QsprConfig, QsprTool};
+    /// use qspr_fabric::Fabric;
+    /// use qspr_qasm::Program;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let fabric = Fabric::quale_45x85();
+    /// let tool = QsprTool::new(&fabric, QsprConfig::fast());
+    /// let program = Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\n")?;
+    /// let qspr = tool.map(&program)?;
+    /// let quale = tool.map_quale(&program)?;
+    /// let model = NoiseModel::ion_trap_2012();
+    /// let p_qspr = model.success_probability(&program, &qspr.outcome);
+    /// let p_quale = model.success_probability(&program, &quale);
+    /// assert!(p_qspr >= p_quale, "lower latency means higher fidelity");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn success_probability(&self, program: &Program, outcome: &MappingOutcome) -> f64 {
+        let memory = self.memory_fidelity(program.num_qubits(), outcome.latency());
+        let gates_1q = program.one_qubit_gate_count() as f64;
+        let gates_2q = program.two_qubit_gate_count() as f64;
+        let totals = outcome.totals();
+        memory
+            * (1.0 - self.gate_error_1q).powf(gates_1q)
+            * (1.0 - self.gate_error_2q).powf(gates_2q)
+            * (1.0 - self.move_error).powf(totals.moves as f64)
+            * (1.0 - self.turn_error).powf(totals.turns as f64)
+    }
+}
+
+impl Default for NoiseModel {
+    /// Defaults to [`NoiseModel::ion_trap_2012`].
+    fn default() -> NoiseModel {
+        NoiseModel::ion_trap_2012()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qspr_fabric::{Fabric, TechParams};
+    use qspr_sim::{Mapper, MapperPolicy, Placement};
+
+    #[test]
+    fn memory_fidelity_decays_with_latency_and_qubits() {
+        let m = NoiseModel::ion_trap_2012();
+        assert!(m.memory_fidelity(5, 100) > m.memory_fidelity(5, 1000));
+        assert!(m.memory_fidelity(5, 100) > m.memory_fidelity(10, 100));
+        assert_eq!(m.memory_fidelity(5, 0), 1.0);
+    }
+
+    #[test]
+    fn success_probability_is_a_probability() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let program =
+            Program::parse("QUBIT a,0\nQUBIT b,0\nH a\nC-X a,b\n").unwrap();
+        let placement = Placement::center(&fabric, 2);
+        let outcome = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech))
+            .map(&program, &placement)
+            .unwrap();
+        let p = NoiseModel::ion_trap_2012().success_probability(&program, &outcome);
+        assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn qspr_beats_quale_in_fidelity_on_the_suite() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let model = NoiseModel::ion_trap_2012();
+        for bench in qspr_qecc::codes::benchmark_suite().into_iter().take(3) {
+            let placement = Placement::center(&fabric, bench.program.num_qubits());
+            let qspr = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech))
+                .map(&bench.program, &placement)
+                .unwrap();
+            let quale = Mapper::new(&fabric, tech, MapperPolicy::quale(&tech))
+                .map(&bench.program, &placement)
+                .unwrap();
+            let p_qspr = model.success_probability(&bench.program, &qspr);
+            let p_quale = model.success_probability(&bench.program, &quale);
+            assert!(
+                p_qspr >= p_quale,
+                "{}: {p_qspr} vs {p_quale}",
+                bench.name
+            );
+        }
+    }
+}

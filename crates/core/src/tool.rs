@@ -1,0 +1,317 @@
+//! The end-to-end QSPR tool and its baselines.
+
+use std::time::Duration;
+
+use qspr_fabric::{Fabric, TechParams, Time};
+use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer, PassDirection};
+use qspr_qasm::Program;
+use qspr_sched::Qidg;
+use qspr_sim::{MapError, Mapper, MapperPolicy, MappingOutcome, Placement, Trace};
+
+use crate::report::{ComparisonRow, PlacerComparisonRow};
+
+/// Configuration of the full QSPR flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QsprConfig {
+    /// Technology parameters (defaults to the paper's §V.A values).
+    pub tech: TechParams,
+    /// MVFB placer parameters. The paper's headline results use `m = 100`
+    /// seeds; [`QsprConfig::fast`] uses 4 for tests and quick runs.
+    pub mvfb: MvfbConfig,
+    /// Record the winning micro-command trace during [`QsprTool::map`].
+    pub record_trace: bool,
+}
+
+impl QsprConfig {
+    /// The paper's experimental configuration: `m = 100`, patience 3.
+    pub fn paper() -> QsprConfig {
+        QsprConfig {
+            tech: TechParams::date2012(),
+            mvfb: MvfbConfig::new(100, 0xD57E_2012),
+            record_trace: false,
+        }
+    }
+
+    /// The paper's configuration with `m = 25` (the second column block of
+    /// Table 1).
+    pub fn paper_m25() -> QsprConfig {
+        QsprConfig {
+            mvfb: MvfbConfig::new(25, 0xD57E_2012),
+            ..QsprConfig::paper()
+        }
+    }
+
+    /// A light configuration (`m = 4`) for tests and examples.
+    pub fn fast() -> QsprConfig {
+        QsprConfig {
+            mvfb: MvfbConfig::new(4, 0xD57E_2012),
+            ..QsprConfig::paper()
+        }
+    }
+
+    /// Same config with a different number of MVFB seeds (the paper's
+    /// sensitivity parameter `m`).
+    pub fn with_seeds(mut self, m: usize) -> QsprConfig {
+        self.mvfb.seeds = m;
+        self
+    }
+}
+
+impl Default for QsprConfig {
+    /// Defaults to the paper's configuration.
+    fn default() -> QsprConfig {
+        QsprConfig::paper()
+    }
+}
+
+/// Result of the full QSPR flow on one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QsprResult {
+    /// Best mapped execution latency (µs).
+    pub latency: Time,
+    /// Direction of the winning MVFB pass.
+    pub direction: PassDirection,
+    /// Placement the winning pass started from.
+    pub initial_placement: Placement,
+    /// Total MVFB placement runs (`m'`).
+    pub runs: usize,
+    /// Placer wall-clock time.
+    pub cpu: Duration,
+    /// Full outcome (stats, final placement) of the winning pass.
+    pub outcome: MappingOutcome,
+    /// Forward-executing micro-command trace, when
+    /// [`QsprConfig::record_trace`] was set.
+    pub forward_trace: Option<Trace>,
+}
+
+/// The QSPR mapper plus the paper's baselines, bound to one fabric.
+///
+/// See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct QsprTool<'a> {
+    fabric: &'a Fabric,
+    config: QsprConfig,
+}
+
+impl<'a> QsprTool<'a> {
+    /// Creates the tool for `fabric`.
+    pub fn new(fabric: &'a Fabric, config: QsprConfig) -> QsprTool<'a> {
+        QsprTool { fabric, config }
+    }
+
+    /// The fabric experiments run on.
+    pub fn fabric(&self) -> &Fabric {
+        self.fabric
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &QsprConfig {
+        &self.config
+    }
+
+    /// Runs the full QSPR flow (priority scheduling + MVFB placement +
+    /// turn-aware multiplexed routing) on `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the underlying mapper (stalls on
+    /// degenerate fabrics, placement mismatches).
+    pub fn map(&self, program: &Program) -> Result<QsprResult, MapError> {
+        let mapper = self.mapper(MapperPolicy::qspr(&self.config.tech));
+        let placer = MvfbPlacer::new(self.config.mvfb);
+        let solution = placer.place(&mapper, program)?;
+        let (outcome, forward_trace) = if self.config.record_trace {
+            let (outcome, trace) = solution.replay(&mapper, program)?;
+            (outcome, Some(trace))
+        } else {
+            let prog = match solution.direction {
+                PassDirection::Forward => program.clone(),
+                PassDirection::Backward => program.reversed(),
+            };
+            (mapper.map(&prog, &solution.initial_placement)?, None)
+        };
+        debug_assert_eq!(outcome.latency(), solution.latency);
+        Ok(QsprResult {
+            latency: solution.latency,
+            direction: solution.direction,
+            initial_placement: solution.initial_placement,
+            runs: solution.runs,
+            cpu: solution.cpu,
+            outcome,
+            forward_trace,
+        })
+    }
+
+    /// Maps `program` with an explicit policy and placement (the
+    /// escape hatch for ablations and custom flows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the mapper.
+    pub fn map_with(
+        &self,
+        program: &Program,
+        policy: MapperPolicy,
+        placement: &Placement,
+    ) -> Result<MappingOutcome, MapError> {
+        self.mapper(policy).map(program, placement)
+    }
+
+    /// The QUALE baseline: deterministic center placement, ALAP
+    /// extraction, turn-blind negotiated routing, capacity-1 channels,
+    /// and only the source qubit moving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the mapper.
+    pub fn map_quale(&self, program: &Program) -> Result<MappingOutcome, MapError> {
+        let placement = Placement::center(self.fabric, program.num_qubits());
+        self.map_with(program, MapperPolicy::quale(&self.config.tech), &placement)
+    }
+
+    /// The QPOS baseline: center placement, ASAP + dependent-count
+    /// priority, destination operand fixed, capacity-1 channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the mapper.
+    pub fn map_qpos(&self, program: &Program) -> Result<MappingOutcome, MapError> {
+        let placement = Placement::center(self.fabric, program.num_qubits());
+        self.map_with(program, MapperPolicy::qpos(&self.config.tech), &placement)
+    }
+
+    /// The paper's ideal baseline: execution latency on a fabric with
+    /// `T_congestion = T_routing = 0`, i.e. the gate-delay critical path
+    /// of the QIDG. A lower bound for any placed-and-routed result.
+    pub fn ideal_latency(&self, program: &Program) -> Time {
+        Qidg::new(program, &self.config.tech).critical_path_delay()
+    }
+
+    /// Produces one row of the paper's Table 2 for `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from either mapper.
+    pub fn compare(&self, name: &str, program: &Program) -> Result<ComparisonRow, MapError> {
+        let baseline = self.ideal_latency(program);
+        let quale = self.map_quale(program)?.latency();
+        let qspr = self.map(program)?.latency;
+        Ok(ComparisonRow::new(name, baseline, quale, qspr))
+    }
+
+    /// Produces one row of the paper's Table 1 for `program`: MVFB with
+    /// the configured `m` seeds versus Monte Carlo given exactly the same
+    /// number of placement runs (the paper's equal-effort design).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from either placer.
+    pub fn compare_placers(
+        &self,
+        name: &str,
+        program: &Program,
+    ) -> Result<PlacerComparisonRow, MapError> {
+        let mapper = self.mapper(MapperPolicy::qspr(&self.config.tech));
+        let mvfb = MvfbPlacer::new(self.config.mvfb).place(&mapper, program)?;
+        let mc = MonteCarloPlacer::new(mvfb.runs, self.config.mvfb.rng_seed ^ 0x4D43)
+            .place(&mapper, program)?;
+        Ok(PlacerComparisonRow {
+            circuit: name.to_owned(),
+            m: self.config.mvfb.seeds,
+            runs: mvfb.runs,
+            mvfb_latency: mvfb.latency,
+            mvfb_cpu: mvfb.cpu,
+            mc_latency: mc.latency,
+            mc_cpu: mc.cpu,
+        })
+    }
+
+    fn mapper(&self, policy: MapperPolicy) -> Mapper<'a> {
+        Mapper::new(self.fabric, self.config.tech, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = "\
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+";
+
+    fn setup() -> (Fabric, Program) {
+        (Fabric::quale_45x85(), Program::parse(FIG3).unwrap())
+    }
+
+    #[test]
+    fn table2_shape_holds_on_fig3() {
+        let (fabric, program) = setup();
+        let tool = QsprTool::new(&fabric, QsprConfig::fast());
+        let row = tool.compare("[[5,1,3]]", &program).unwrap();
+        assert!(row.baseline <= row.qspr, "baseline is a lower bound");
+        assert!(row.qspr <= row.quale, "qspr must beat quale");
+        assert!(row.improvement_pct() >= 0.0);
+    }
+
+    #[test]
+    fn qspr_result_is_reproducible() {
+        let (fabric, program) = setup();
+        let tool = QsprTool::new(&fabric, QsprConfig::fast());
+        let a = tool.map(&program).unwrap();
+        let b = tool.map(&program).unwrap();
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.runs, b.runs);
+    }
+
+    #[test]
+    fn recorded_trace_matches_totals() {
+        let (fabric, program) = setup();
+        let mut config = QsprConfig::fast();
+        config.record_trace = true;
+        let tool = QsprTool::new(&fabric, config);
+        let result = tool.map(&program).unwrap();
+        let trace = result.forward_trace.as_ref().unwrap();
+        assert_eq!(trace.move_count() as u64, result.outcome.totals().moves);
+        assert_eq!(trace.turn_count() as u64, result.outcome.totals().turns);
+    }
+
+    #[test]
+    fn placer_comparison_row_uses_equal_runs() {
+        let (fabric, program) = setup();
+        let tool = QsprTool::new(&fabric, QsprConfig::fast());
+        let row = tool.compare_placers("[[5,1,3]]", &program).unwrap();
+        assert!(row.runs >= 4);
+        assert!(row.mvfb_latency > 0 && row.mc_latency > 0);
+    }
+
+    #[test]
+    fn qpos_baseline_runs() {
+        let (fabric, program) = setup();
+        let tool = QsprTool::new(&fabric, QsprConfig::fast());
+        let qpos = tool.map_qpos(&program).unwrap();
+        assert!(qpos.latency() >= tool.ideal_latency(&program));
+    }
+
+    #[test]
+    fn ideal_latency_matches_hand_computation() {
+        let (fabric, program) = setup();
+        let tool = QsprTool::new(&fabric, QsprConfig::fast());
+        assert_eq!(tool.ideal_latency(&program), 610);
+    }
+}

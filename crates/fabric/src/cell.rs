@@ -1,0 +1,209 @@
+//! Grid primitives: coordinates, orientations and cell kinds.
+
+use std::fmt;
+
+/// A grid coordinate, `(row, col)`, row 0 at the top.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_fabric::Coord;
+///
+/// let a = Coord::new(2, 3);
+/// let b = Coord::new(5, 1);
+/// assert_eq!(a.manhattan(b), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Row index (0 = top).
+    pub row: u16,
+    /// Column index (0 = left).
+    pub col: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(row: u16, col: u16) -> Coord {
+        Coord { row, col }
+    }
+
+    /// Manhattan (L1) distance to `other`, the natural metric on a fabric
+    /// where qubits move one cell at a time.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.row.abs_diff(other.row) as u32 + self.col.abs_diff(other.col) as u32
+    }
+
+    /// The four axis-aligned neighbours that stay inside a
+    /// `rows × cols` grid, in N, S, W, E order.
+    pub fn neighbors(self, rows: u16, cols: u16) -> impl Iterator<Item = Coord> {
+        let Coord { row, col } = self;
+        let north = row.checked_sub(1).map(|r| Coord::new(r, col));
+        let south = (row + 1 < rows).then(|| Coord::new(row + 1, col));
+        let west = col.checked_sub(1).map(|c| Coord::new(row, c));
+        let east = (col + 1 < cols).then(|| Coord::new(row, col + 1));
+        [north, south, west, east].into_iter().flatten()
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+/// Channel direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Orientation {
+    /// Left–right travel.
+    Horizontal,
+    /// Up–down travel.
+    Vertical,
+}
+
+impl Orientation {
+    /// The other orientation; switching between the two at a junction is a
+    /// *turn* and costs `T_turn`.
+    pub fn perpendicular(self) -> Orientation {
+        match self {
+            Orientation::Horizontal => Orientation::Vertical,
+            Orientation::Vertical => Orientation::Horizontal,
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Orientation::Horizontal => f.write_str("horizontal"),
+            Orientation::Vertical => f.write_str("vertical"),
+        }
+    }
+}
+
+/// One cell of the fabric grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Cell {
+    /// Unused area of the die.
+    #[default]
+    Empty,
+    /// A trap site where gates execute (1 qubit for a 1-qubit gate, 2 for a
+    /// 2-qubit gate).
+    Trap,
+    /// A horizontal channel cell.
+    HChannel,
+    /// A vertical channel cell.
+    VChannel,
+    /// A junction connecting horizontal and vertical channels.
+    Junction,
+}
+
+impl Cell {
+    /// The ASCII character used in the textual fabric format.
+    pub fn to_char(self) -> char {
+        match self {
+            Cell::Empty => '.',
+            Cell::Trap => 'T',
+            Cell::HChannel => '-',
+            Cell::VChannel => '|',
+            Cell::Junction => '+',
+        }
+    }
+
+    /// Parses one ASCII fabric character. Space is an alias for `.`,
+    /// `J` for `+`.
+    pub fn from_char(c: char) -> Option<Cell> {
+        Some(match c {
+            '.' | ' ' => Cell::Empty,
+            'T' | 't' => Cell::Trap,
+            '-' => Cell::HChannel,
+            '|' => Cell::VChannel,
+            '+' | 'J' | 'j' => Cell::Junction,
+            _ => return None,
+        })
+    }
+
+    /// `true` for channel cells (either orientation).
+    pub fn is_channel(self) -> bool {
+        matches!(self, Cell::HChannel | Cell::VChannel)
+    }
+
+    /// The orientation of a channel cell, `None` otherwise.
+    pub fn channel_orientation(self) -> Option<Orientation> {
+        match self {
+            Cell::HChannel => Some(Orientation::Horizontal),
+            Cell::VChannel => Some(Orientation::Vertical),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_self() {
+        let a = Coord::new(3, 9);
+        let b = Coord::new(7, 2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn neighbors_respect_bounds() {
+        let corner = Coord::new(0, 0);
+        let n: Vec<_> = corner.neighbors(3, 3).collect();
+        assert_eq!(n, vec![Coord::new(1, 0), Coord::new(0, 1)]);
+
+        let middle = Coord::new(1, 1);
+        assert_eq!(middle.neighbors(3, 3).count(), 4);
+
+        let far_corner = Coord::new(2, 2);
+        let n: Vec<_> = far_corner.neighbors(3, 3).collect();
+        assert_eq!(n, vec![Coord::new(1, 2), Coord::new(2, 1)]);
+    }
+
+    #[test]
+    fn cell_chars_round_trip() {
+        for cell in [
+            Cell::Empty,
+            Cell::Trap,
+            Cell::HChannel,
+            Cell::VChannel,
+            Cell::Junction,
+        ] {
+            assert_eq!(Cell::from_char(cell.to_char()), Some(cell));
+        }
+        assert_eq!(Cell::from_char(' '), Some(Cell::Empty));
+        assert_eq!(Cell::from_char('J'), Some(Cell::Junction));
+        assert_eq!(Cell::from_char('x'), None);
+    }
+
+    #[test]
+    fn perpendicular_is_involutive() {
+        for o in [Orientation::Horizontal, Orientation::Vertical] {
+            assert_eq!(o.perpendicular().perpendicular(), o);
+        }
+    }
+
+    #[test]
+    fn channel_orientation() {
+        assert_eq!(
+            Cell::HChannel.channel_orientation(),
+            Some(Orientation::Horizontal)
+        );
+        assert_eq!(
+            Cell::VChannel.channel_orientation(),
+            Some(Orientation::Vertical)
+        );
+        assert_eq!(Cell::Junction.channel_orientation(), None);
+        assert!(Cell::HChannel.is_channel());
+        assert!(!Cell::Trap.is_channel());
+    }
+}

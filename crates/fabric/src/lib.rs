@@ -1,0 +1,55 @@
+//! Ion-trap quantum circuit fabric model for the QSPR mapper.
+//!
+//! An ion-trap fabric (paper §II.B, Fig. 4) is a finite grid of cells:
+//!
+//! * **traps** (`T`) — sites where 1- and 2-qubit gate operations execute;
+//! * **channels** — wires the ion qubits travel through, horizontal (`-`)
+//!   or vertical (`|`);
+//! * **junctions** (`+`) — where horizontal and vertical channels meet and
+//!   qubits *turn* (a slow operation, 5–30× a straight move);
+//! * **empty** cells (`.`).
+//!
+//! [`Fabric`] owns the grid and eagerly derives a [`Topology`]: maximal
+//! channel *segments* between junctions, junction adjacency, and one *port*
+//! per trap (the channel cell a qubit steps through to enter the trap).
+//! Routers and the event-driven simulator work exclusively on this derived
+//! topology.
+//!
+//! The 45×85 fabric released with QUALE is not recoverable, so
+//! [`Fabric::quale_45x85`] generates a regular macro-tile layout with the
+//! same dimensions (junction pitch 4, four traps per tile); see DESIGN.md
+//! for the substitution rationale. Arbitrary layouts can be supplied in
+//! ASCII via [`Fabric::from_ascii`].
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr_fabric::Fabric;
+//!
+//! let fabric = Fabric::quale_45x85();
+//! assert_eq!((fabric.rows(), fabric.cols()), (45, 85));
+//! assert_eq!(fabric.topology().traps().len(), 924);
+//!
+//! // Layouts round-trip through ASCII.
+//! let same = Fabric::from_ascii(&fabric.to_ascii()).unwrap();
+//! assert_eq!(same.to_ascii(), fabric.to_ascii());
+//! ```
+
+mod cell;
+mod error;
+mod grid;
+mod pmd;
+mod regular;
+mod stats;
+mod topology;
+
+pub use cell::{Cell, Coord, Orientation};
+pub use error::FabricError;
+pub use grid::Fabric;
+pub use pmd::{TechParams, Time};
+pub use regular::RegularFabricSpec;
+pub use stats::FabricStats;
+pub use topology::{
+    Direction, Junction, JunctionId, Port, Segment, SegmentEnd, SegmentId, Topology, Trap,
+    TrapId,
+};

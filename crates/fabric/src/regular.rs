@@ -1,0 +1,282 @@
+//! Generator for regular macro-tile fabrics, including the 45×85 layout
+//! standing in for the fabric released with QUALE.
+
+use crate::cell::Cell;
+use crate::error::FabricError;
+use crate::grid::Fabric;
+
+/// Parameters of a regular grid fabric.
+///
+/// Channel rows and columns run at every multiple of `pitch`; junctions sit
+/// at their crossings; traps occupy the corners of each tile interior
+/// (cells whose in-tile offsets are 1 or `pitch-1` in both axes), which
+/// puts every trap adjacent to a channel.
+///
+/// With `pitch = 4` this reproduces the macro-structure of the QUALE
+/// fabric: a sea of 3×3 tile interiors with four traps each.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_fabric::RegularFabricSpec;
+///
+/// let fabric = RegularFabricSpec::new(9, 9, 4).build()?;
+/// assert_eq!(fabric.topology().junctions().len(), 9);
+/// assert_eq!(fabric.topology().traps().len(), 16);
+/// # Ok::<(), qspr_fabric::FabricError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegularFabricSpec {
+    rows: u16,
+    cols: u16,
+    pitch: u16,
+}
+
+impl RegularFabricSpec {
+    /// Creates a spec; validation happens in [`RegularFabricSpec::build`].
+    pub fn new(rows: u16, cols: u16, pitch: u16) -> RegularFabricSpec {
+        RegularFabricSpec { rows, cols, pitch }
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Channel pitch (distance between consecutive channel rows/columns).
+    pub fn pitch(&self) -> u16 {
+        self.pitch
+    }
+
+    /// Generates the fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadSpec`] when `pitch < 2` or the grid is too
+    /// small to contain a full tile (needs at least `pitch+1` in each
+    /// dimension), plus any validation error from [`Fabric::new`].
+    pub fn build(&self) -> Result<Fabric, FabricError> {
+        let RegularFabricSpec { rows, cols, pitch } = *self;
+        if pitch < 2 {
+            return Err(FabricError::BadSpec(format!(
+                "pitch must be at least 2, got {pitch}"
+            )));
+        }
+        if rows < pitch + 1 || cols < pitch + 1 {
+            return Err(FabricError::BadSpec(format!(
+                "grid {rows}×{cols} smaller than one tile (pitch {pitch})"
+            )));
+        }
+        let mut cells = vec![Cell::Empty; rows as usize * cols as usize];
+        let idx = |r: u16, c: u16| r as usize * cols as usize + c as usize;
+        for r in 0..rows {
+            for c in 0..cols {
+                let on_h = r % pitch == 0;
+                let on_v = c % pitch == 0;
+                cells[idx(r, c)] = match (on_h, on_v) {
+                    (true, true) => Cell::Junction,
+                    (true, false) => Cell::HChannel,
+                    (false, true) => Cell::VChannel,
+                    (false, false) => Cell::Empty,
+                };
+            }
+        }
+        // Traps at tile-interior corners, only where a channel is adjacent
+        // (this guards partial tiles at ragged edges).
+        for r in 1..rows {
+            for c in 1..cols {
+                let (ro, co) = (r % pitch, c % pitch);
+                let corner_row = ro == 1 || ro == pitch - 1;
+                let corner_col = co == 1 || co == pitch - 1;
+                if !(corner_row && corner_col) || ro == 0 || co == 0 {
+                    continue;
+                }
+                let coord = crate::cell::Coord::new(r, c);
+                let has_port = coord
+                    .neighbors(rows, cols)
+                    .any(|n| cells[idx(n.row, n.col)].is_channel());
+                if has_port && cells[idx(r, c)] == Cell::Empty {
+                    cells[idx(r, c)] = Cell::Trap;
+                }
+            }
+        }
+        Fabric::new(rows as usize, cols as usize, cells)
+    }
+}
+
+impl Fabric {
+    /// The 45×85 fabric used for every experiment in the paper (Fig. 4),
+    /// reconstructed as a regular pitch-4 macro-tile layout: 264 junctions,
+    /// 924 traps.
+    ///
+    /// ```
+    /// use qspr_fabric::Fabric;
+    /// let f = Fabric::quale_45x85();
+    /// assert_eq!(f.topology().junctions().len(), 264);
+    /// ```
+    pub fn quale_45x85() -> Fabric {
+        RegularFabricSpec::new(45, 85, 4)
+            .build()
+            .expect("the QUALE spec is statically valid")
+    }
+
+    /// A *linear* QCCD fabric (Kielpinski–Monroe–Wineland style, the
+    /// paper's reference \[7\]): one shared horizontal channel with
+    /// `traps_per_side` traps above and below. There are no junctions —
+    /// qubits never turn — but every relocation contends for the single
+    /// channel, which is exactly why 2D fabrics with multiplexed channels
+    /// win on larger circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traps_per_side == 0` or the width would exceed `u16`.
+    ///
+    /// ```
+    /// use qspr_fabric::Fabric;
+    /// let f = Fabric::linear(6);
+    /// assert_eq!(f.topology().traps().len(), 12);
+    /// assert!(f.topology().junctions().is_empty());
+    /// assert_eq!(f.topology().segments().len(), 1);
+    /// ```
+    pub fn linear(traps_per_side: u16) -> Fabric {
+        assert!(traps_per_side >= 1, "a linear fabric needs traps");
+        let cols = traps_per_side as usize * 2 + 1;
+        let mut cells = vec![Cell::Empty; 3 * cols];
+        for c in 0..cols {
+            cells[cols + c] = Cell::HChannel; // middle row
+            if c % 2 == 1 {
+                cells[c] = Cell::Trap; // above
+                cells[2 * cols + c] = Cell::Trap; // below
+            }
+        }
+        Fabric::new(3, cols, cells).expect("linear layouts are statically valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Coord, Orientation};
+    use crate::topology::SegmentEnd;
+
+    #[test]
+    fn quale_dimensions_and_counts() {
+        let f = Fabric::quale_45x85();
+        assert_eq!((f.rows(), f.cols()), (45, 85));
+        let t = f.topology();
+        // 12 channel rows × 22 channel cols.
+        assert_eq!(t.junctions().len(), 12 * 22);
+        // Tiles: 11 × 21, four traps each.
+        assert_eq!(t.traps().len(), 11 * 21 * 4);
+        // H segments: 12 rows × 21 gaps; V segments: 22 cols × 11 gaps.
+        assert_eq!(t.segments().len(), 12 * 21 + 22 * 11);
+    }
+
+    #[test]
+    fn quale_segments_are_length_3_and_junction_bounded() {
+        let f = Fabric::quale_45x85();
+        for seg in f.topology().segments() {
+            assert_eq!(seg.len(), 3);
+            for end in seg.ends() {
+                assert!(matches!(end, SegmentEnd::Junction(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn quale_interior_junctions_have_degree_4() {
+        let f = Fabric::quale_45x85();
+        let t = f.topology();
+        let mut degree4 = 0;
+        for j in t.junctions() {
+            let Coord { row, col } = j.coord();
+            let interior = row != 0 && row != 44 && col != 0 && col != 84;
+            if interior {
+                assert_eq!(j.degree(), 4);
+                degree4 += 1;
+            } else {
+                assert!(j.degree() >= 2, "edge junction under-connected");
+            }
+        }
+        assert_eq!(degree4, 10 * 20);
+    }
+
+    #[test]
+    fn traps_touch_vertical_or_horizontal_channels() {
+        let f = Fabric::quale_45x85();
+        let t = f.topology();
+        for trap in t.traps() {
+            let port = trap.port();
+            let seg = t.segment(port.segment);
+            assert!(matches!(
+                seg.orientation(),
+                Orientation::Horizontal | Orientation::Vertical
+            ));
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(matches!(
+            RegularFabricSpec::new(45, 85, 1).build(),
+            Err(FabricError::BadSpec(_))
+        ));
+        assert!(matches!(
+            RegularFabricSpec::new(3, 85, 4).build(),
+            Err(FabricError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn minimal_pitch_2_builds() {
+        let f = RegularFabricSpec::new(5, 5, 2).build().unwrap();
+        assert!(!f.topology().traps().is_empty());
+    }
+
+    #[test]
+    fn ragged_edges_still_build() {
+        // 10×11 with pitch 4 leaves partial tiles on the south/east edges.
+        let f = RegularFabricSpec::new(10, 11, 4).build().unwrap();
+        assert!(!f.topology().traps().is_empty());
+        // Round-trips like any other fabric.
+        let g = Fabric::from_ascii(&f.to_ascii()).unwrap();
+        assert_eq!(f, g);
+    }
+}
+
+#[cfg(test)]
+mod linear_tests {
+    use super::*;
+
+    #[test]
+    fn linear_fabric_shape() {
+        let f = Fabric::linear(4);
+        assert_eq!((f.rows(), f.cols()), (3, 9));
+        let t = f.topology();
+        assert_eq!(t.traps().len(), 8);
+        assert!(t.junctions().is_empty());
+        assert_eq!(t.segments().len(), 1);
+        // Every trap ports onto the single shared channel.
+        for trap in t.traps() {
+            assert_eq!(trap.port().segment, crate::topology::SegmentId(0));
+        }
+    }
+
+    #[test]
+    fn linear_fabric_round_trips_ascii() {
+        let f = Fabric::linear(3);
+        let g = Fabric::from_ascii(&f.to_ascii()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs traps")]
+    fn zero_traps_panics() {
+        let _ = Fabric::linear(0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Aggregate fabric metrics: connectivity, distances, diameter.
+
+use crate::cell::Cell;
+use crate::grid::Fabric;
+use crate::topology::SegmentEnd;
+
+/// Summary statistics of a fabric, as printed by the `qspr fabric`
+/// command and used to sanity-check generated layouts.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_fabric::Fabric;
+///
+/// let stats = Fabric::quale_45x85().stats();
+/// assert_eq!(stats.traps, 924);
+/// assert_eq!(stats.junctions, 264);
+/// assert!(stats.connected);
+/// // Crossing the whole 45x85 fabric takes on the order of 120 moves.
+/// assert!(stats.junction_diameter_moves > 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricStats {
+    /// Number of traps.
+    pub traps: usize,
+    /// Number of junctions.
+    pub junctions: usize,
+    /// Number of channel segments.
+    pub segments: usize,
+    /// Total channel cells (the fabric's "wiring area").
+    pub channel_cells: usize,
+    /// Fraction of the die that is empty.
+    pub empty_fraction: f64,
+    /// `true` when every junction can reach every other junction.
+    pub connected: bool,
+    /// Largest junction-to-junction distance in *moves* (cells
+    /// traversed), i.e. the worst-case straight-line component of any
+    /// route across the fabric.
+    pub junction_diameter_moves: u32,
+    /// Largest junction-to-junction distance in *segments* (how many
+    /// channel hops — an upper bound on unavoidable turns is one less).
+    pub junction_diameter_hops: u32,
+    /// Mean Manhattan distance between distinct trap pairs.
+    pub mean_trap_distance: f64,
+}
+
+impl Fabric {
+    /// Computes aggregate metrics (BFS over the junction graph plus
+    /// cell-level counting). Cost is O(junctions · segments) — instant
+    /// for realistic fabrics.
+    pub fn stats(&self) -> FabricStats {
+        let topo = self.topology();
+        let n_j = topo.junctions().len();
+
+        // BFS over junctions, both in hop count and in move distance.
+        let adjacency: Vec<Vec<(usize, u32)>> = (0..n_j)
+            .map(|j| {
+                topo.junctions()[j]
+                    .incident_segments()
+                    .filter_map(|(_, sid)| {
+                        let seg = topo.segment(sid);
+                        let moves = u32::from(seg.len()) + 1;
+                        let other = seg.ends().iter().find_map(|e| match e {
+                            SegmentEnd::Junction(o) if o.index() != j => Some(o.index()),
+                            _ => None,
+                        })?;
+                        Some((other, moves))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut diameter_moves = 0;
+        let mut diameter_hops = 0;
+        let mut connected = n_j <= 1;
+        if n_j > 0 {
+            connected = true;
+            for start in 0..n_j {
+                let mut dist = vec![u32::MAX; n_j];
+                let mut hops = vec![u32::MAX; n_j];
+                dist[start] = 0;
+                hops[start] = 0;
+                // Dijkstra-lite: weights are small; a BFS over hops with
+                // relaxation on moves is enough given uniform segments,
+                // but use a proper priority queue for irregular fabrics.
+                let mut heap = std::collections::BinaryHeap::new();
+                heap.push(std::cmp::Reverse((0u32, start)));
+                while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+                    if d > dist[u] {
+                        continue;
+                    }
+                    for &(v, w) in &adjacency[u] {
+                        if d + w < dist[v] {
+                            dist[v] = d + w;
+                            hops[v] = hops[u] + 1;
+                            heap.push(std::cmp::Reverse((dist[v], v)));
+                        }
+                    }
+                }
+                for j in 0..n_j {
+                    if dist[j] == u32::MAX {
+                        connected = false;
+                    } else {
+                        diameter_moves = diameter_moves.max(dist[j]);
+                        diameter_hops = diameter_hops.max(hops[j]);
+                    }
+                }
+            }
+        }
+
+        // Trap distance statistics.
+        let traps = topo.traps();
+        let mut sum = 0u64;
+        let mut pairs = 0u64;
+        for (i, a) in traps.iter().enumerate() {
+            for b in traps.iter().skip(i + 1) {
+                sum += u64::from(a.coord().manhattan(b.coord()));
+                pairs += 1;
+            }
+        }
+        let mean_trap_distance = if pairs == 0 {
+            0.0
+        } else {
+            sum as f64 / pairs as f64
+        };
+
+        let mut channel_cells = 0;
+        let mut empty = 0usize;
+        for r in 0..self.rows() {
+            for c in 0..self.cols() {
+                match self.cell(crate::cell::Coord::new(r, c)) {
+                    Cell::HChannel | Cell::VChannel => channel_cells += 1,
+                    Cell::Empty => empty += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        FabricStats {
+            traps: traps.len(),
+            junctions: n_j,
+            segments: topo.segments().len(),
+            channel_cells,
+            empty_fraction: empty as f64
+                / (self.rows() as f64 * self.cols() as f64),
+            connected,
+            junction_diameter_moves: diameter_moves,
+            junction_diameter_hops: diameter_hops,
+            mean_trap_distance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quale_fabric_stats() {
+        let s = Fabric::quale_45x85().stats();
+        assert_eq!(s.traps, 924);
+        assert_eq!(s.junctions, 264);
+        assert_eq!(s.segments, 12 * 21 + 22 * 11);
+        assert!(s.connected);
+        // Corner to corner: (44 + 84) cells of travel.
+        assert_eq!(s.junction_diameter_moves, 44 + 84);
+        // 11 + 21 segment hops.
+        assert_eq!(s.junction_diameter_hops, 32);
+        assert!(s.mean_trap_distance > 10.0);
+        assert!(s.empty_fraction > 0.3 && s.empty_fraction < 0.7);
+    }
+
+    #[test]
+    fn disconnected_fabrics_are_detected() {
+        let f = Fabric::from_ascii(
+            ".T....T.\n\
+             +-+..+-+\n",
+        )
+        .unwrap();
+        assert!(!f.stats().connected);
+    }
+
+    #[test]
+    fn single_junction_fabric() {
+        let f = Fabric::from_ascii(
+            "..|..\n\
+             T.|..\n\
+             --+--\n\
+             ..|.T\n\
+             ..|..\n",
+        )
+        .unwrap();
+        let s = f.stats();
+        assert_eq!(s.junctions, 1);
+        assert!(s.connected);
+        assert_eq!(s.junction_diameter_moves, 0);
+    }
+
+    #[test]
+    fn channel_cells_counted() {
+        let f = Fabric::from_ascii(".T.\n+-+\n").unwrap();
+        let s = f.stats();
+        assert_eq!(s.channel_cells, 1);
+        assert_eq!(s.junctions, 2);
+        assert_eq!(s.traps, 1);
+        assert!(s.connected);
+        assert_eq!(s.junction_diameter_moves, 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! Qubit placers for the QSPR mapper (paper §IV.A).
+//!
+//! Placement decides which fabric trap each program qubit initially
+//! occupies; it dominates the routing and congestion costs of the mapped
+//! circuit. Three strategies are provided:
+//!
+//! * **center placement** — QUALE's heuristic: qubits go to the traps
+//!   nearest the fabric center ([`qspr_sim::Placement::center`]);
+//! * **Monte Carlo** ([`MonteCarloPlacer`]) — the paper's comparison
+//!   baseline: try many random permutations of the center traps, keep the
+//!   best;
+//! * **MVFB** ([`MvfbPlacer`]) — the paper's contribution, *Multi-start
+//!   Variable-length Forward/Backward*: quantum circuits are reversible,
+//!   so a forward execution of the QIDG from placement `P` yields a
+//!   placement `P'` from which the *uncompute* program (UIDG) can be
+//!   executed backwards, yielding `P''`, and so on. Each pass is a
+//!   *placement run*; a seed's local search stops after
+//!   [`MvfbConfig::patience`] consecutive non-improving runs, and the best
+//!   pass over all `m` random seeds wins. If the best pass was backward,
+//!   the reported control trace is its reversal (§IV.A).
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr_fabric::{Fabric, TechParams};
+//! use qspr_qasm::Program;
+//! use qspr_place::{MvfbConfig, MvfbPlacer};
+//! use qspr_sim::{Mapper, MapperPolicy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fabric = Fabric::quale_45x85();
+//! let tech = TechParams::date2012();
+//! let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+//! let program = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n")?;
+//!
+//! let placer = MvfbPlacer::new(MvfbConfig::new(2, 7));
+//! let solution = placer.place(&mapper, &program)?;
+//! assert!(solution.latency > 0);
+//! assert!(solution.runs >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod monte_carlo;
+mod mvfb;
+
+pub use monte_carlo::{MonteCarloPlacer, PlacerSolution};
+pub use mvfb::{MvfbConfig, MvfbPlacer, MvfbSolution, PassDirection};

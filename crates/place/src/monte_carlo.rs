@@ -1,0 +1,176 @@
+//! The Monte Carlo placer (paper §V.A): best of N random center
+//! permutations.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qspr_fabric::Time;
+use qspr_qasm::Program;
+use qspr_sim::{MapError, Mapper, Placement};
+
+/// Result of a simple (single-direction) placement search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacerSolution {
+    /// Best execution latency found.
+    pub latency: Time,
+    /// The initial placement that achieved it.
+    pub placement: Placement,
+    /// Number of placement runs executed.
+    pub runs: usize,
+    /// Wall-clock time spent.
+    pub cpu: Duration,
+}
+
+/// The paper's Monte Carlo baseline placer: `runs` random permutations of
+/// the center traps are mapped; the cheapest wins.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_fabric::{Fabric, TechParams};
+/// use qspr_place::MonteCarloPlacer;
+/// use qspr_qasm::Program;
+/// use qspr_sim::{Mapper, MapperPolicy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fabric = Fabric::quale_45x85();
+/// let tech = TechParams::date2012();
+/// let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+/// let program = Program::parse("QUBIT a\nQUBIT b\nC-X a,b\n")?;
+/// let best = MonteCarloPlacer::new(5, 42).place(&mapper, &program)?;
+/// assert_eq!(best.runs, 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarloPlacer {
+    runs: usize,
+    rng_seed: u64,
+}
+
+impl MonteCarloPlacer {
+    /// A placer that evaluates `runs` random center permutations, drawn
+    /// deterministically from `rng_seed`.
+    pub fn new(runs: usize, rng_seed: u64) -> MonteCarloPlacer {
+        MonteCarloPlacer { runs, rng_seed }
+    }
+
+    /// Number of placement runs this placer will execute.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MapError`] (e.g. a stalled mapping on a
+    /// degenerate fabric). `runs == 0` is reported as a stall, since no
+    /// placement was ever produced.
+    pub fn place(
+        &self,
+        mapper: &Mapper<'_>,
+        program: &Program,
+    ) -> Result<PlacerSolution, MapError> {
+        let started = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.rng_seed);
+        let mut best: Option<(Time, Placement)> = None;
+        for _ in 0..self.runs {
+            let placement = Placement::center_permutation(
+                mapper.fabric(),
+                program.num_qubits(),
+                &mut rng,
+            );
+            let outcome = mapper.map(program, &placement)?;
+            if best
+                .as_ref()
+                .map_or(true, |(l, _)| outcome.latency() < *l)
+            {
+                best = Some((outcome.latency(), placement));
+            }
+        }
+        let (latency, placement) = best.ok_or(MapError::Stalled {
+            remaining: program.instructions().len(),
+        })?;
+        Ok(PlacerSolution {
+            latency,
+            placement,
+            runs: self.runs,
+            cpu: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qspr_fabric::{Fabric, TechParams};
+    use qspr_sim::MapperPolicy;
+
+    const FIG3: &str = "\
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+";
+
+    #[test]
+    fn more_runs_never_hurt() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let program = Program::parse(FIG3).unwrap();
+        let few = MonteCarloPlacer::new(2, 7).place(&mapper, &program).unwrap();
+        let many = MonteCarloPlacer::new(8, 7).place(&mapper, &program).unwrap();
+        // Same RNG stream: the first 2 permutations are a subset of the 8.
+        assert!(many.latency <= few.latency);
+        assert_eq!(many.runs, 8);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let program = Program::parse(FIG3).unwrap();
+        let a = MonteCarloPlacer::new(4, 3).place(&mapper, &program).unwrap();
+        let b = MonteCarloPlacer::new(4, 3).place(&mapper, &program).unwrap();
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn best_placement_reproduces_latency() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let program = Program::parse(FIG3).unwrap();
+        let sol = MonteCarloPlacer::new(4, 11).place(&mapper, &program).unwrap();
+        let outcome = mapper.map(&program, &sol.placement).unwrap();
+        assert_eq!(outcome.latency(), sol.latency);
+    }
+
+    #[test]
+    fn zero_runs_is_an_error() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let program = Program::parse(FIG3).unwrap();
+        assert!(MonteCarloPlacer::new(0, 1).place(&mapper, &program).is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! The MVFB placer: Multi-start Variable-length Forward/Backward
+//! (paper §IV.A).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qspr_fabric::Time;
+use qspr_qasm::Program;
+use qspr_sim::{MapError, Mapper, MappingOutcome, Placement, Trace};
+
+/// Whether a winning MVFB pass executed the QIDG (forward) or the
+/// uncompute UIDG (backward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassDirection {
+    /// The pass mapped the original program.
+    Forward,
+    /// The pass mapped the reversed (uncompute) program; the reported
+    /// control trace is its time-reversal.
+    Backward,
+}
+
+/// MVFB tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvfbConfig {
+    /// Number of random center-placement seeds (the paper's `m`).
+    pub seeds: usize,
+    /// Stop a seed's local search after this many consecutive
+    /// non-improving placement runs (the paper uses 3).
+    pub patience: usize,
+    /// Hard safety cap on passes per seed.
+    pub max_passes_per_seed: usize,
+    /// RNG seed making the whole search reproducible.
+    pub rng_seed: u64,
+}
+
+impl MvfbConfig {
+    /// A config with `seeds` starts and the paper's patience of 3.
+    pub fn new(seeds: usize, rng_seed: u64) -> MvfbConfig {
+        MvfbConfig {
+            seeds,
+            patience: 3,
+            max_passes_per_seed: 64,
+            rng_seed,
+        }
+    }
+}
+
+/// The result of an MVFB search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvfbSolution {
+    /// Best execution latency over every forward and backward pass.
+    pub latency: Time,
+    /// Direction of the winning pass.
+    pub direction: PassDirection,
+    /// The placement the winning pass started from. Re-mapping the
+    /// program (or its reverse, per `direction`) from here reproduces
+    /// `latency` exactly.
+    pub initial_placement: Placement,
+    /// Total number of placement runs (forward + backward passes) across
+    /// all seeds — the paper's `m'`, and the budget handed to the Monte
+    /// Carlo placer for the equal-effort comparison of Table 1.
+    pub runs: usize,
+    /// Wall-clock time spent.
+    pub cpu: Duration,
+}
+
+impl MvfbSolution {
+    /// Re-runs the winning pass with trace recording and returns the
+    /// outcome together with a *forward-executing* control trace: the
+    /// pass's own trace when it was forward, its reversal when backward
+    /// (the paper's "reverse of `T'_k`").
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors (none are expected, since the winning
+    /// pass already mapped successfully once).
+    pub fn replay(
+        &self,
+        mapper: &Mapper<'_>,
+        program: &Program,
+    ) -> Result<(MappingOutcome, Trace), MapError> {
+        let tracing = mapper.clone().record_trace(true);
+        let outcome = match self.direction {
+            PassDirection::Forward => tracing.map(program, &self.initial_placement)?,
+            PassDirection::Backward => {
+                tracing.map(&program.reversed(), &self.initial_placement)?
+            }
+        };
+        let trace = outcome.trace().expect("trace recording was enabled");
+        let forward = match self.direction {
+            PassDirection::Forward => trace.clone(),
+            PassDirection::Backward => trace.reversed(),
+        };
+        Ok((outcome, forward))
+    }
+}
+
+/// The Multi-start Variable-length Forward/Backward placer.
+///
+/// For each of `m` random center placements, alternate forward passes of
+/// the program and backward passes of its uncompute, feeding each pass's
+/// final placement to the next, until [`MvfbConfig::patience`] consecutive
+/// passes fail to improve the seed's best. The globally best pass wins.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvfbPlacer {
+    config: MvfbConfig,
+}
+
+impl MvfbPlacer {
+    /// Creates the placer.
+    pub fn new(config: MvfbConfig) -> MvfbPlacer {
+        MvfbPlacer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MvfbConfig {
+        &self.config
+    }
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MapError`]; reports a stall when configured
+    /// with zero seeds.
+    pub fn place(
+        &self,
+        mapper: &Mapper<'_>,
+        program: &Program,
+    ) -> Result<MvfbSolution, MapError> {
+        let started = Instant::now();
+        let reversed = program.reversed();
+        let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+        let mut best: Option<(Time, PassDirection, Placement)> = None;
+        let mut total_runs = 0usize;
+
+        for _ in 0..self.config.seeds {
+            // Derive a per-seed stream so seeds are independent of how
+            // many passes earlier seeds consumed.
+            let mut seed_rng = StdRng::seed_from_u64(rng.gen());
+            let mut placement = Placement::center_permutation(
+                mapper.fabric(),
+                program.num_qubits(),
+                &mut seed_rng,
+            );
+            let mut seed_best = Time::MAX;
+            let mut stale = 0usize;
+            let mut forward = true;
+            for _ in 0..self.config.max_passes_per_seed {
+                let prog = if forward { program } else { &reversed };
+                let outcome = mapper.map(prog, &placement)?;
+                total_runs += 1;
+                let latency = outcome.latency();
+                let direction = if forward {
+                    PassDirection::Forward
+                } else {
+                    PassDirection::Backward
+                };
+                if best
+                    .as_ref()
+                    .map_or(true, |(l, _, _)| latency < *l)
+                {
+                    best = Some((latency, direction, placement.clone()));
+                }
+                if latency < seed_best {
+                    seed_best = latency;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= self.config.patience {
+                        break;
+                    }
+                }
+                placement = outcome.final_placement().clone();
+                forward = !forward;
+            }
+        }
+
+        let (latency, direction, initial_placement) = best.ok_or(MapError::Stalled {
+            remaining: program.instructions().len(),
+        })?;
+        Ok(MvfbSolution {
+            latency,
+            direction,
+            initial_placement,
+            runs: total_runs,
+            cpu: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qspr_fabric::{Fabric, TechParams};
+    use qspr_sim::{validate_trace, MapperPolicy};
+
+    const FIG3: &str = "\
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+";
+
+    fn setup() -> (Fabric, TechParams, Program) {
+        (
+            Fabric::quale_45x85(),
+            TechParams::date2012(),
+            Program::parse(FIG3).unwrap(),
+        )
+    }
+
+    #[test]
+    fn finds_a_solution_and_counts_runs() {
+        let (fabric, tech, program) = setup();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let sol = MvfbPlacer::new(MvfbConfig::new(2, 5))
+            .place(&mapper, &program)
+            .unwrap();
+        // Each seed performs at least patience+1 = 4 passes before giving
+        // up (the first pass always "improves" from Time::MAX).
+        assert!(sol.runs >= 2 * 4, "got {} runs", sol.runs);
+        assert!(sol.latency > 0);
+    }
+
+    #[test]
+    fn solution_reproduces_latency() {
+        let (fabric, tech, program) = setup();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let sol = MvfbPlacer::new(MvfbConfig::new(2, 5))
+            .place(&mapper, &program)
+            .unwrap();
+        let prog = match sol.direction {
+            PassDirection::Forward => program.clone(),
+            PassDirection::Backward => program.reversed(),
+        };
+        let outcome = mapper.map(&prog, &sol.initial_placement).unwrap();
+        assert_eq!(outcome.latency(), sol.latency);
+    }
+
+    #[test]
+    fn replay_returns_a_valid_forward_trace() {
+        let (fabric, tech, program) = setup();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let sol = MvfbPlacer::new(MvfbConfig::new(2, 5))
+            .place(&mapper, &program)
+            .unwrap();
+        let (outcome, forward_trace) = sol.replay(&mapper, &program).unwrap();
+        assert_eq!(outcome.latency(), sol.latency);
+        assert_eq!(forward_trace.len(), outcome.trace().unwrap().len());
+        if sol.direction == PassDirection::Forward {
+            // A forward-pass trace must replay cleanly against the program.
+            validate_trace(
+                &fabric,
+                &program,
+                &sol.initial_placement,
+                &forward_trace,
+                &tech,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (fabric, tech, program) = setup();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let placer = MvfbPlacer::new(MvfbConfig::new(2, 9));
+        let a = placer.place(&mapper, &program).unwrap();
+        let b = placer.place(&mapper, &program).unwrap();
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.initial_placement, b.initial_placement);
+    }
+
+    #[test]
+    fn more_seeds_never_hurt() {
+        let (fabric, tech, program) = setup();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let few = MvfbPlacer::new(MvfbConfig::new(1, 5))
+            .place(&mapper, &program)
+            .unwrap();
+        let many = MvfbPlacer::new(MvfbConfig::new(4, 5))
+            .place(&mapper, &program)
+            .unwrap();
+        // Not guaranteed in general (different RNG draws), but with the
+        // shared prefix stream the first seed coincides.
+        assert!(many.latency <= few.latency);
+        assert!(many.runs > few.runs);
+    }
+
+    #[test]
+    fn zero_seeds_is_an_error() {
+        let (fabric, tech, program) = setup();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        assert!(MvfbPlacer::new(MvfbConfig::new(0, 1))
+            .place(&mapper, &program)
+            .is_err());
+    }
+
+    #[test]
+    fn beats_or_matches_plain_center_placement() {
+        let (fabric, tech, program) = setup();
+        let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+        let center = mapper
+            .map(&program, &Placement::center(&fabric, 5))
+            .unwrap()
+            .latency();
+        let sol = MvfbPlacer::new(MvfbConfig::new(3, 2))
+            .place(&mapper, &program)
+            .unwrap();
+        // MVFB explores many placements; it should not lose to the single
+        // deterministic center placement by much. (It searches random
+        // permutations, so allow equality either way.)
+        assert!(sol.latency <= center + center / 2);
+    }
+}

@@ -1,0 +1,413 @@
+//! Program representation: qubits, instructions, and the uncompute
+//! transformation.
+
+use std::fmt;
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::gate::{Gate, GateArity};
+
+/// Identifier of a qubit inside a [`Program`], a dense index.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qasm::{Program, QubitId};
+///
+/// let mut program = Program::new();
+/// let q = program.add_qubit("q0").unwrap();
+/// assert_eq!(q, QubitId(0));
+/// assert_eq!(program.qubit_name(q), "q0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QubitId(pub u32);
+
+impl QubitId {
+    /// The dense index of this qubit, usable for array indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q#{}", self.0)
+    }
+}
+
+/// A qubit declaration (`QUBIT name[,initial]` in QASM).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QubitDecl {
+    name: String,
+    initial: Option<u8>,
+}
+
+impl QubitDecl {
+    /// The declared name, e.g. `q3`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The optional declared initial classical value (`0` or `1`).
+    pub fn initial(&self) -> Option<u8> {
+        self.initial
+    }
+}
+
+/// Operand list of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operands {
+    /// A single-qubit operation.
+    One(QubitId),
+    /// A two-qubit operation. In the paper's terminology the control is the
+    /// *source* qubit and the target the *destination* qubit.
+    Two {
+        /// Control / source operand (moves in single-movement policies).
+        control: QubitId,
+        /// Target / destination operand.
+        target: QubitId,
+    },
+}
+
+impl Operands {
+    /// Qubits referenced by the operation, in declaration order.
+    pub fn qubits(&self) -> impl Iterator<Item = QubitId> + '_ {
+        let (a, b) = match *self {
+            Operands::One(q) => (q, None),
+            Operands::Two { control, target } => (control, Some(target)),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// Number of qubit operands (1 or 2).
+    pub fn len(&self) -> usize {
+        match self {
+            Operands::One(_) => 1,
+            Operands::Two { .. } => 2,
+        }
+    }
+
+    /// Always `false`; an instruction has at least one operand.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// One gate-level instruction of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instruction {
+    /// The gate to apply.
+    pub gate: Gate,
+    /// Its qubit operands.
+    pub operands: Operands,
+}
+
+impl Instruction {
+    /// Qubits touched by this instruction.
+    pub fn qubits(&self) -> impl Iterator<Item = QubitId> + '_ {
+        self.operands.qubits()
+    }
+
+    /// The inverse instruction (same operands, inverse gate), used when
+    /// constructing the uncompute program.
+    pub fn inverse(&self) -> Instruction {
+        Instruction {
+            gate: self.gate.inverse(),
+            operands: self.operands,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.operands {
+            Operands::One(q) => write!(f, "{} {}", self.gate, q),
+            Operands::Two { control, target } => {
+                write!(f, "{} {},{}", self.gate, control, target)
+            }
+        }
+    }
+}
+
+/// A QASM program: an ordered list of qubit declarations followed by
+/// gate-level instructions.
+///
+/// Construction enforces the invariants the rest of the mapper relies on:
+/// qubit names are unique, every instruction references declared qubits,
+/// and two-qubit instructions have distinct operands.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qasm::{Gate, Program};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut program = Program::new();
+/// let a = program.add_qubit("a")?;
+/// let b = program.add_qubit("b")?;
+/// program.apply1(Gate::H, a)?;
+/// program.apply2(Gate::CX, a, b)?;
+/// assert_eq!(program.two_qubit_gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    qubits: Vec<QubitDecl>,
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Declares a qubit with no initial value annotation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is empty or already declared.
+    pub fn add_qubit(&mut self, name: &str) -> Result<QubitId, ParseError> {
+        self.add_qubit_with_initial(name, None)
+    }
+
+    /// Declares a qubit with an optional initial value (`QUBIT q0,0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is empty or already declared, or the
+    /// initial value is not 0/1.
+    pub fn add_qubit_with_initial(
+        &mut self,
+        name: &str,
+        initial: Option<u8>,
+    ) -> Result<QubitId, ParseError> {
+        if name.is_empty() {
+            return Err(ParseError::internal(ParseErrorKind::EmptyQubitName));
+        }
+        if self.qubit_id(name).is_some() {
+            return Err(ParseError::internal(ParseErrorKind::DuplicateQubit(
+                name.to_owned(),
+            )));
+        }
+        if let Some(v) = initial {
+            if v > 1 {
+                return Err(ParseError::internal(ParseErrorKind::BadInitialValue(v)));
+            }
+        }
+        let id = QubitId(self.qubits.len() as u32);
+        self.qubits.push(QubitDecl {
+            name: name.to_owned(),
+            initial,
+        });
+        Ok(id)
+    }
+
+    /// Appends a single-qubit instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gate is not single-qubit or the qubit is not
+    /// declared.
+    pub fn apply1(&mut self, gate: Gate, qubit: QubitId) -> Result<(), ParseError> {
+        if gate.arity() != GateArity::One {
+            return Err(ParseError::internal(ParseErrorKind::ArityMismatch {
+                gate,
+                given: 1,
+            }));
+        }
+        self.check_declared(qubit)?;
+        self.instructions.push(Instruction {
+            gate,
+            operands: Operands::One(qubit),
+        });
+        Ok(())
+    }
+
+    /// Appends a two-qubit instruction (`control` is the paper's *source*).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gate is not two-qubit, either qubit is
+    /// undeclared, or the operands coincide.
+    pub fn apply2(
+        &mut self,
+        gate: Gate,
+        control: QubitId,
+        target: QubitId,
+    ) -> Result<(), ParseError> {
+        if gate.arity() != GateArity::Two {
+            return Err(ParseError::internal(ParseErrorKind::ArityMismatch {
+                gate,
+                given: 2,
+            }));
+        }
+        self.check_declared(control)?;
+        self.check_declared(target)?;
+        if control == target {
+            return Err(ParseError::internal(ParseErrorKind::RepeatedOperand));
+        }
+        self.instructions.push(Instruction {
+            gate,
+            operands: Operands::Two { control, target },
+        });
+        Ok(())
+    }
+
+    fn check_declared(&self, qubit: QubitId) -> Result<(), ParseError> {
+        if qubit.index() < self.qubits.len() {
+            Ok(())
+        } else {
+            Err(ParseError::internal(ParseErrorKind::UndeclaredQubit(
+                format!("{qubit}"),
+            )))
+        }
+    }
+
+    /// Number of declared qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// The declared qubits, in declaration order.
+    pub fn qubits(&self) -> &[QubitDecl] {
+        &self.qubits
+    }
+
+    /// The instruction list, in program order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Looks up a qubit id by declared name.
+    pub fn qubit_id(&self, name: &str) -> Option<QubitId> {
+        self.qubits
+            .iter()
+            .position(|q| q.name == name)
+            .map(|i| QubitId(i as u32))
+    }
+
+    /// The declared name of `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` was not declared in this program.
+    pub fn qubit_name(&self, qubit: QubitId) -> &str {
+        &self.qubits[qubit.index()].name
+    }
+
+    /// Count of two-qubit instructions (the expensive ones to map).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.is_two_qubit())
+            .count()
+    }
+
+    /// Count of single-qubit instructions.
+    pub fn one_qubit_gate_count(&self) -> usize {
+        self.instructions.len() - self.two_qubit_gate_count()
+    }
+
+    /// The *uncompute* program: instructions in reverse order, each replaced
+    /// by its inverse. Executing it undoes this program; the QSPR MVFB
+    /// placer alternates between the two (QIDG and UIDG in the paper).
+    ///
+    /// ```
+    /// use qspr_qasm::Program;
+    /// let p = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n").unwrap();
+    /// let u = p.reversed();
+    /// assert_eq!(u.reversed(), p);
+    /// ```
+    pub fn reversed(&self) -> Program {
+        Program {
+            qubits: self.qubits.clone(),
+            instructions: self.instructions.iter().rev().map(|i| i.inverse()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        let a = p.add_qubit_with_initial("a", Some(0)).unwrap();
+        let b = p.add_qubit("b").unwrap();
+        p.apply1(Gate::H, a).unwrap();
+        p.apply1(Gate::S, b).unwrap();
+        p.apply2(Gate::CX, a, b).unwrap();
+        p
+    }
+
+    #[test]
+    fn qubit_lookup_round_trips() {
+        let p = sample();
+        for decl in p.qubits() {
+            let id = p.qubit_id(decl.name()).unwrap();
+            assert_eq!(p.qubit_name(id), decl.name());
+        }
+        assert!(p.qubit_id("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_qubit_rejected() {
+        let mut p = Program::new();
+        p.add_qubit("a").unwrap();
+        assert!(p.add_qubit("a").is_err());
+    }
+
+    #[test]
+    fn bad_initial_value_rejected() {
+        let mut p = Program::new();
+        assert!(p.add_qubit_with_initial("a", Some(2)).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut p = Program::new();
+        let a = p.add_qubit("a").unwrap();
+        let b = p.add_qubit("b").unwrap();
+        assert!(p.apply1(Gate::CX, a).is_err());
+        assert!(p.apply2(Gate::H, a, b).is_err());
+    }
+
+    #[test]
+    fn repeated_operand_rejected() {
+        let mut p = Program::new();
+        let a = p.add_qubit("a").unwrap();
+        p.add_qubit("b").unwrap();
+        assert!(p.apply2(Gate::CX, a, a).is_err());
+    }
+
+    #[test]
+    fn undeclared_operand_rejected() {
+        let mut p = Program::new();
+        let a = p.add_qubit("a").unwrap();
+        assert!(p.apply1(Gate::H, QubitId(4)).is_err());
+        assert!(p.apply2(Gate::CZ, a, QubitId(9)).is_err());
+    }
+
+    #[test]
+    fn gate_counts() {
+        let p = sample();
+        assert_eq!(p.one_qubit_gate_count(), 2);
+        assert_eq!(p.two_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    fn reversed_is_involutive() {
+        let p = sample();
+        assert_eq!(p.reversed().reversed(), p);
+    }
+
+    #[test]
+    fn reversed_reverses_order_and_inverts() {
+        let p = sample();
+        let u = p.reversed();
+        assert_eq!(u.instructions()[0].gate, Gate::CX);
+        assert_eq!(u.instructions()[1].gate, Gate::Sdg);
+        assert_eq!(u.instructions()[2].gate, Gate::H);
+    }
+}

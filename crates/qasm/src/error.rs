@@ -1,0 +1,133 @@
+//! Parse and construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::Gate;
+
+/// Why a line of QASM (or a programmatic construction) was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The gate mnemonic is not recognized.
+    UnknownGate(String),
+    /// The instruction referenced a qubit that was never declared.
+    UndeclaredQubit(String),
+    /// A qubit was declared twice.
+    DuplicateQubit(String),
+    /// Qubit declared with an empty name.
+    EmptyQubitName,
+    /// `QUBIT q,v` with `v` outside {0, 1}.
+    BadInitialValue(u8),
+    /// Gate applied with the wrong number of operands.
+    ArityMismatch {
+        /// The offending gate.
+        gate: Gate,
+        /// Number of operands supplied.
+        given: usize,
+    },
+    /// Two-qubit gate applied to the same qubit twice.
+    RepeatedOperand,
+    /// A `QUBIT` declaration appeared after gate instructions.
+    LateDeclaration,
+    /// Line could not be tokenized as `MNEMONIC operand[,operand]`.
+    Malformed,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnknownGate(g) => write!(f, "unknown gate mnemonic `{g}`"),
+            ParseErrorKind::UndeclaredQubit(q) => write!(f, "undeclared qubit `{q}`"),
+            ParseErrorKind::DuplicateQubit(q) => write!(f, "qubit `{q}` declared twice"),
+            ParseErrorKind::EmptyQubitName => write!(f, "empty qubit name"),
+            ParseErrorKind::BadInitialValue(v) => {
+                write!(f, "initial value {v} is not 0 or 1")
+            }
+            ParseErrorKind::ArityMismatch { gate, given } => write!(
+                f,
+                "gate `{gate}` takes {} operand(s), {given} given",
+                match gate.arity() {
+                    crate::gate::GateArity::One => 1,
+                    crate::gate::GateArity::Two => 2,
+                }
+            ),
+            ParseErrorKind::RepeatedOperand => {
+                write!(f, "two-qubit gate applied to the same qubit twice")
+            }
+            ParseErrorKind::LateDeclaration => {
+                write!(f, "qubit declaration after gate instructions")
+            }
+            ParseErrorKind::Malformed => write!(f, "malformed instruction"),
+        }
+    }
+}
+
+/// Error returned by [`crate::Program::parse`] and the `Program` builder
+/// methods, carrying the 1-based source line when available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: Option<usize>,
+    kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// Error at a specific 1-based source line.
+    pub fn at_line(line: usize, kind: ParseErrorKind) -> ParseError {
+        ParseError {
+            line: Some(line),
+            kind,
+        }
+    }
+
+    /// Error with no source location (programmatic construction).
+    pub fn internal(kind: ParseErrorKind) -> ParseError {
+        ParseError { line: None, kind }
+    }
+
+    /// The 1-based line the error occurred on, if parsing text.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// The reason for the failure.
+    pub fn kind(&self) -> &ParseErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.kind),
+            None => self.kind.fmt(f),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::at_line(7, ParseErrorKind::Malformed);
+        assert_eq!(e.to_string(), "line 7: malformed instruction");
+        assert_eq!(e.line(), Some(7));
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = ParseError::internal(ParseErrorKind::EmptyQubitName);
+        assert_eq!(e.to_string(), "empty qubit name");
+        assert_eq!(e.line(), None);
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ParseError>();
+    }
+}

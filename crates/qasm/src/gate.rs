@@ -1,0 +1,238 @@
+//! The gate set understood by the mapper.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseErrorKind;
+
+/// Number of qubit operands a gate takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateArity {
+    /// Gate acts on a single qubit inside one trap.
+    One,
+    /// Gate acts on two qubits that must be brought into the same trap.
+    Two,
+}
+
+/// A quantum gate-level operation.
+///
+/// The set is a superset of the gates used by the QSPR paper's benchmarks
+/// (`H`, `C-X`, `C-Y`, `C-Z`) extended with the common Clifford+T
+/// single-qubit gates, preparation/measurement and `SWAP` so that the
+/// parser accepts realistic synthesized QASM.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qasm::{Gate, GateArity};
+///
+/// assert_eq!(Gate::CX.arity(), GateArity::Two);
+/// assert_eq!(Gate::S.inverse(), Gate::Sdg);
+/// assert_eq!("C-X".parse::<Gate>().unwrap(), Gate::CX);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Gate {
+    /// Hadamard.
+    H,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Phase gate (√Z).
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// π/8 gate (√S).
+    T,
+    /// Inverse π/8 gate.
+    Tdg,
+    /// Preparation of |0⟩ in the Z basis.
+    PrepZ,
+    /// Measurement in the Z basis.
+    MeasZ,
+    /// Controlled-X (CNOT). First operand is the control (source), second
+    /// the target (destination), matching the paper's `C-X c,t` syntax.
+    CX,
+    /// Controlled-Y.
+    CY,
+    /// Controlled-Z.
+    CZ,
+    /// Swap of two qubits.
+    Swap,
+}
+
+impl Gate {
+    /// All gates, in a stable order. Useful for exhaustive tests.
+    pub const ALL: [Gate; 14] = [
+        Gate::H,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::S,
+        Gate::Sdg,
+        Gate::T,
+        Gate::Tdg,
+        Gate::PrepZ,
+        Gate::MeasZ,
+        Gate::CX,
+        Gate::CY,
+        Gate::CZ,
+        Gate::Swap,
+    ];
+
+    /// Returns how many qubits this gate operates on.
+    ///
+    /// ```
+    /// use qspr_qasm::{Gate, GateArity};
+    /// assert_eq!(Gate::H.arity(), GateArity::One);
+    /// assert_eq!(Gate::Swap.arity(), GateArity::Two);
+    /// ```
+    pub fn arity(self) -> GateArity {
+        match self {
+            Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::PrepZ
+            | Gate::MeasZ => GateArity::One,
+            Gate::CX | Gate::CY | Gate::CZ | Gate::Swap => GateArity::Two,
+        }
+    }
+
+    /// `true` when the gate needs two qubits co-located in one trap.
+    pub fn is_two_qubit(self) -> bool {
+        self.arity() == GateArity::Two
+    }
+
+    /// The inverse gate, used to build the *uncompute* program (UIDG).
+    ///
+    /// Preparation and measurement are mapped onto each other: undoing a
+    /// Z-basis preparation is a Z-basis measurement in the reverse-executed
+    /// program, and vice versa. All other gates in the set are either
+    /// self-inverse or have their inverse in the set.
+    ///
+    /// ```
+    /// use qspr_qasm::Gate;
+    /// for gate in Gate::ALL {
+    ///     assert_eq!(gate.inverse().inverse(), gate);
+    /// }
+    /// ```
+    pub fn inverse(self) -> Gate {
+        match self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::PrepZ => Gate::MeasZ,
+            Gate::MeasZ => Gate::PrepZ,
+            other => other,
+        }
+    }
+
+    /// Canonical QASM mnemonic, matching the paper's spelling.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Gate::H => "H",
+            Gate::X => "X",
+            Gate::Y => "Y",
+            Gate::Z => "Z",
+            Gate::S => "S",
+            Gate::Sdg => "Sdg",
+            Gate::T => "T",
+            Gate::Tdg => "Tdg",
+            Gate::PrepZ => "PrepZ",
+            Gate::MeasZ => "MeasZ",
+            Gate::CX => "C-X",
+            Gate::CY => "C-Y",
+            Gate::CZ => "C-Z",
+            Gate::Swap => "SWAP",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for Gate {
+    type Err = ParseErrorKind;
+
+    /// Parses a gate mnemonic, case-insensitively, accepting the common
+    /// aliases found in QASM dialects (`CNOT` for `C-X`, `MEASURE` for
+    /// `MeasZ`, …).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let upper = s.to_ascii_uppercase();
+        Ok(match upper.as_str() {
+            "H" => Gate::H,
+            "X" | "NOT" => Gate::X,
+            "Y" => Gate::Y,
+            "Z" => Gate::Z,
+            "S" | "P" => Gate::S,
+            "SDG" | "SDAG" | "S-DAG" => Gate::Sdg,
+            "T" => Gate::T,
+            "TDG" | "TDAG" | "T-DAG" => Gate::Tdg,
+            "PREPZ" | "PREP" => Gate::PrepZ,
+            "MEASZ" | "MEASURE" | "MEAS" => Gate::MeasZ,
+            "C-X" | "CX" | "CNOT" => Gate::CX,
+            "C-Y" | "CY" => Gate::CY,
+            "C-Z" | "CZ" | "CPHASE" => Gate::CZ,
+            "SWAP" => Gate::Swap,
+            _ => return Err(ParseErrorKind::UnknownGate(s.to_owned())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_operand_count() {
+        assert_eq!(Gate::H.arity(), GateArity::One);
+        assert_eq!(Gate::MeasZ.arity(), GateArity::One);
+        assert_eq!(Gate::CX.arity(), GateArity::Two);
+        assert_eq!(Gate::CZ.arity(), GateArity::Two);
+    }
+
+    #[test]
+    fn inverse_is_an_involution() {
+        for gate in Gate::ALL {
+            assert_eq!(gate.inverse().inverse(), gate, "gate {gate}");
+        }
+    }
+
+    #[test]
+    fn inverse_preserves_arity() {
+        for gate in Gate::ALL {
+            assert_eq!(gate.inverse().arity(), gate.arity(), "gate {gate}");
+        }
+    }
+
+    #[test]
+    fn paper_mnemonics_round_trip() {
+        for gate in Gate::ALL {
+            let parsed: Gate = gate.mnemonic().parse().unwrap();
+            assert_eq!(parsed, gate);
+        }
+    }
+
+    #[test]
+    fn aliases_are_accepted() {
+        assert_eq!("cnot".parse::<Gate>().unwrap(), Gate::CX);
+        assert_eq!("MEASURE".parse::<Gate>().unwrap(), Gate::MeasZ);
+        assert_eq!("cphase".parse::<Gate>().unwrap(), Gate::CZ);
+    }
+
+    #[test]
+    fn unknown_gate_is_rejected() {
+        assert!("FROB".parse::<Gate>().is_err());
+    }
+}

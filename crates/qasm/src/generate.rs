@@ -1,0 +1,144 @@
+//! Deterministic random program generation, used by tests, fuzzing and the
+//! scalability benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ast::{Program, QubitId};
+use crate::gate::Gate;
+
+/// Shape parameters for [`random_program`].
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qasm::{random_program, RandomProgramConfig};
+///
+/// let config = RandomProgramConfig::new(8, 60).two_qubit_fraction(0.75);
+/// let program = random_program(&config, 42);
+/// assert_eq!(program.num_qubits(), 8);
+/// assert_eq!(program.instructions().len(), 60);
+/// // Same seed, same program.
+/// assert_eq!(random_program(&config, 42), program);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomProgramConfig {
+    num_qubits: usize,
+    num_gates: usize,
+    two_qubit_fraction: f64,
+}
+
+impl RandomProgramConfig {
+    /// A program over `num_qubits` qubits with `num_gates` instructions and
+    /// the default two-qubit fraction of 0.6 (typical of QECC encoders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0`, since a program needs operands.
+    pub fn new(num_qubits: usize, num_gates: usize) -> RandomProgramConfig {
+        assert!(num_qubits > 0, "programs need at least one qubit");
+        RandomProgramConfig {
+            num_qubits,
+            num_gates,
+            two_qubit_fraction: 0.6,
+        }
+    }
+
+    /// Sets the fraction of instructions that are two-qubit gates
+    /// (clamped to [0, 1]; forced to 0 when only one qubit exists).
+    pub fn two_qubit_fraction(mut self, fraction: f64) -> RandomProgramConfig {
+        self.two_qubit_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Generates a valid random [`Program`] deterministically from `seed`.
+///
+/// Qubits are named `q0..qN-1`, every qubit is declared with initial value
+/// 0, gates are drawn uniformly from the Clifford set with the configured
+/// one/two-qubit mix, and two-qubit operands are always distinct, so the
+/// result always satisfies the `Program` invariants.
+pub fn random_program(config: &RandomProgramConfig, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut program = Program::new();
+    for i in 0..config.num_qubits {
+        program
+            .add_qubit_with_initial(&format!("q{i}"), Some(0))
+            .expect("generated names are unique");
+    }
+    const ONE_QUBIT: [Gate; 6] = [Gate::H, Gate::X, Gate::Y, Gate::Z, Gate::S, Gate::T];
+    const TWO_QUBIT: [Gate; 4] = [Gate::CX, Gate::CY, Gate::CZ, Gate::Swap];
+    for _ in 0..config.num_gates {
+        let two = config.num_qubits > 1 && rng.gen_bool(config.two_qubit_fraction);
+        if two {
+            let gate = TWO_QUBIT[rng.gen_range(0..TWO_QUBIT.len())];
+            let a = rng.gen_range(0..config.num_qubits);
+            let mut b = rng.gen_range(0..config.num_qubits - 1);
+            if b >= a {
+                b += 1;
+            }
+            program
+                .apply2(gate, QubitId(a as u32), QubitId(b as u32))
+                .expect("operands are distinct and declared");
+        } else {
+            let gate = ONE_QUBIT[rng.gen_range(0..ONE_QUBIT.len())];
+            let q = rng.gen_range(0..config.num_qubits);
+            program
+                .apply1(gate, QubitId(q as u32))
+                .expect("operand is declared");
+        }
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_deterministic() {
+        let cfg = RandomProgramConfig::new(5, 30);
+        assert_eq!(random_program(&cfg, 7), random_program(&cfg, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomProgramConfig::new(5, 30);
+        assert_ne!(random_program(&cfg, 1), random_program(&cfg, 2));
+    }
+
+    #[test]
+    fn respects_shape() {
+        let cfg = RandomProgramConfig::new(9, 100);
+        let p = random_program(&cfg, 3);
+        assert_eq!(p.num_qubits(), 9);
+        assert_eq!(p.instructions().len(), 100);
+    }
+
+    #[test]
+    fn pure_one_qubit_mix() {
+        let cfg = RandomProgramConfig::new(4, 50).two_qubit_fraction(0.0);
+        let p = random_program(&cfg, 11);
+        assert_eq!(p.two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    fn pure_two_qubit_mix() {
+        let cfg = RandomProgramConfig::new(4, 50).two_qubit_fraction(1.0);
+        let p = random_program(&cfg, 11);
+        assert_eq!(p.two_qubit_gate_count(), 50);
+    }
+
+    #[test]
+    fn single_qubit_program_never_draws_two_qubit_gates() {
+        let cfg = RandomProgramConfig::new(1, 20).two_qubit_fraction(1.0);
+        let p = random_program(&cfg, 5);
+        assert_eq!(p.two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_qubits_panics() {
+        let _ = RandomProgramConfig::new(0, 5);
+    }
+}

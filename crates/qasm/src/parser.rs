@@ -1,0 +1,244 @@
+//! Line-oriented QASM parser.
+
+use crate::ast::Program;
+use crate::error::{ParseError, ParseErrorKind};
+use crate::gate::{Gate, GateArity};
+
+impl Program {
+    /// Parses a QASM program in the dialect of the paper's Fig. 3.
+    ///
+    /// Accepted syntax, one statement per line:
+    ///
+    /// * `# comment`, `// comment`, and blank lines — ignored; trailing
+    ///   comments after a statement are also stripped;
+    /// * `QUBIT name` or `QUBIT name,v` with `v ∈ {0,1}` — declaration;
+    /// * `GATE q` — single-qubit instruction;
+    /// * `GATE a,b` — two-qubit instruction (first operand = control /
+    ///   source).
+    ///
+    /// Mnemonics are case-insensitive; see [`Gate`] for the accepted set.
+    /// All declarations must precede the first gate, as produced by
+    /// synthesis tools.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] pinpointing the offending line for unknown
+    /// gates, undeclared/duplicate qubits, arity mismatches, repeated
+    /// operands, late declarations or malformed statements.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qspr_qasm::Program;
+    /// # fn main() -> Result<(), qspr_qasm::ParseError> {
+    /// let p = Program::parse(
+    ///     "# the paper's encoder prologue\nQUBIT q0,0\nQUBIT q1,0\nH q0\n",
+    /// )?;
+    /// assert_eq!(p.num_qubits(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(source: &str) -> Result<Program, ParseError> {
+        let mut program = Program::new();
+        let mut seen_gate = false;
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+                Some((m, r)) => (m, r.trim()),
+                None => (line, ""),
+            };
+            if mnemonic.eq_ignore_ascii_case("QUBIT") {
+                if seen_gate {
+                    return Err(ParseError::at_line(line_no, ParseErrorKind::LateDeclaration));
+                }
+                parse_declaration(&mut program, rest)
+                    .map_err(|e| relocate(e, line_no))?;
+                continue;
+            }
+            if mnemonic.eq_ignore_ascii_case("CBIT") {
+                // Classical bit declarations appear in some dialects; the
+                // mapper has no use for them, so they are accepted and
+                // ignored.
+                continue;
+            }
+            let gate: Gate = mnemonic
+                .parse()
+                .map_err(|kind| ParseError::at_line(line_no, kind))?;
+            let operands: Vec<&str> = rest
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            let result = match (gate.arity(), operands.as_slice()) {
+                (GateArity::One, [q]) => {
+                    let q = lookup(&program, q).map_err(|e| relocate(e, line_no))?;
+                    program.apply1(gate, q)
+                }
+                (GateArity::Two, [c, t]) => {
+                    let c = lookup(&program, c).map_err(|e| relocate(e, line_no))?;
+                    let t = lookup(&program, t).map_err(|e| relocate(e, line_no))?;
+                    program.apply2(gate, c, t)
+                }
+                (_, ops) => Err(ParseError::internal(ParseErrorKind::ArityMismatch {
+                    gate,
+                    given: ops.len(),
+                })),
+            };
+            result.map_err(|e| relocate(e, line_no))?;
+            seen_gate = true;
+        }
+        Ok(program)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find('#')
+        .into_iter()
+        .chain(line.find("//"))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn relocate(err: ParseError, line: usize) -> ParseError {
+    ParseError::at_line(line, err.kind().clone())
+}
+
+fn parse_declaration(program: &mut Program, rest: &str) -> Result<(), ParseError> {
+    if rest.is_empty() {
+        return Err(ParseError::internal(ParseErrorKind::Malformed));
+    }
+    let mut parts = rest.split(',').map(str::trim);
+    let name = parts.next().unwrap_or("");
+    let initial = match parts.next() {
+        None | Some("") => None,
+        Some(v) => Some(
+            v.parse::<u8>()
+                .map_err(|_| ParseError::internal(ParseErrorKind::Malformed))?,
+        ),
+    };
+    if parts.next().is_some() {
+        return Err(ParseError::internal(ParseErrorKind::Malformed));
+    }
+    program.add_qubit_with_initial(name, initial)?;
+    Ok(())
+}
+
+fn lookup(program: &Program, name: &str) -> Result<crate::ast::QubitId, ParseError> {
+    program.qubit_id(name).ok_or_else(|| {
+        ParseError::internal(ParseErrorKind::UndeclaredQubit(name.to_owned()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Operands;
+
+    /// The paper's Fig. 3 program, transcribed verbatim (instruction 16 is
+    /// absent in the paper's numbering; 17 instructions total).
+    pub const FIG3: &str = "\
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+";
+
+    #[test]
+    fn parses_fig3_verbatim() {
+        let p = Program::parse(FIG3).unwrap();
+        assert_eq!(p.num_qubits(), 5);
+        assert_eq!(p.instructions().len(), 12);
+        assert_eq!(p.one_qubit_gate_count(), 4);
+        assert_eq!(p.two_qubit_gate_count(), 8);
+        assert_eq!(p.qubits()[3].initial(), None);
+        assert_eq!(p.qubits()[0].initial(), Some(0));
+    }
+
+    #[test]
+    fn control_target_order_is_preserved() {
+        let p = Program::parse("QUBIT a\nQUBIT b\nC-X b,a\n").unwrap();
+        match p.instructions()[0].operands {
+            Operands::Two { control, target } => {
+                assert_eq!(p.qubit_name(control), "b");
+                assert_eq!(p.qubit_name(target), "a");
+            }
+            _ => panic!("expected two-qubit operands"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let src = "\n# leading comment\nQUBIT a // trailing\n\n  // indented comment\nH a # trailing too\n";
+        let p = Program::parse(src).unwrap();
+        assert_eq!(p.num_qubits(), 1);
+        assert_eq!(p.instructions().len(), 1);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = Program::parse("QUBIT a\nFROB a\n").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert!(matches!(err.kind(), ParseErrorKind::UnknownGate(_)));
+    }
+
+    #[test]
+    fn undeclared_qubit_is_reported() {
+        let err = Program::parse("QUBIT a\nH b\n").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert!(matches!(err.kind(), ParseErrorKind::UndeclaredQubit(_)));
+    }
+
+    #[test]
+    fn late_declaration_is_rejected() {
+        let err = Program::parse("QUBIT a\nH a\nQUBIT b\n").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::LateDeclaration));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_rejected() {
+        let err = Program::parse("QUBIT a\nQUBIT b\nC-X a\n").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::ArityMismatch { .. }));
+        let err = Program::parse("QUBIT a\nH a,a\n").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn declaration_with_garbage_is_rejected() {
+        assert!(Program::parse("QUBIT\n").is_err());
+        assert!(Program::parse("QUBIT a,x\n").is_err());
+        assert!(Program::parse("QUBIT a,0,1\n").is_err());
+    }
+
+    #[test]
+    fn cbit_lines_are_ignored() {
+        let p = Program::parse("QUBIT a\nCBIT c0\nH a\n").unwrap();
+        assert_eq!(p.num_qubits(), 1);
+        assert_eq!(p.instructions().len(), 1);
+    }
+
+    #[test]
+    fn whitespace_variants_parse() {
+        let p = Program::parse("QUBIT   a , 0\nQUBIT b\nC-X   a ,  b\n").unwrap();
+        assert_eq!(p.two_qubit_gate_count(), 1);
+        assert_eq!(p.qubits()[0].initial(), Some(0));
+    }
+}

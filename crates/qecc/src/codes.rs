@@ -1,0 +1,309 @@
+//! The paper's six benchmark codes and their encoding circuits.
+//!
+//! The original circuits came from M. Grassl's "Cyclic QECC" page, which
+//! is no longer reachable. Each code here is rebuilt from first
+//! principles with the same `[[n, k, d]]` parameters (see DESIGN.md for
+//! the substitution audit):
+//!
+//! | code | construction here |
+//! |------|-------------------|
+//! | \[\[5,1,3\]\] | GF(4)-linear cyclic (the perfect code); the paper's Fig. 2/3 circuit ships verbatim as [`fig3_program`] |
+//! | \[\[7,1,3\]\] | GF(4)-linear cyclic (Steane, cyclic form) |
+//! | \[\[9,1,3\]\] | GF(4)-*additive* cyclic (found by [`AdditiveCyclicSearch`](crate::gf4::AdditiveCyclicSearch)) |
+//! | \[\[14,8,3\]\] | GF(4)-additive cyclic, shifts of one seed |
+//! | \[\[19,1,7\]\] | GF(4)-additive cyclic, shifts of one seed; distance 7 verified exhaustively |
+//! | \[\[23,1,7\]\] | GF(4)-linear cyclic (quantum Golay) |
+//!
+//! Every code's distance-3 bound is machine-checked in the normal test
+//! suite; the full distance-7 verifications run as `--ignored` tests
+//! (release mode recommended).
+
+use qspr_qasm::Program;
+
+use crate::encoder::encoding_circuit;
+use crate::gf4::cyclic::CyclicCodeSearch;
+use crate::pauli::Pauli;
+use crate::stabilizer::StabilizerCode;
+
+/// The perfect \[\[5,1,3\]\] code: cyclic shifts of `XZZXI`.
+pub fn five_one_three() -> StabilizerCode {
+    StabilizerCode::new("[[5,1,3]]", ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"])
+        .expect("statically valid")
+        .with_claimed_distance(3)
+}
+
+/// The Steane \[\[7,1,3\]\] code (CSS form of the cyclic Hamming code).
+pub fn steane() -> StabilizerCode {
+    StabilizerCode::new(
+        "[[7,1,3]]",
+        [
+            "XXXXIII", "XXIIXXI", "XIXIXIX", "ZZZZIII", "ZZIIZZI", "ZIZIZIZ",
+        ],
+    )
+    .expect("statically valid")
+    .with_claimed_distance(3)
+}
+
+/// A \[\[9,1,3\]\] additive cyclic code: ZZ-pair shifts plus two X-type
+/// rows, found by the additive cyclic search over x⁹−1 (the paper's
+/// benchmark is cyclic; Shor's code is not).
+pub fn nine_one_three() -> StabilizerCode {
+    StabilizerCode::new(
+        "[[9,1,3]]",
+        [
+            "ZIIZIIIII",
+            "IZIIZIIII",
+            "IIZIIZIII",
+            "IIIZIIZII",
+            "IIIIZIIZI",
+            "IIIIIZIIZ",
+            "XXIXXIXXI",
+            "IXXIXXIXX",
+        ],
+    )
+    .expect("statically valid")
+    .with_claimed_distance(3)
+}
+
+/// A \[\[14,8,3\]\] additive cyclic code: six cyclic shifts of the seed
+/// `ZXYXYXXIZXXIII` (output of the deterministic additive search,
+/// distance 3 verified exhaustively).
+pub fn fourteen_eight_three() -> StabilizerCode {
+    StabilizerCode::from_paulis("[[14,8,3]]", shifts("ZXYXYXXIZXXIII", 6))
+        .expect("statically valid")
+        .with_claimed_distance(3)
+}
+
+/// A \[\[19,1,7\]\] additive cyclic code: eighteen cyclic shifts of the seed
+/// `ZZIIXIIIXXIXXIIIXII` (distance 7 verified exhaustively in the
+/// ignored test suite).
+pub fn nineteen_one_seven() -> StabilizerCode {
+    StabilizerCode::from_paulis("[[19,1,7]]", shifts("ZZIIXIIIXXIXXIIIXII", 18))
+        .expect("statically valid")
+        .with_claimed_distance(7)
+}
+
+/// The \[\[23,1,7\]\] quantum Golay code, from the GF(4)-linear cyclic
+/// search over x²³−1.
+pub fn twenty_three_one_seven() -> StabilizerCode {
+    let search = CyclicCodeSearch::new(23).expect("23 is tabulated");
+    search
+        .find_code("[[23,1,7]]", 1)
+        .expect("the Golay construction is self-orthogonal")
+        .with_claimed_distance(7)
+}
+
+/// Cyclic rotations (by 0..count) of a seed Pauli string.
+fn shifts(seed: &str, count: usize) -> Vec<Pauli> {
+    let base: Pauli = seed.parse().expect("valid seed literal");
+    let n = base.num_qubits();
+    (0..count)
+        .map(|s| {
+            // Rotation by s: position i of the result holds position
+            // (i - s) mod n of the seed.
+            let perm: Vec<usize> = (0..n).map(|i| (i + n - s) % n).collect();
+            base.permuted(&perm)
+        })
+        .collect()
+}
+
+/// The paper's Fig. 3: the QASM text of its \[\[5,1,3\]\] encoding circuit,
+/// transcribed verbatim (the paper's numbering skips instruction 16).
+pub const FIG3_QASM: &str = "\
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+";
+
+/// The parsed Fig. 3 program.
+pub fn fig3_program() -> Program {
+    Program::parse(FIG3_QASM).expect("the paper's circuit parses")
+}
+
+/// One benchmark of the paper's evaluation: a named code and the QASM
+/// encoding circuit the mapper consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// The paper's circuit name, e.g. `[[14,8,3]]`.
+    pub name: String,
+    /// The underlying stabilizer code.
+    pub code: StabilizerCode,
+    /// The encoding circuit (workload for the mapper).
+    pub program: Program,
+}
+
+/// The paper's full benchmark set (Tables 1 and 2), in table order.
+///
+/// The \[\[5,1,3\]\] entry uses the paper's own Fig. 3 circuit verbatim; the
+/// other five circuits are synthesized standard-form encoders, each
+/// machine-verified against its code by stabilizer simulation.
+///
+/// # Panics
+///
+/// Panics only if encoder synthesis fails for a built-in code, which the
+/// test suite rules out.
+///
+/// # Examples
+///
+/// ```
+/// let suite = qspr_qecc::codes::benchmark_suite();
+/// assert_eq!(suite.len(), 6);
+/// assert_eq!(suite[0].name, "[[5,1,3]]");
+/// assert_eq!(suite[5].program.num_qubits(), 23);
+/// ```
+pub fn benchmark_suite() -> Vec<Benchmark> {
+    let mut out = Vec::with_capacity(6);
+    out.push(Benchmark {
+        name: "[[5,1,3]]".to_owned(),
+        code: five_one_three(),
+        program: fig3_program(),
+    });
+    for code in [
+        steane(),
+        nine_one_three(),
+        fourteen_eight_three(),
+        nineteen_one_seven(),
+        twenty_three_one_seven(),
+    ] {
+        let program = encoding_circuit(&code).expect("built-in codes encode");
+        out.push(Benchmark {
+            name: code.name().to_owned(),
+            code,
+            program,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tableau::StabilizerSim;
+
+    #[test]
+    fn parameters_match_the_paper() {
+        let expect = [
+            ("[[5,1,3]]", 5, 1),
+            ("[[7,1,3]]", 7, 1),
+            ("[[9,1,3]]", 9, 1),
+            ("[[14,8,3]]", 14, 8),
+            ("[[19,1,7]]", 19, 1),
+            ("[[23,1,7]]", 23, 1),
+        ];
+        for (bench, (name, n, k)) in benchmark_suite().iter().zip(expect) {
+            assert_eq!(bench.name, name);
+            assert_eq!(bench.code.num_qubits(), n, "{name}");
+            assert_eq!(bench.code.num_logical(), k, "{name}");
+            assert_eq!(bench.program.num_qubits(), n, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_codes_have_distance_at_least_3() {
+        for code in [
+            five_one_three(),
+            steane(),
+            nine_one_three(),
+            fourteen_eight_three(),
+            nineteen_one_seven(),
+            twenty_three_one_seven(),
+        ] {
+            assert!(code.verify_distance_at_least(3), "{}", code.name());
+        }
+    }
+
+    #[test]
+    fn small_codes_have_exact_distance_3() {
+        for code in [five_one_three(), steane(), nine_one_three()] {
+            assert_eq!(code.min_distance_up_to(3), Some(3), "{}", code.name());
+        }
+        assert_eq!(fourteen_eight_three().min_distance_up_to(3), Some(3));
+    }
+
+    #[test]
+    fn distance_7_codes_have_no_light_logicals() {
+        // Cheap prefix of the full distance check (weight ≤ 3).
+        assert!(nineteen_one_seven().min_distance_up_to(3).is_none());
+        assert!(twenty_three_one_seven().min_distance_up_to(3).is_none());
+    }
+
+    #[test]
+    #[ignore = "exhaustive distance-7 scan; run with --release"]
+    fn distance_7_codes_verified_exhaustively() {
+        assert!(nineteen_one_seven().verify_distance_at_least(7));
+        assert_eq!(nineteen_one_seven().min_distance_up_to(7), Some(7));
+        assert!(twenty_three_one_seven().verify_distance_at_least(7));
+        assert_eq!(twenty_three_one_seven().min_distance_up_to(7), Some(7));
+    }
+
+    #[test]
+    fn synthesized_encoders_verify_against_their_codes() {
+        for bench in benchmark_suite().iter().skip(1) {
+            let mut sim = StabilizerSim::new(bench.code.num_qubits());
+            sim.run(&bench.program).unwrap();
+            for s in bench.code.stabilizers() {
+                assert_eq!(
+                    sim.stabilizes(s),
+                    Some(true),
+                    "{}: {s}",
+                    bench.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_matches_the_paper_text() {
+        let p = fig3_program();
+        assert_eq!(p.num_qubits(), 5);
+        assert_eq!(p.one_qubit_gate_count(), 4);
+        assert_eq!(p.two_qubit_gate_count(), 8);
+        // q3 is the data qubit (declared without an initial value).
+        assert_eq!(p.qubits()[3].initial(), None);
+    }
+
+    #[test]
+    fn shifts_produce_cyclic_rotations() {
+        let s = shifts("XZI", 3);
+        assert_eq!(s[0].to_string(), "XZI");
+        assert_eq!(s[1].to_string(), "IXZ");
+        assert_eq!(s[2].to_string(), "ZIX");
+    }
+
+    #[test]
+    fn additive_search_still_finds_equivalent_codes() {
+        // The hardcoded generators came from the additive search; the
+        // search must keep producing a [[9,1,3]] with the same
+        // parameters and verified distance (the exact first hit may
+        // shift if the scan order evolves — parameters may not).
+        let found = crate::gf4::AdditiveCyclicSearch::new(9)
+            .unwrap()
+            .find_code("[[9,1,3]]", 1, 3)
+            .unwrap();
+        assert_eq!(found.num_qubits(), 9);
+        assert_eq!(found.num_logical(), 1);
+        assert_eq!(found.min_distance_up_to(3), Some(3));
+        // And the hardcoded code is itself cyclic: shifting every
+        // generator by one position stays inside the group.
+        let ours = nine_one_three();
+        for g in ours.stabilizers() {
+            let n = g.num_qubits();
+            let perm: Vec<usize> = (0..n).map(|i| (i + n - 1) % n).collect();
+            assert!(ours.in_stabilizer_group(&g.permuted(&perm)), "{g}");
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Standard-form encoding-circuit synthesis (Gottesman/Cleve).
+//!
+//! Produces, for any \[\[n,k\]\] stabilizer code, a QASM encoding circuit in
+//! the paper's gate set: `n−r` ancilla preparations, one `H` per X-type
+//! stabilizer row, and a cascade of controlled Paulis (`C-X`, `C-Y`,
+//! `C-Z`) — exactly the shape of the paper's Fig. 2 circuit for
+//! \[\[5,1,3\]\].
+//!
+//! Every synthesized circuit is *machine-verified*: an
+//! [Aaronson–Gottesman tableau](crate::StabilizerSim) executes it on
+//! |0…0⟩ and checks the resulting state is stabilized (with the correct
+//! signs) by all code stabilizers and all logical Z̄ operators, i.e. the
+//! circuit really prepares the encoded |0…0⟩_L. A Pauli frame correction
+//! is appended automatically when the raw circuit produces the right
+//! stabilizer group with some wrong signs.
+
+use std::error::Error;
+use std::fmt;
+
+use qspr_qasm::{Gate, Program, QubitId};
+
+use crate::pauli::{Pauli, PauliKind};
+use crate::stabilizer::StabilizerCode;
+use crate::tableau::StabilizerSim;
+
+/// Why encoder synthesis failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// The synthesized circuit did not stabilize the target group — a
+    /// synthesis bug surfaced by the tableau verification.
+    Verification {
+        /// Index of the first generator not stabilized (stabilizers
+        /// first, then logical Z̄s).
+        generator: usize,
+    },
+    /// Codes on more than 64 qubits are unsupported.
+    TooManyQubits(usize),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Verification { generator } => {
+                write!(f, "synthesized encoder fails to stabilize generator {generator}")
+            }
+            EncodeError::TooManyQubits(n) => write!(f, "{n} qubits exceed the 64-qubit limit"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Internal: the standard form of a stabilizer matrix.
+struct StandardForm {
+    n: usize,
+    /// X-rank (number of X-type rows).
+    r: usize,
+    /// Stabilizer rows (x, z) in permuted qubit space.
+    rows: Vec<(u64, u64)>,
+    /// Qubit permutation: position `p` holds original qubit `perm[p]`.
+    perm: Vec<usize>,
+}
+
+fn bit(m: u64, i: usize) -> bool {
+    (m >> i) & 1 == 1
+}
+
+impl StandardForm {
+    fn compute(code: &StabilizerCode) -> StandardForm {
+        let n = code.num_qubits();
+        let mut rows: Vec<(u64, u64)> = code
+            .stabilizers()
+            .iter()
+            .map(|p| (p.x_mask(), p.z_mask()))
+            .collect();
+        let s = rows.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        let swap_cols = |rows: &mut Vec<(u64, u64)>, perm: &mut Vec<usize>, a: usize, b: usize| {
+            if a == b {
+                return;
+            }
+            perm.swap(a, b);
+            for (x, z) in rows.iter_mut() {
+                let xa = bit(*x, a);
+                let xb = bit(*x, b);
+                if xa != xb {
+                    *x ^= (1 << a) | (1 << b);
+                }
+                let za = bit(*z, a);
+                let zb = bit(*z, b);
+                if za != zb {
+                    *z ^= (1 << a) | (1 << b);
+                }
+            }
+        };
+
+        // Phase 1: RREF of the X block, pivots moved to columns 0..r.
+        let mut r = 0;
+        'outer: loop {
+            for c in r..n {
+                for i in r..s {
+                    if bit(rows[i].0, c) {
+                        rows.swap(i, r);
+                        swap_cols(&mut rows, &mut perm, c, r);
+                        let pivot_row = rows[r];
+                        for (j, row) in rows.iter_mut().enumerate() {
+                            if j != r && bit(row.0, r) {
+                                row.0 ^= pivot_row.0;
+                                row.1 ^= pivot_row.1;
+                            }
+                        }
+                        r += 1;
+                        continue 'outer;
+                    }
+                }
+            }
+            break;
+        }
+
+        // Phase 2: RREF of the lower block's Z part, pivots to columns
+        // r..r+m (column swaps restricted to r..n keep the X identity).
+        let mut m = 0;
+        'lower: loop {
+            let row_idx = r + m;
+            if row_idx >= s {
+                break;
+            }
+            for c in (r + m)..n {
+                for i in row_idx..s {
+                    if bit(rows[i].1, c) {
+                        rows.swap(i, row_idx);
+                        swap_cols(&mut rows, &mut perm, c, r + m);
+                        let pivot_row = rows[row_idx];
+                        for (j, row) in rows.iter_mut().enumerate() {
+                            if j != row_idx && j >= r && bit(row.1, r + m) {
+                                // Lower rows have no X part, so this only
+                                // touches Z bits.
+                                row.0 ^= pivot_row.0;
+                                row.1 ^= pivot_row.1;
+                            }
+                        }
+                        m += 1;
+                        continue 'lower;
+                    }
+                }
+            }
+            break;
+        }
+        debug_assert_eq!(r + m, s, "independent stabilizers fill the lower block");
+
+        // Cleanup: zero the upper rows' Z bits over the middle block
+        // (C1 := 0) by multiplying with lower rows; this decouples the
+        // logical-X formula.
+        for i in 0..r {
+            for t in 0..m {
+                if bit(rows[i].1, r + t) {
+                    let lower = rows[r + t];
+                    rows[i].0 ^= lower.0;
+                    rows[i].1 ^= lower.1;
+                }
+            }
+        }
+
+        StandardForm { n, r, rows, perm }
+    }
+
+    fn s_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn k(&self) -> usize {
+        self.n - self.rows.len()
+    }
+
+    fn m(&self) -> usize {
+        self.s_count() - self.r
+    }
+
+    /// Logical X̄ in permuted space (C1 = 0 form): x-part `(0 | Eᵀ | e_j)`,
+    /// z-part `(C2 column j | 0 | 0)`.
+    fn logical_x(&self, j: usize) -> (u64, u64) {
+        let (r, m) = (self.r, self.m());
+        let data = r + m + j;
+        let mut x = 1u64 << data;
+        let mut z = 0u64;
+        for t in 0..m {
+            // E[t][j] = lower row t, z bit at data column j.
+            if bit(self.rows[r + t].1, r + m + j) {
+                x |= 1 << (r + t);
+            }
+        }
+        for i in 0..r {
+            // C2[i][j] = upper row i, z bit at data column j.
+            if bit(self.rows[i].1, r + m + j) {
+                z |= 1 << i;
+            }
+        }
+        (x, z)
+    }
+
+    /// Logical Z̄ in permuted space: z-part `(A2 column j | 0 | e_j)`.
+    fn logical_z(&self, j: usize) -> (u64, u64) {
+        let (r, m) = (self.r, self.m());
+        let data = r + m + j;
+        let mut z = 1u64 << data;
+        for i in 0..r {
+            // A2[i][j] = upper row i, x bit at data column j.
+            if bit(self.rows[i].0, r + m + j) {
+                z |= 1 << i;
+            }
+        }
+        (0, z)
+    }
+}
+
+/// Synthesizes an encoding circuit for `code` and verifies it with a
+/// stabilizer simulation.
+///
+/// The returned program declares the `n−k` ancilla qubits with initial
+/// value 0 and the `k` data qubits without an initial value (mirroring
+/// the paper's Fig. 3), then applies one `H` per X-type stabilizer row
+/// followed by cascades of `C-X`/`C-Y`/`C-Z` gates, and finally a Pauli
+/// frame fix if the raw signs came out wrong.
+///
+/// # Errors
+///
+/// * [`EncodeError::TooManyQubits`] for n > 64;
+/// * [`EncodeError::Verification`] if the synthesized circuit fails the
+///   tableau check (would indicate a bug, not bad input).
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qecc::{codes, encoder};
+///
+/// let circuit = encoder::encoding_circuit(&codes::steane()).unwrap();
+/// assert_eq!(circuit.num_qubits(), 7);
+/// assert!(circuit.two_qubit_gate_count() > 0);
+/// ```
+pub fn encoding_circuit(code: &StabilizerCode) -> Result<Program, EncodeError> {
+    let n = code.num_qubits();
+    if n > 64 {
+        return Err(EncodeError::TooManyQubits(n));
+    }
+    let sf = StandardForm::compute(code);
+    let (r, m, k) = (sf.r, sf.m(), sf.k());
+    let perm = sf.perm.clone();
+
+    // Build the gate list in permuted space as (gate, control, target).
+    let mut ops: Vec<(Gate, Option<usize>, usize)> = Vec::new();
+
+    // H (and S for Y self-factors) on the X-type pivot qubits.
+    for i in 0..r {
+        ops.push((Gate::H, None, i));
+        if bit(sf.rows[i].1, i) {
+            ops.push((Gate::S, None, i));
+        }
+    }
+
+    // Logical X̄ blocks: controlled from each data qubit.
+    for j in 0..k {
+        let (x, z) = sf.logical_x(j);
+        let control = r + m + j;
+        push_controlled(&mut ops, n, control, x, z);
+    }
+
+    // Stabilizer rows: controlled from each pivot qubit. The Z factors a
+    // row carries on *higher-indexed pivot qubits* must not be emitted:
+    // conjugation through the later pivots' own blocks recreates exactly
+    // those factors (they would otherwise cancel into a stray Z string
+    // and the circuit would prepare the wrong group).
+    for i in 0..r {
+        let (x, mut z) = sf.rows[i];
+        for p in (i + 1)..r {
+            z &= !(1u64 << p);
+        }
+        push_controlled(&mut ops, n, i, x, z);
+    }
+
+    // Materialize the program with original qubit labels.
+    let data_original: Vec<usize> = (0..k).map(|j| perm[r + m + j]).collect();
+    let mut program = Program::new();
+    for q in 0..n {
+        let is_data = data_original.contains(&q);
+        let initial = if is_data { None } else { Some(0) };
+        program
+            .add_qubit_with_initial(&format!("q{q}"), initial)
+            .expect("generated names are unique");
+    }
+    for (gate, control, target) in ops {
+        let t = QubitId(perm[target] as u32);
+        match control {
+            None => program.apply1(gate, t).expect("valid 1q gate"),
+            Some(c) => {
+                let c = QubitId(perm[c] as u32);
+                program.apply2(gate, c, t).expect("valid 2q gate");
+            }
+        }
+    }
+
+    // Targets the encoded |0...0_L> state must be stabilized by.
+    let inv = inverse_permutation(&perm);
+    let mut targets: Vec<Pauli> = code.stabilizers().to_vec();
+    for j in 0..k {
+        let (x, z) = sf.logical_z(j);
+        let permuted = Pauli::from_masks(n, x, z);
+        targets.push(permuted.permuted(&inv));
+    }
+
+    // Verify; fix the Pauli frame if only signs are off.
+    let mut sim = StabilizerSim::new(n);
+    sim.run(&program).expect("encoders are Clifford circuits");
+    let mut wrong_sign = Vec::new();
+    for (gi, g) in targets.iter().enumerate() {
+        match sim.stabilizes(g) {
+            Some(true) => {}
+            Some(false) => wrong_sign.push(gi),
+            None => return Err(EncodeError::Verification { generator: gi }),
+        }
+    }
+    if !wrong_sign.is_empty() {
+        let fix = pauli_frame_fix(n, &targets, &wrong_sign);
+        for q in 0..n {
+            match fix.kind(q) {
+                PauliKind::I => {}
+                PauliKind::X => program.apply1(Gate::X, QubitId(q as u32)).expect("valid"),
+                PauliKind::Y => program.apply1(Gate::Y, QubitId(q as u32)).expect("valid"),
+                PauliKind::Z => program.apply1(Gate::Z, QubitId(q as u32)).expect("valid"),
+            }
+        }
+        let mut sim = StabilizerSim::new(n);
+        sim.run(&program).expect("still Clifford");
+        for (gi, g) in targets.iter().enumerate() {
+            if sim.stabilizes(g) != Some(true) {
+                return Err(EncodeError::Verification { generator: gi });
+            }
+        }
+    }
+    Ok(program)
+}
+
+/// Emits the controlled-Pauli cascade for row `(x, z)` from `control`,
+/// skipping the control's own position.
+fn push_controlled(
+    ops: &mut Vec<(Gate, Option<usize>, usize)>,
+    n: usize,
+    control: usize,
+    x: u64,
+    z: u64,
+) {
+    for t in 0..n {
+        if t == control {
+            continue;
+        }
+        let gate = match (bit(x, t), bit(z, t)) {
+            (false, false) => continue,
+            (true, false) => Gate::CX,
+            (true, true) => Gate::CY,
+            (false, true) => Gate::CZ,
+        };
+        ops.push((gate, Some(control), t));
+    }
+}
+
+fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0; perm.len()];
+    for (p, &orig) in perm.iter().enumerate() {
+        inv[orig] = p;
+    }
+    inv
+}
+
+/// A Pauli `F` with `symp(F, targets[i]) = 1` exactly for `i ∈ flip`.
+/// Conjugating the final state by `F` flips precisely those signs.
+fn pauli_frame_fix(n: usize, targets: &[Pauli], flip: &[usize]) -> Pauli {
+    // Solve M q = b over GF(2), where row i of M is target i's swapped
+    // symplectic vector and b is the flip indicator.
+    let rows: Vec<u128> = targets
+        .iter()
+        .map(|g| (g.z_mask() as u128) | ((g.x_mask() as u128) << n))
+        .collect();
+    let b: Vec<bool> = (0..targets.len()).map(|i| flip.contains(&i)).collect();
+    // Gaussian elimination with an augmented bit.
+    let mut aug: Vec<(u128, bool)> = rows.into_iter().zip(b).collect();
+    let mut pivots: Vec<(usize, usize)> = Vec::new(); // (row, col)
+    let mut rank = 0;
+    for col in 0..(2 * n) {
+        let Some(i) = (rank..aug.len()).find(|&i| (aug[i].0 >> col) & 1 == 1) else {
+            continue;
+        };
+        aug.swap(rank, i);
+        let (prow, pb) = aug[rank];
+        for (j, row) in aug.iter_mut().enumerate() {
+            if j != rank && (row.0 >> col) & 1 == 1 {
+                row.0 ^= prow;
+                row.1 ^= pb;
+            }
+        }
+        pivots.push((rank, col));
+        rank += 1;
+    }
+    let mut q = 0u128;
+    for &(row, col) in &pivots {
+        if aug[row].1 {
+            q |= 1 << col;
+        }
+    }
+    Pauli::from_symplectic(n, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify_code_encoder(code: &StabilizerCode) -> Program {
+        let program = encoding_circuit(code).expect("synthesis succeeds");
+        // Independent re-verification.
+        let mut sim = StabilizerSim::new(code.num_qubits());
+        sim.run(&program).unwrap();
+        for s in code.stabilizers() {
+            assert_eq!(sim.stabilizes(s), Some(true), "stabilizer {s}");
+        }
+        program
+    }
+
+    #[test]
+    fn five_qubit_code_encoder_verifies() {
+        let code = StabilizerCode::new(
+            "[[5,1,3]]",
+            ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"],
+        )
+        .unwrap();
+        let program = verify_code_encoder(&code);
+        assert_eq!(program.num_qubits(), 5);
+        // One data qubit declared without an initial value.
+        assert_eq!(
+            program.qubits().iter().filter(|d| d.initial().is_none()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn steane_encoder_verifies() {
+        let code = StabilizerCode::new(
+            "[[7,1,3]]",
+            [
+                "XXXXIII", "XXIIXXI", "XIXIXIX", "ZZZZIII", "ZZIIZZI", "ZIZIZIZ",
+            ],
+        )
+        .unwrap();
+        let program = verify_code_encoder(&code);
+        // CSS code: 3 X-type rows -> exactly 3 H gates.
+        let h_count = program
+            .instructions()
+            .iter()
+            .filter(|i| i.gate == Gate::H)
+            .count();
+        assert_eq!(h_count, 3);
+    }
+
+    #[test]
+    fn shor_encoder_verifies() {
+        let code = StabilizerCode::new(
+            "[[9,1,3]]",
+            [
+                "ZZIIIIIII",
+                "IZZIIIIII",
+                "IIIZZIIII",
+                "IIIIZZIII",
+                "IIIIIIZZI",
+                "IIIIIIIZZ",
+                "XXXXXXIII",
+                "IIIXXXXXX",
+            ],
+        )
+        .unwrap();
+        verify_code_encoder(&code);
+    }
+
+    #[test]
+    fn bell_state_encoder() {
+        // [[2,0]]: encoding the Bell state.
+        let code = StabilizerCode::new("bell", ["XX", "ZZ"]).unwrap();
+        let program = verify_code_encoder(&code);
+        assert_eq!(program.num_qubits(), 2);
+    }
+
+    #[test]
+    fn encoder_shape_matches_fig2() {
+        // The paper's Fig. 2: n-k Hadamards + controlled-Pauli cascade.
+        let code = StabilizerCode::new(
+            "[[5,1,3]]",
+            ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"],
+        )
+        .unwrap();
+        let program = encoding_circuit(&code).unwrap();
+        let h = program
+            .instructions()
+            .iter()
+            .filter(|i| i.gate == Gate::H)
+            .count();
+        assert_eq!(h, 4, "one H per X-type stabilizer row");
+        assert!(program.two_qubit_gate_count() >= 8);
+    }
+
+    #[test]
+    fn random_codes_encode_correctly() {
+        // Build random small stabilizer codes by taking random commuting
+        // subsets and verify the encoder on each.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2012);
+        let mut built = 0;
+        while built < 10 {
+            let n = rng.gen_range(3..=8usize);
+            let s = rng.gen_range(1..=n - 1);
+            // Random Clifford-conjugated Z's: apply a random circuit to
+            // the trivial code (guarantees commuting independent rows).
+            let mut sim = StabilizerSim::new(n);
+            for _ in 0..40 {
+                match rng.gen_range(0..3) {
+                    0 => sim.apply(Gate::H, &[rng.gen_range(0..n)]).unwrap(),
+                    1 => sim.apply(Gate::S, &[rng.gen_range(0..n)]).unwrap(),
+                    _ => {
+                        let a = rng.gen_range(0..n);
+                        let mut b = rng.gen_range(0..n - 1);
+                        if b >= a {
+                            b += 1;
+                        }
+                        sim.apply(Gate::CX, &[a, b]).unwrap();
+                    }
+                }
+            }
+            let gens: Vec<Pauli> = sim
+                .stabilizer_generators()
+                .iter()
+                .take(s)
+                .map(|g| *g.pauli())
+                .collect();
+            let Ok(code) = StabilizerCode::from_paulis("random", gens) else {
+                continue;
+            };
+            verify_code_encoder(&code);
+            built += 1;
+        }
+    }
+}

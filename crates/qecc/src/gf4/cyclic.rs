@@ -1,0 +1,236 @@
+//! GF(4) cyclic quantum codes: the CRSS construction behind the paper's
+//! benchmark set.
+//!
+//! A GF(4)-linear cyclic code `C = ⟨g(x)⟩ ⊆ GF(4)ⁿ` that is *Hermitian
+//! self-orthogonal* (`⟨u, v̄⟩ = 0` for all codewords) yields an
+//! `[[n, n − 2·dim C]]` stabilizer code via the symbol map
+//! `0↦I, 1↦X, ω↦Z, ω²↦Y`: the additive generators `{gᵢ, ωgᵢ}` over a
+//! GF(4)-basis of `C` commute and become the stabilizer generators.
+
+use crate::pauli::Pauli;
+use crate::stabilizer::{CodeError, StabilizerCode};
+
+use super::element::Gf4;
+use super::factor::{factor_xn_minus_1, Factorization};
+use super::field::FieldError;
+use super::poly::Poly;
+
+/// Search over the (finitely many) GF(4) cyclic codes of length `n`.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qecc::CyclicCodeSearch;
+///
+/// let search = CyclicCodeSearch::new(5)?;
+/// let code = search.find_code("[[5,1,3]]", 1).expect("the 5-qubit code is cyclic");
+/// assert_eq!(code.num_qubits(), 5);
+/// assert_eq!(code.num_logical(), 1);
+/// assert!(code.verify_distance_at_least(3));
+/// # Ok::<(), qspr_qecc::gf4::FieldError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CyclicCodeSearch {
+    n: usize,
+    factorization: Factorization,
+}
+
+impl CyclicCodeSearch {
+    /// Prepares the factorization of xⁿ−1 over GF(4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError`] when the required splitting field exceeds
+    /// the tabulated extension degrees.
+    pub fn new(n: usize) -> Result<CyclicCodeSearch, FieldError> {
+        Ok(CyclicCodeSearch {
+            n,
+            factorization: factor_xn_minus_1(n)?,
+        })
+    }
+
+    /// Code length n.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying factorization.
+    pub fn factorization(&self) -> &Factorization {
+        &self.factorization
+    }
+
+    /// The GF(4)-basis of the cyclic code ⟨g⟩: the shifts `xⁱ·g(x)` for
+    /// `i < n − deg g`, as coefficient vectors of length n.
+    pub fn code_basis(&self, generator: &Poly) -> Vec<Vec<Gf4>> {
+        let deg = generator.degree().expect("nonzero generator");
+        let dim = self.n - deg;
+        (0..dim)
+            .map(|shift| {
+                let mut row = vec![Gf4::ZERO; self.n];
+                for (i, &c) in generator.coeffs().iter().enumerate() {
+                    row[i + shift] = c;
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Tests Hermitian self-orthogonality of ⟨g⟩: `Σᵢ uᵢ·v̄ᵢ = 0` for all
+    /// basis pairs (sufficient for all codeword pairs by linearity).
+    pub fn is_hermitian_self_orthogonal(&self, generator: &Poly) -> bool {
+        let basis = self.code_basis(generator);
+        for u in &basis {
+            for v in &basis {
+                let mut acc = Gf4::ZERO;
+                for (a, b) in u.iter().zip(v) {
+                    acc = acc + *a * b.conj();
+                }
+                if !acc.is_zero() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds the `[[n, n − 2·dim]]` stabilizer code of a Hermitian
+    /// self-orthogonal generator via the CRSS map.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodeError`] when the generator is not self-orthogonal
+    /// (anticommuting rows) or produces dependent generators.
+    pub fn stabilizer_code(
+        &self,
+        name: &str,
+        generator: &Poly,
+    ) -> Result<StabilizerCode, CodeError> {
+        let basis = self.code_basis(generator);
+        let mut paulis = Vec::with_capacity(2 * basis.len());
+        for row in &basis {
+            paulis.push(self.to_pauli(row));
+            let scaled: Vec<Gf4> = row.iter().map(|&c| Gf4::OMEGA * c).collect();
+            paulis.push(self.to_pauli(&scaled));
+        }
+        StabilizerCode::from_paulis(name, paulis)
+    }
+
+    /// The CRSS symbol map: 0↦I, 1↦X, ω↦Z, ω²↦Y (per coordinate).
+    fn to_pauli(&self, word: &[Gf4]) -> Pauli {
+        let mut x = 0u64;
+        let mut z = 0u64;
+        for (i, c) in word.iter().enumerate() {
+            let bits = c.bits();
+            // In the a+bω encoding: the `a` bit is the X part, the `b`
+            // bit the Z part — matching 1↦X, ω↦Z, ω²↦Y.
+            if bits & 1 == 1 {
+                x |= 1 << i;
+            }
+            if bits & 2 == 2 {
+                z |= 1 << i;
+            }
+        }
+        Pauli::from_masks(self.n, x, z)
+    }
+
+    /// Every generator polynomial (monic divisor of xⁿ−1) whose cyclic
+    /// code could produce an `[[n, k]]` quantum code, i.e. of degree
+    /// `(n+k)/2`.
+    pub fn candidates_for(&self, k: usize) -> Vec<Poly> {
+        assert!(k <= self.n, "k cannot exceed n");
+        if (self.n + k) % 2 != 0 {
+            return Vec::new();
+        }
+        self.factorization.divisors_of_degree((self.n + k) / 2)
+    }
+
+    /// Finds the first Hermitian self-orthogonal cyclic `[[n, k]]` code,
+    /// preferring candidates with no weight-≤2 logical operator (i.e.
+    /// distance ≥ 3; the cheap part of distance verification).
+    pub fn find_code(&self, name: &str, k: usize) -> Option<StabilizerCode> {
+        let mut fallback = None;
+        for g in self.candidates_for(k) {
+            if !self.is_hermitian_self_orthogonal(&g) {
+                continue;
+            }
+            let Ok(code) = self.stabilizer_code(name, &g) else {
+                continue;
+            };
+            if code.verify_distance_at_least(3) {
+                return Some(code);
+            }
+            if fallback.is_none() {
+                fallback = Some(code);
+            }
+        }
+        fallback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_qubit_cyclic_code_is_found() {
+        let search = CyclicCodeSearch::new(5).unwrap();
+        let code = search.find_code("[[5,1,3]]", 1).unwrap();
+        assert_eq!(code.num_qubits(), 5);
+        assert_eq!(code.num_logical(), 1);
+        assert_eq!(code.min_distance_up_to(3), Some(3));
+    }
+
+    #[test]
+    fn steane_parameters_from_cyclic_length_7() {
+        let search = CyclicCodeSearch::new(7).unwrap();
+        let code = search.find_code("[[7,1,3]]", 1).unwrap();
+        assert_eq!(code.num_qubits(), 7);
+        assert_eq!(code.num_logical(), 1);
+        assert_eq!(code.min_distance_up_to(3), Some(3));
+    }
+
+    #[test]
+    fn length_9_needs_additive_codes() {
+        // No GF(4)-*linear* cyclic [[9,1,3]] exists — none of the degree-5
+        // divisors of x⁹−1 is Hermitian self-orthogonal. The additive
+        // search (`AdditiveCyclicSearch`) covers this length instead.
+        let search = CyclicCodeSearch::new(9).unwrap();
+        assert!(search.find_code("[[9,1,3]]", 1).is_none());
+    }
+
+    #[test]
+    fn golay_length_23_code_is_found() {
+        let search = CyclicCodeSearch::new(23).unwrap();
+        let code = search.find_code("[[23,1,7]]", 1).unwrap();
+        assert_eq!(code.num_qubits(), 23);
+        assert_eq!(code.num_logical(), 1);
+        assert!(code.verify_distance_at_least(3));
+    }
+
+    #[test]
+    fn self_orthogonality_detects_bad_generators() {
+        let search = CyclicCodeSearch::new(5).unwrap();
+        // x^5-1 itself generates the zero code (trivially orthogonal);
+        // the constant 1 generates the full space (never orthogonal).
+        assert!(!search.is_hermitian_self_orthogonal(&Poly::one()));
+    }
+
+    #[test]
+    fn basis_has_cyclic_shape() {
+        let search = CyclicCodeSearch::new(5).unwrap();
+        let g = search.candidates_for(1)[0].clone();
+        let basis = search.code_basis(&g);
+        assert_eq!(basis.len(), 2); // dim = (5-1)/2
+        // Each row is the previous one shifted.
+        assert_eq!(basis[0][0], g.coeff(0));
+        assert_eq!(basis[1][1], g.coeff(0));
+    }
+
+    #[test]
+    fn candidates_respect_parity() {
+        let search = CyclicCodeSearch::new(5).unwrap();
+        // n + k odd -> no candidates.
+        assert!(search.candidates_for(2).is_empty());
+        assert!(!search.candidates_for(1).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! The field GF(4).
+
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// An element of GF(4) = {0, 1, ω, ω²}, with ω² = ω + 1 and ω³ = 1.
+///
+/// Encoded in two bits `a + bω`: `0 = 00`, `1 = 01`, `ω = 10`,
+/// `ω² = 11`. Addition is XOR (characteristic 2).
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qecc::gf4::Gf4;
+///
+/// let w = Gf4::OMEGA;
+/// assert_eq!(w * w, Gf4::OMEGA_SQ);
+/// assert_eq!(w * w * w, Gf4::ONE);
+/// assert_eq!(w + Gf4::ONE, Gf4::OMEGA_SQ);
+/// assert_eq!(w.conj(), Gf4::OMEGA_SQ); // Frobenius x -> x²
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Gf4(u8);
+
+impl Gf4 {
+    /// Additive identity.
+    pub const ZERO: Gf4 = Gf4(0);
+    /// Multiplicative identity.
+    pub const ONE: Gf4 = Gf4(1);
+    /// The primitive element ω.
+    pub const OMEGA: Gf4 = Gf4(2);
+    /// ω² = ω + 1.
+    pub const OMEGA_SQ: Gf4 = Gf4(3);
+
+    /// All four elements in order 0, 1, ω, ω².
+    pub const ALL: [Gf4; 4] = [Gf4(0), Gf4(1), Gf4(2), Gf4(3)];
+
+    /// Builds from the 2-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 3`.
+    pub fn from_bits(bits: u8) -> Gf4 {
+        assert!(bits <= 3, "GF(4) elements are two bits");
+        Gf4(bits)
+    }
+
+    /// The 2-bit encoding `a + bω` (bit 0 = a, bit 1 = b).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// `true` for the additive identity.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The Frobenius conjugate `x ↦ x²` (swaps ω and ω²).
+    pub fn conj(self) -> Gf4 {
+        match self.0 {
+            2 => Gf4(3),
+            3 => Gf4(2),
+            b => Gf4(b),
+        }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn inverse(self) -> Gf4 {
+        match self.0 {
+            0 => panic!("zero has no inverse"),
+            1 => Gf4(1),
+            2 => Gf4(3),
+            _ => Gf4(2),
+        }
+    }
+
+    /// The trace to GF(2): `tr(x) = x + x²` (0 for {0,1}, 1 for {ω,ω²}).
+    pub fn trace(self) -> u8 {
+        match self.0 {
+            0 | 1 => 0,
+            _ => 1,
+        }
+    }
+}
+
+impl Add for Gf4 {
+    type Output = Gf4;
+
+    fn add(self, rhs: Gf4) -> Gf4 {
+        Gf4(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Gf4 {
+    type Output = Gf4;
+
+    fn mul(self, rhs: Gf4) -> Gf4 {
+        let (a1, b1) = (self.0 & 1, self.0 >> 1);
+        let (a2, b2) = (rhs.0 & 1, rhs.0 >> 1);
+        // (a1 + b1ω)(a2 + b2ω) with ω² = 1 + ω.
+        let a = (a1 & a2) ^ (b1 & b2);
+        let b = (a1 & b2) ^ (b1 & a2) ^ (b1 & b2);
+        Gf4(a | (b << 1))
+    }
+}
+
+impl fmt::Display for Gf4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self.0 {
+            0 => "0",
+            1 => "1",
+            2 => "w",
+            _ => "w2",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(Gf4::OMEGA + Gf4::OMEGA, Gf4::ZERO);
+        assert_eq!(Gf4::ONE + Gf4::OMEGA, Gf4::OMEGA_SQ);
+    }
+
+    #[test]
+    fn multiplication_table() {
+        let (o, o2) = (Gf4::OMEGA, Gf4::OMEGA_SQ);
+        assert_eq!(o * o, o2);
+        assert_eq!(o * o2, Gf4::ONE);
+        assert_eq!(o2 * o2, o);
+        for x in Gf4::ALL {
+            assert_eq!(x * Gf4::ZERO, Gf4::ZERO);
+            assert_eq!(x * Gf4::ONE, x);
+        }
+    }
+
+    #[test]
+    fn field_axioms_exhaustive() {
+        for a in Gf4::ALL {
+            for b in Gf4::ALL {
+                assert_eq!(a + b, b + a);
+                assert_eq!(a * b, b * a);
+                for c in Gf4::ALL {
+                    assert_eq!(a * (b + c), a * b + a * c);
+                    assert_eq!((a * b) * c, a * (b * c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverses() {
+        for x in [Gf4::ONE, Gf4::OMEGA, Gf4::OMEGA_SQ] {
+            assert_eq!(x * x.inverse(), Gf4::ONE);
+        }
+    }
+
+    #[test]
+    fn conjugation_is_squaring() {
+        for x in Gf4::ALL {
+            assert_eq!(x.conj(), x * x);
+            assert_eq!(x.conj().conj(), x);
+        }
+    }
+
+    #[test]
+    fn trace_values() {
+        assert_eq!(Gf4::ZERO.trace(), 0);
+        assert_eq!(Gf4::ONE.trace(), 0);
+        assert_eq!(Gf4::OMEGA.trace(), 1);
+        assert_eq!(Gf4::OMEGA_SQ.trace(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = Gf4::ZERO.inverse();
+    }
+}

@@ -1,0 +1,249 @@
+//! Factorization of xⁿ−1 over GF(4) via 4-cyclotomic cosets.
+
+use super::element::Gf4;
+use super::field::{splitting_field, FieldError};
+use super::poly::Poly;
+
+/// The factorization of xⁿ−1 into monic irreducible polynomials over
+/// GF(4), each with its multiplicity (repeated-root cases arise for even
+/// `n`, e.g. x¹⁴−1 = (x⁷−1)²).
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qecc::gf4::factor_xn_minus_1;
+///
+/// // x⁵−1 over GF(4): (x−1) and two conjugate quadratics.
+/// let f = factor_xn_minus_1(5)?;
+/// let degrees: Vec<usize> = f.factors().iter()
+///     .map(|(p, _)| p.degree().unwrap())
+///     .collect();
+/// assert_eq!(degrees, vec![1, 2, 2]);
+/// # Ok::<(), qspr_qecc::gf4::FieldError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Factorization {
+    n: usize,
+    factors: Vec<(Poly, usize)>,
+}
+
+impl Factorization {
+    /// The modulus degree n (of xⁿ−1).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The irreducible factors with multiplicities, sorted by degree then
+    /// coefficients (deterministic order).
+    pub fn factors(&self) -> &[(Poly, usize)] {
+        &self.factors
+    }
+
+    /// Enumerates every monic divisor of xⁿ−1 with the given degree.
+    pub fn divisors_of_degree(&self, degree: usize) -> Vec<Poly> {
+        let mut out = Vec::new();
+        let mut exponents = vec![0usize; self.factors.len()];
+        loop {
+            // Compute the degree of the current exponent assignment.
+            let deg: usize = exponents
+                .iter()
+                .zip(&self.factors)
+                .map(|(e, (p, _))| e * p.degree().unwrap_or(0))
+                .sum();
+            if deg == degree {
+                let mut prod = Poly::one();
+                for (e, (p, _)) in exponents.iter().zip(&self.factors) {
+                    for _ in 0..*e {
+                        prod = prod.mul(p);
+                    }
+                }
+                out.push(prod);
+            }
+            // Mixed-radix increment.
+            let mut i = 0;
+            loop {
+                if i == exponents.len() {
+                    out.sort_by_key(|p| p.coeffs().iter().map(|c| c.bits()).collect::<Vec<_>>());
+                    return out;
+                }
+                if exponents[i] < self.factors[i].1 {
+                    exponents[i] += 1;
+                    break;
+                }
+                exponents[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Factors xⁿ−1 over GF(4).
+///
+/// The odd part of `n` is factored through its 4-cyclotomic cosets and
+/// minimal polynomials computed in the splitting field
+/// [`splitting_field`]; a power-of-two part of `n` becomes factor
+/// multiplicity (characteristic 2).
+///
+/// # Errors
+///
+/// Returns [`FieldError`] when the required splitting field is outside
+/// the tabulated degrees (odd part with ord₂ beyond 22).
+pub fn factor_xn_minus_1(n: usize) -> Result<Factorization, FieldError> {
+    assert!(n >= 1, "degree must be positive");
+    let mut odd = n;
+    let mut multiplicity = 1usize;
+    while odd % 2 == 0 {
+        odd /= 2;
+        multiplicity *= 2;
+    }
+
+    let mut factors: Vec<(Poly, usize)> = Vec::new();
+    if odd == 1 {
+        factors.push((Poly::from_coeffs(vec![Gf4::ONE, Gf4::ONE]), multiplicity));
+    } else {
+        let field = splitting_field(odd as u64)?;
+        let beta = field.root_of_unity(odd as u64)?;
+        let omega = field.omega();
+        let omega_sq = field.mul(omega, omega);
+        let to_gf4 = |v: u64| -> Gf4 {
+            if v == 0 {
+                Gf4::ZERO
+            } else if v == 1 {
+                Gf4::ONE
+            } else if v == omega {
+                Gf4::OMEGA
+            } else if v == omega_sq {
+                Gf4::OMEGA_SQ
+            } else {
+                unreachable!("minimal-polynomial coefficients lie in GF(4)")
+            }
+        };
+
+        let mut seen = vec![false; odd];
+        for s in 0..odd {
+            if seen[s] {
+                continue;
+            }
+            // 4-cyclotomic coset of s.
+            let mut coset = Vec::new();
+            let mut cur = s;
+            while !seen[cur] {
+                seen[cur] = true;
+                coset.push(cur);
+                cur = (cur * 4) % odd;
+            }
+            // Minimal polynomial Π (x − β^j) computed in the big field.
+            let mut coeffs: Vec<u64> = vec![1]; // the constant polynomial 1
+            for &j in &coset {
+                let root = field.pow(beta, j as u64);
+                // Multiply by (x + root).
+                let mut next = vec![0u64; coeffs.len() + 1];
+                for (i, &c) in coeffs.iter().enumerate() {
+                    next[i + 1] ^= c;
+                    next[i] ^= field.mul(c, root);
+                }
+                coeffs = next;
+            }
+            let poly = Poly::from_coeffs(coeffs.into_iter().map(to_gf4).collect());
+            factors.push((poly, multiplicity));
+        }
+    }
+
+    factors.sort_by_key(|(p, _)| {
+        (
+            p.degree().unwrap_or(0),
+            p.coeffs().iter().map(|c| c.bits()).collect::<Vec<_>>(),
+        )
+    });
+    Ok(Factorization { n, factors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product(f: &Factorization) -> Poly {
+        let mut prod = Poly::one();
+        for (p, mult) in f.factors() {
+            for _ in 0..*mult {
+                prod = prod.mul(p);
+            }
+        }
+        prod
+    }
+
+    #[test]
+    fn factors_multiply_back() {
+        for n in [1usize, 3, 5, 7, 9, 14, 15, 19, 21, 23] {
+            let f = factor_xn_minus_1(n).unwrap();
+            assert_eq!(
+                product(&f),
+                Poly::x_pow_plus(n, Gf4::ONE),
+                "x^{n} - 1 reconstruction"
+            );
+        }
+    }
+
+    #[test]
+    fn coset_structure_matches_number_theory() {
+        // n=7: ord_7(4)=3 -> factors of degree 1, 3, 3.
+        let f = factor_xn_minus_1(7).unwrap();
+        let mut degs: Vec<usize> = f.factors().iter().map(|(p, _)| p.degree().unwrap()).collect();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![1, 3, 3]);
+
+        // n=9: cosets {0},{1,4,7},{2,8,5},{3},{6} -> degrees 1,1,1,3,3.
+        let f = factor_xn_minus_1(9).unwrap();
+        let mut degs: Vec<usize> = f.factors().iter().map(|(p, _)| p.degree().unwrap()).collect();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![1, 1, 1, 3, 3]);
+
+        // n=23: ord_23(4)=11 -> degrees 1, 11, 11.
+        let f = factor_xn_minus_1(23).unwrap();
+        let mut degs: Vec<usize> = f.factors().iter().map(|(p, _)| p.degree().unwrap()).collect();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![1, 11, 11]);
+    }
+
+    #[test]
+    fn even_n_has_multiplicities() {
+        // x^14 - 1 = (x^7 - 1)^2.
+        let f = factor_xn_minus_1(14).unwrap();
+        for (_, mult) in f.factors() {
+            assert_eq!(*mult, 2);
+        }
+        assert_eq!(product(&f), Poly::x_pow_plus(14, Gf4::ONE));
+    }
+
+    #[test]
+    fn factors_are_monic_and_nontrivial() {
+        for n in [5usize, 7, 9, 14, 19, 23] {
+            let f = factor_xn_minus_1(n).unwrap();
+            for (p, _) in f.factors() {
+                assert!(p.is_monic());
+                assert!(p.degree().unwrap() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn divisor_enumeration_covers_degrees() {
+        let f = factor_xn_minus_1(5).unwrap();
+        // Degree 3 divisors of x^5-1: (x-1)*q1 and (x-1)*q2.
+        let d3 = f.divisors_of_degree(3);
+        assert_eq!(d3.len(), 2);
+        for d in &d3 {
+            assert!(d.divides(&Poly::x_pow_plus(5, Gf4::ONE)));
+        }
+        // Degree 0: just 1.
+        assert_eq!(f.divisors_of_degree(0), vec![Poly::one()]);
+        // Degree 5: the modulus itself.
+        assert_eq!(f.divisors_of_degree(5).len(), 1);
+    }
+
+    #[test]
+    fn divisors_are_deterministic() {
+        let f = factor_xn_minus_1(9).unwrap();
+        assert_eq!(f.divisors_of_degree(5), f.divisors_of_degree(5));
+    }
+}

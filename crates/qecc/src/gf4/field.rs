@@ -1,0 +1,287 @@
+//! GF(2^e) extension fields with primitive generators, used to find
+//! n-th roots of unity when factoring xⁿ−1 over GF(4).
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a field request cannot be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FieldError {
+    /// No primitive polynomial tabulated for this extension degree.
+    UnsupportedDegree(u32),
+    /// `n` has no n-th root of unity in any tabulated field
+    /// (the needed extension degree exceeds the table).
+    UnsupportedOrder(u64),
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::UnsupportedDegree(e) => {
+                write!(f, "no primitive polynomial tabulated for GF(2^{e})")
+            }
+            FieldError::UnsupportedOrder(n) => {
+                write!(f, "no tabulated field contains {n}-th roots of unity")
+            }
+        }
+    }
+}
+
+impl Error for FieldError {}
+
+/// Primitive polynomials over GF(2) for even extension degrees up to 22
+/// (even degrees contain GF(4) as a subfield). Bit `i` is the
+/// coefficient of `x^i`.
+const PRIMITIVE_POLYS: &[(u32, u64)] = &[
+    (2, 0b111),                          // x² + x + 1
+    (4, 0b1_0011),                       // x⁴ + x + 1
+    (6, 0b100_0011),                     // x⁶ + x + 1
+    (8, 0b1_0001_1101),                  // x⁸ + x⁴ + x³ + x² + 1
+    (10, 0b100_0000_1001),               // x¹⁰ + x³ + 1
+    (12, 0b1_0000_0101_0011),            // x¹² + x⁶ + x⁴ + x + 1
+    (14, (1 << 14) | (1 << 10) | (1 << 6) | (1 << 1) | 1),
+    (16, (1 << 16) | (1 << 12) | (1 << 3) | (1 << 1) | 1),
+    (18, (1 << 18) | (1 << 7) | 1),      // x¹⁸ + x⁷ + 1
+    (20, (1 << 20) | (1 << 3) | 1),      // x²⁰ + x³ + 1
+    (22, (1 << 22) | (1 << 1) | 1),      // x²² + x + 1
+];
+
+/// The field GF(2^e) with a tabulated primitive modulus; elements are
+/// `u64` bit-polynomials of degree < e, and `x` (= `0b10`) generates the
+/// multiplicative group.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qecc::gf4::BinaryField;
+///
+/// let f = BinaryField::new(4)?;
+/// // x has full multiplicative order 2⁴ − 1 = 15.
+/// assert_eq!(f.pow(0b10, 15), 1);
+/// assert_ne!(f.pow(0b10, 5), 1);
+/// assert_ne!(f.pow(0b10, 3), 1);
+/// # Ok::<(), qspr_qecc::gf4::FieldError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryField {
+    e: u32,
+    modulus: u64,
+}
+
+impl BinaryField {
+    /// The field GF(2^e).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::UnsupportedDegree`] when `e` is not in the
+    /// primitive-polynomial table (odd, zero, or > 22).
+    pub fn new(e: u32) -> Result<BinaryField, FieldError> {
+        let modulus = PRIMITIVE_POLYS
+            .iter()
+            .find(|(deg, _)| *deg == e)
+            .map(|(_, m)| *m)
+            .ok_or(FieldError::UnsupportedDegree(e))?;
+        Ok(BinaryField { e, modulus })
+    }
+
+    /// Extension degree e.
+    pub fn degree(&self) -> u32 {
+        self.e
+    }
+
+    /// Field size 2^e.
+    pub fn size(&self) -> u64 {
+        1u64 << self.e
+    }
+
+    /// Order of the multiplicative group, 2^e − 1.
+    pub fn group_order(&self) -> u64 {
+        self.size() - 1
+    }
+
+    /// Sum (XOR in characteristic 2).
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        a ^ b
+    }
+
+    /// Product (carry-less multiply, then reduction by the modulus).
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.size() && b < self.size());
+        let mut prod: u128 = 0;
+        let mut aa = a as u128;
+        let mut bb = b;
+        while bb != 0 {
+            if bb & 1 == 1 {
+                prod ^= aa;
+            }
+            aa <<= 1;
+            bb >>= 1;
+        }
+        // Reduce modulo the primitive polynomial.
+        let e = self.e;
+        let modulus = self.modulus as u128;
+        for bitpos in (e..=(2 * e)).rev() {
+            if (prod >> bitpos) & 1 == 1 {
+                prod ^= modulus << (bitpos - e);
+            }
+        }
+        prod as u64
+    }
+
+    /// `a^k` by square-and-multiply.
+    pub fn pow(&self, a: u64, mut k: u64) -> u64 {
+        let mut base = a;
+        let mut acc = 1u64;
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            k >>= 1;
+        }
+        acc
+    }
+
+    /// The canonical primitive element `x`.
+    pub fn generator(&self) -> u64 {
+        0b10
+    }
+
+    /// A primitive `n`-th root of unity, when `n` divides 2^e − 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::UnsupportedOrder`] otherwise.
+    pub fn root_of_unity(&self, n: u64) -> Result<u64, FieldError> {
+        if n == 0 || self.group_order() % n != 0 {
+            return Err(FieldError::UnsupportedOrder(n));
+        }
+        Ok(self.pow(self.generator(), self.group_order() / n))
+    }
+
+    /// The embedded GF(4) primitive element ω = g^((2^e−1)/3)
+    /// (requires even e, guaranteed by the table).
+    pub fn omega(&self) -> u64 {
+        self.pow(self.generator(), self.group_order() / 3)
+    }
+}
+
+/// The smallest tabulated field containing primitive `n`-th roots of
+/// unity *and* GF(4): GF(2^e) with `e = lcm(ord_n(2), 2)`.
+///
+/// # Errors
+///
+/// Returns [`FieldError`] when `n` is even or the required degree
+/// exceeds the table.
+pub fn splitting_field(n: u64) -> Result<BinaryField, FieldError> {
+    if n == 0 || n % 2 == 0 {
+        return Err(FieldError::UnsupportedOrder(n));
+    }
+    if n == 1 {
+        return BinaryField::new(2);
+    }
+    // Multiplicative order of 2 modulo n.
+    let mut ord = 1u64;
+    let mut pow = 2u64 % n;
+    while pow != 1 {
+        pow = (pow * 2) % n;
+        ord += 1;
+        if ord > 64 {
+            return Err(FieldError::UnsupportedOrder(n));
+        }
+    }
+    let e = if ord % 2 == 0 { ord } else { ord * 2 };
+    BinaryField::new(e as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prime_factors(mut n: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut d = 2;
+        while d * d <= n {
+            if n % d == 0 {
+                out.push(d);
+                while n % d == 0 {
+                    n /= d;
+                }
+            }
+            d += 1;
+        }
+        if n > 1 {
+            out.push(n);
+        }
+        out
+    }
+
+    #[test]
+    fn tabulated_polynomials_are_primitive() {
+        // x must have full order 2^e - 1 in every tabulated field.
+        for &(e, _) in PRIMITIVE_POLYS {
+            let f = BinaryField::new(e).unwrap();
+            let order = f.group_order();
+            assert_eq!(f.pow(f.generator(), order), 1, "degree {e}");
+            for p in prime_factors(order) {
+                assert_ne!(
+                    f.pow(f.generator(), order / p),
+                    1,
+                    "degree {e}: x^((2^e-1)/{p}) = 1, polynomial not primitive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_is_field_like() {
+        let f = BinaryField::new(6).unwrap();
+        // Spot-check associativity and distributivity on a sample.
+        let xs = [1u64, 2, 3, 7, 19, 33, 63];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for &c in &xs {
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn omega_is_a_cube_root_of_one() {
+        for e in [2u32, 4, 6, 18, 22] {
+            let f = BinaryField::new(e).unwrap();
+            let w = f.omega();
+            assert_ne!(w, 1);
+            assert_eq!(f.pow(w, 3), 1, "degree {e}");
+        }
+    }
+
+    #[test]
+    fn roots_of_unity_have_exact_order() {
+        let cases = [(5u64, 4u32), (7, 6), (9, 6), (19, 18), (23, 22)];
+        for (n, e) in cases {
+            let f = splitting_field(n).unwrap();
+            assert_eq!(f.degree(), e, "splitting field of {n}");
+            let beta = f.root_of_unity(n).unwrap();
+            assert_eq!(f.pow(beta, n), 1);
+            for d in 1..n {
+                if n % d == 0 {
+                    assert_ne!(f.pow(beta, d), 1, "beta order divides {d} < {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_requests_error() {
+        assert!(BinaryField::new(3).is_err());
+        assert!(BinaryField::new(24).is_err());
+        assert!(splitting_field(4).is_err());
+        let f = BinaryField::new(4).unwrap();
+        assert!(f.root_of_unity(7).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Finite-field arithmetic for the cyclic-code construction.
+//!
+//! * [`Gf4`] — the field GF(4) = {0, 1, ω, ω²} with ω² = ω + 1;
+//! * [`Poly`] — polynomials over GF(4);
+//! * [`BinaryField`] — GF(2^e) towers (e ≤ 22) with primitive
+//!   generators, used to compute n-th roots of unity and minimal
+//!   polynomials;
+//! * [`factor_xn_minus_1`] — factorization of xⁿ−1 over GF(4) via
+//!   4-cyclotomic cosets (repeated-root cases handled through the odd
+//!   part);
+//! * [`cyclic`] — enumeration of GF(4) cyclic codes, Hermitian
+//!   self-orthogonality tests, and the CRSS GF(4)→Pauli stabilizer
+//!   construction behind the paper's benchmark codes.
+
+pub mod cyclic;
+
+mod additive;
+
+mod element;
+mod factor;
+mod field;
+mod poly;
+
+pub use additive::AdditiveCyclicSearch;
+pub use element::Gf4;
+pub use factor::{factor_xn_minus_1, Factorization};
+pub use field::{splitting_field, BinaryField, FieldError};
+pub use poly::Poly;

@@ -1,0 +1,279 @@
+//! Polynomials over GF(4).
+
+use std::fmt;
+
+use super::element::Gf4;
+
+/// A polynomial over GF(4), coefficients stored lowest-degree first and
+/// kept normalized (no trailing zeros).
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qecc::gf4::{Gf4, Poly};
+///
+/// // (x + 1)(x + w) = x² + (1+w)x + w
+/// let a = Poly::from_coeffs(vec![Gf4::ONE, Gf4::ONE]);
+/// let b = Poly::from_coeffs(vec![Gf4::OMEGA, Gf4::ONE]);
+/// let p = a.mul(&b);
+/// assert_eq!(p.degree(), Some(2));
+/// assert_eq!(p.coeff(1), Gf4::OMEGA_SQ);
+/// assert!(p.rem(&a).is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    coeffs: Vec<Gf4>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Poly {
+        Poly {
+            coeffs: vec![Gf4::ONE],
+        }
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Poly {
+        Poly {
+            coeffs: vec![Gf4::ZERO, Gf4::ONE],
+        }
+    }
+
+    /// `xⁿ + c` — handy for cyclic moduli (over GF(4), `xⁿ − 1 = xⁿ + 1`).
+    pub fn x_pow_plus(n: usize, c: Gf4) -> Poly {
+        let mut coeffs = vec![Gf4::ZERO; n + 1];
+        coeffs[0] = c;
+        coeffs[n] = Gf4::ONE;
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Builds from raw coefficients (lowest first); trailing zeros are
+    /// trimmed.
+    pub fn from_coeffs(mut coeffs: Vec<Gf4>) -> Poly {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Coefficient of `x^i` (zero beyond the degree).
+    pub fn coeff(&self, i: usize) -> Gf4 {
+        self.coeffs.get(i).copied().unwrap_or(Gf4::ZERO)
+    }
+
+    /// The coefficients, lowest-degree first.
+    pub fn coeffs(&self) -> &[Gf4] {
+        &self.coeffs
+    }
+
+    /// Leading coefficient (`None` for zero).
+    pub fn leading(&self) -> Option<Gf4> {
+        self.coeffs.last().copied()
+    }
+
+    /// `true` when the leading coefficient is 1.
+    pub fn is_monic(&self) -> bool {
+        self.leading() == Some(Gf4::ONE)
+    }
+
+    /// Scales every coefficient to make the polynomial monic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero polynomial.
+    pub fn to_monic(&self) -> Poly {
+        let lead = self.leading().expect("zero polynomial has no leading");
+        let inv = lead.inverse();
+        Poly::from_coeffs(self.coeffs.iter().map(|&c| c * inv).collect())
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..len).map(|i| self.coeff(i) + other.coeff(i)).collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf4::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = coeffs[i + j] + a * b;
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Quotient and remainder of division by `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dividing by zero.
+    pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
+        let dd = divisor.degree().expect("division by zero polynomial");
+        let lead_inv = divisor.leading().expect("nonzero").inverse();
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![Gf4::ZERO; self.coeffs.len().saturating_sub(dd)];
+        while rem.len() > dd {
+            let shift = rem.len() - 1 - dd;
+            let factor = *rem.last().expect("nonempty") * lead_inv;
+            if !factor.is_zero() {
+                quot[shift] = factor;
+                for (i, &c) in divisor.coeffs.iter().enumerate() {
+                    rem[shift + i] = rem[shift + i] + factor * c;
+                }
+            }
+            rem.pop();
+            while rem.last().is_some_and(|c| c.is_zero()) {
+                rem.pop();
+            }
+            if rem.len() <= dd {
+                break;
+            }
+        }
+        (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
+    }
+
+    /// Remainder of division by `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dividing by zero.
+    pub fn rem(&self, divisor: &Poly) -> Poly {
+        self.div_rem(divisor).1
+    }
+
+    /// `true` when `self` divides `other` exactly.
+    pub fn divides(&self, other: &Poly) -> bool {
+        !self.is_zero() && other.rem(self).is_zero()
+    }
+
+    /// The polynomial with Frobenius-conjugated coefficients.
+    pub fn conj(&self) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().map(|c| c.conj()).collect())
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                f.write_str(" + ")?;
+            }
+            first = false;
+            match (i, *c) {
+                (0, c) => write!(f, "{c}")?,
+                (1, Gf4::ONE) => write!(f, "x")?,
+                (1, c) => write!(f, "{c}*x")?,
+                (i, Gf4::ONE) => write!(f, "x^{i}")?,
+                (i, c) => write!(f, "{c}*x^{i}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: &[u8]) -> Poly {
+        Poly::from_coeffs(bits.iter().map(|&b| Gf4::from_bits(b)).collect())
+    }
+
+    #[test]
+    fn normalization_trims_zeros() {
+        let q = p(&[1, 0, 0]);
+        assert_eq!(q.degree(), Some(0));
+        assert!(Poly::from_coeffs(vec![Gf4::ZERO; 3]).is_zero());
+    }
+
+    #[test]
+    fn add_cancels_in_char_2() {
+        let a = p(&[1, 2, 3]);
+        assert!(a.add(&a).is_zero());
+    }
+
+    #[test]
+    fn mul_and_div_round_trip() {
+        let a = p(&[1, 1, 2]); // 1 + x + wx²
+        let b = p(&[3, 0, 1]); // w² + x²
+        let prod = a.mul(&b);
+        let (q, r) = prod.div_rem(&a);
+        assert!(r.is_zero());
+        assert_eq!(q, b);
+        let (q, r) = prod.div_rem(&b);
+        assert!(r.is_zero());
+        assert_eq!(q, a);
+    }
+
+    #[test]
+    fn rem_is_smaller_degree() {
+        let a = p(&[1, 0, 0, 0, 1]); // 1 + x^4
+        let b = p(&[1, 1]); // 1 + x
+        let r = a.rem(&b);
+        assert!(r.degree() < b.degree() || r.is_zero());
+        // x^4 + 1 = (x+1)^4 over GF(2) ⊂ GF(4), so remainder is zero.
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn divides_check() {
+        let a = p(&[1, 1]);
+        let b = p(&[1, 0, 1]); // (1+x)²
+        assert!(a.divides(&b));
+        assert!(!b.divides(&a));
+    }
+
+    #[test]
+    fn monic_scaling() {
+        let a = p(&[1, 0, 2]); // 1 + wx²
+        let m = a.to_monic();
+        assert!(m.is_monic());
+        assert_eq!(m.coeff(0), Gf4::OMEGA_SQ); // 1/w = w²
+    }
+
+    #[test]
+    fn x_pow_plus_builds_cyclic_modulus() {
+        let m = Poly::x_pow_plus(5, Gf4::ONE);
+        assert_eq!(m.degree(), Some(5));
+        assert_eq!(m.coeff(0), Gf4::ONE);
+        assert_eq!(m.coeff(5), Gf4::ONE);
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        let a = p(&[2, 0, 1]);
+        assert_eq!(a.to_string(), "x^2 + w");
+    }
+}

@@ -1,0 +1,53 @@
+//! Stabilizer quantum error-correction substrate for the QSPR benchmarks.
+//!
+//! The paper evaluates QSPR on six *cyclic QECC encoding circuits*
+//! (\[\[5,1,3\]\], \[\[7,1,3\]\], \[\[9,1,3\]\], \[\[14,8,3\]\], \[\[19,1,7\]\], \[\[23,1,7\]\])
+//! taken from a now-defunct web page. This crate rebuilds that benchmark
+//! set from first principles:
+//!
+//! * [`Pauli`] / [`PhasedPauli`] — n-qubit Pauli algebra (n ≤ 64) with
+//!   symplectic commutation and phase-tracked multiplication;
+//! * [`BitBasis`] — GF(2) linear algebra over symplectic bit-vectors;
+//! * [`gf4`] — GF(4) and GF(2^m) field arithmetic, polynomial algebra
+//!   and factorization of xⁿ−1 via cyclotomic cosets;
+//! * [`CyclicCodeSearch`] — enumeration of GF(4) cyclic codes, Hermitian
+//!   self-orthogonality testing, and the CRSS GF(4)→Pauli construction;
+//! * [`StabilizerCode`] — commuting/independence validation, logical
+//!   operator extraction (symplectic Gram–Schmidt), and exhaustive
+//!   distance verification;
+//! * [`encoder`] — Gottesman/Cleve standard-form encoding-circuit
+//!   synthesis emitting [`qspr_qasm::Program`]s in the paper's gate set
+//!   (`H`, `C-X`, `C-Y`, `C-Z`, …);
+//! * [`StabilizerSim`] — an Aaronson–Gottesman tableau simulator used to
+//!   *prove* each synthesized encoder maps |0…0⟩⊗|ψ⟩ into the code space;
+//! * [`codes`] — the six named benchmark codes and
+//!   [`codes::benchmark_suite`], the circuits every experiment consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr_qecc::codes;
+//!
+//! let five = codes::five_one_three();
+//! assert_eq!((five.num_qubits(), five.num_logical()), (5, 1));
+//! let circuit = qspr_qecc::encoder::encoding_circuit(&five).unwrap();
+//! assert_eq!(circuit.num_qubits(), 5);
+//! ```
+
+pub mod codes;
+pub mod css;
+pub mod encoder;
+pub mod gf4;
+
+mod gf2;
+mod pauli;
+mod proptests;
+mod stabilizer;
+mod tableau;
+
+pub use gf2::BitBasis;
+pub use pauli::{Pauli, PauliKind, PhasedPauli};
+pub use stabilizer::{CodeError, StabilizerCode};
+pub use tableau::{StabilizerSim, UnsupportedGate};
+
+pub use gf4::cyclic::CyclicCodeSearch;

@@ -1,0 +1,114 @@
+//! Property-based tests of the algebraic substrates.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::gf4::{Gf4, Poly};
+use crate::pauli::{Pauli, PhasedPauli};
+
+fn arb_gf4() -> impl Strategy<Value = Gf4> {
+    (0u8..4).prop_map(Gf4::from_bits)
+}
+
+fn arb_poly(max_deg: usize) -> impl Strategy<Value = Poly> {
+    proptest::collection::vec(arb_gf4(), 0..=max_deg + 1).prop_map(Poly::from_coeffs)
+}
+
+fn arb_pauli(n: usize) -> impl Strategy<Value = Pauli> {
+    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    (any::<u64>(), any::<u64>())
+        .prop_map(move |(x, z)| Pauli::from_masks(n, x & mask, z & mask))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn poly_multiplication_is_commutative_and_associative(
+        a in arb_poly(6),
+        b in arb_poly(6),
+        c in arb_poly(6),
+    ) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn poly_distributes_over_addition(
+        a in arb_poly(6),
+        b in arb_poly(6),
+        c in arb_poly(6),
+    ) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn poly_division_round_trips(a in arb_poly(8), b in arb_poly(4)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a.clone());
+        if !r.is_zero() {
+            prop_assert!(r.degree() < b.degree());
+        }
+    }
+
+    #[test]
+    fn poly_conjugation_is_a_ring_homomorphism(a in arb_poly(6), b in arb_poly(6)) {
+        prop_assert_eq!(a.conj().mul(&b.conj()), a.mul(&b).conj());
+        prop_assert_eq!(a.conj().conj(), a.clone());
+    }
+
+    #[test]
+    fn pauli_symplectic_round_trips(p in arb_pauli(17)) {
+        prop_assert_eq!(Pauli::from_symplectic(17, p.symplectic()), p);
+    }
+
+    #[test]
+    fn pauli_commutation_is_symmetric(a in arb_pauli(11), b in arb_pauli(11)) {
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+        prop_assert!(a.commutes_with(&a), "every Pauli commutes with itself");
+    }
+
+    #[test]
+    fn phased_products_commute_up_to_the_symplectic_sign(
+        a in arb_pauli(9),
+        b in arb_pauli(9),
+    ) {
+        let pa = PhasedPauli::new(a);
+        let pb = PhasedPauli::new(b);
+        let ab = pa.mul(&pb);
+        let ba = pb.mul(&pa);
+        prop_assert_eq!(ab.pauli(), ba.pauli());
+        if a.commutes_with(&b) {
+            prop_assert_eq!(ab.phase(), ba.phase());
+        } else {
+            prop_assert_eq!((ab.phase() + 2) % 4, ba.phase());
+        }
+    }
+
+    #[test]
+    fn phased_squares_are_scalar(a in arb_pauli(9)) {
+        // P² = ±I for any Pauli with a real phase convention.
+        let p = PhasedPauli::new(a);
+        let sq = p.mul(&p);
+        prop_assert!(sq.pauli().is_identity());
+        prop_assert_eq!(sq.phase() % 2, 0);
+    }
+
+    #[test]
+    fn permutations_preserve_weight_and_commutation(
+        a in arb_pauli(8),
+        b in arb_pauli(8),
+        seed in 0u64..1000,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut perm: Vec<usize> = (0..8).collect();
+        perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let pa = a.permuted(&perm);
+        let pb = b.permuted(&perm);
+        prop_assert_eq!(pa.weight(), a.weight());
+        prop_assert_eq!(pa.commutes_with(&pb), a.commutes_with(&b));
+    }
+}

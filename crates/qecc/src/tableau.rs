@@ -1,0 +1,382 @@
+//! Aaronson–Gottesman stabilizer tableau simulation of Clifford
+//! circuits, used to machine-check the synthesized encoding circuits.
+
+use std::error::Error;
+use std::fmt;
+
+use qspr_qasm::{Gate, Operands, Program};
+
+use crate::gf2::BitBasis;
+use crate::pauli::{Pauli, PhasedPauli};
+
+/// A gate outside the Clifford set the tableau can simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedGate(pub Gate);
+
+impl fmt::Display for UnsupportedGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gate {} is not a simulable Clifford operation", self.0)
+    }
+}
+
+impl Error for UnsupportedGate {}
+
+/// One row of the tableau: a Pauli with a sign bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Row {
+    x: u64,
+    z: u64,
+    sign: bool,
+}
+
+/// Stabilizer-state simulator for up to 64 qubits.
+///
+/// Tracks `2n` rows (destabilizers then stabilizers) in the
+/// Aaronson–Gottesman representation; the circuit gates of the QSPR
+/// benchmarks (`H`, `S`, `S†`, Paulis, `C-X`, `C-Y`, `C-Z`, `SWAP`) are
+/// all supported.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_qasm::Program;
+/// use qspr_qecc::StabilizerSim;
+///
+/// // A Bell pair: stabilized by +XX and +ZZ.
+/// let p = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n").unwrap();
+/// let mut sim = StabilizerSim::new(2);
+/// sim.run(&p).unwrap();
+/// assert_eq!(sim.stabilizes(&"XX".parse().unwrap()), Some(true));
+/// assert_eq!(sim.stabilizes(&"ZZ".parse().unwrap()), Some(true));
+/// assert_eq!(sim.stabilizes(&"YY".parse().unwrap()), Some(false)); // -YY
+/// assert_eq!(sim.stabilizes(&"XZ".parse().unwrap()), None); // not in group
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilizerSim {
+    n: usize,
+    rows: Vec<Row>,
+}
+
+impl StabilizerSim {
+    /// The state |0…0⟩ on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 64`.
+    pub fn new(n: usize) -> StabilizerSim {
+        assert!(n >= 1 && n <= 64, "tableau supports 1..=64 qubits");
+        let mut rows = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            rows.push(Row {
+                x: 1 << i,
+                z: 0,
+                sign: false,
+            });
+        }
+        for i in 0..n {
+            rows.push(Row {
+                x: 0,
+                z: 1 << i,
+                sign: false,
+            });
+        }
+        StabilizerSim { n, rows }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn h(&mut self, q: usize) {
+        let m = 1u64 << q;
+        for row in &mut self.rows {
+            let x = row.x & m != 0;
+            let z = row.z & m != 0;
+            row.sign ^= x && z;
+            if x != z {
+                row.x ^= m;
+                row.z ^= m;
+            }
+        }
+    }
+
+    fn s(&mut self, q: usize) {
+        let m = 1u64 << q;
+        for row in &mut self.rows {
+            let x = row.x & m != 0;
+            let z = row.z & m != 0;
+            row.sign ^= x && z;
+            if x {
+                row.z ^= m;
+            }
+        }
+    }
+
+    fn cnot(&mut self, c: usize, t: usize) {
+        let mc = 1u64 << c;
+        let mt = 1u64 << t;
+        for row in &mut self.rows {
+            let xc = row.x & mc != 0;
+            let zt = row.z & mt != 0;
+            let xt = row.x & mt != 0;
+            let zc = row.z & mc != 0;
+            row.sign ^= xc && zt && (xt == zc);
+            if xc {
+                row.x ^= mt;
+            }
+            if zt {
+                row.z ^= mc;
+            }
+        }
+    }
+
+    fn pauli_x(&mut self, q: usize) {
+        let m = 1u64 << q;
+        for row in &mut self.rows {
+            row.sign ^= row.z & m != 0;
+        }
+    }
+
+    fn pauli_z(&mut self, q: usize) {
+        let m = 1u64 << q;
+        for row in &mut self.rows {
+            row.sign ^= row.x & m != 0;
+        }
+    }
+
+    fn pauli_y(&mut self, q: usize) {
+        let m = 1u64 << q;
+        for row in &mut self.rows {
+            row.sign ^= (row.x & m != 0) != (row.z & m != 0);
+        }
+    }
+
+    fn sdg(&mut self, q: usize) {
+        self.pauli_z(q);
+        self.s(q);
+    }
+
+    /// Applies one gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedGate`] for non-Clifford or non-unitary gates
+    /// (`T`, `T†`, preparation, measurement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range.
+    pub fn apply(&mut self, gate: Gate, operands: &[usize]) -> Result<(), UnsupportedGate> {
+        for &q in operands {
+            assert!(q < self.n, "qubit {q} out of range");
+        }
+        match (gate, operands) {
+            (Gate::H, [q]) => self.h(*q),
+            (Gate::S, [q]) => self.s(*q),
+            (Gate::Sdg, [q]) => self.sdg(*q),
+            (Gate::X, [q]) => self.pauli_x(*q),
+            (Gate::Y, [q]) => self.pauli_y(*q),
+            (Gate::Z, [q]) => self.pauli_z(*q),
+            (Gate::CX, [c, t]) => self.cnot(*c, *t),
+            (Gate::CZ, [c, t]) => {
+                self.h(*t);
+                self.cnot(*c, *t);
+                self.h(*t);
+            }
+            (Gate::CY, [c, t]) => {
+                self.sdg(*t);
+                self.cnot(*c, *t);
+                self.s(*t);
+            }
+            (Gate::Swap, [a, b]) => {
+                self.cnot(*a, *b);
+                self.cnot(*b, *a);
+                self.cnot(*a, *b);
+            }
+            (g, _) => return Err(UnsupportedGate(g)),
+        }
+        Ok(())
+    }
+
+    /// Runs every instruction of a program (which must use this
+    /// simulator's qubit count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedGate`] on the first non-Clifford gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program declares a different number of qubits.
+    pub fn run(&mut self, program: &Program) -> Result<(), UnsupportedGate> {
+        assert_eq!(
+            program.num_qubits(),
+            self.n,
+            "program and simulator disagree on qubit count"
+        );
+        for instr in program.instructions() {
+            match instr.operands {
+                Operands::One(q) => self.apply(instr.gate, &[q.index()])?,
+                Operands::Two { control, target } => {
+                    self.apply(instr.gate, &[control.index(), target.index()])?
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The current stabilizer generators, with signs.
+    pub fn stabilizer_generators(&self) -> Vec<PhasedPauli> {
+        self.rows[self.n..]
+            .iter()
+            .map(|row| {
+                PhasedPauli::new(Pauli::from_masks(self.n, row.x, row.z))
+                    .times_i(if row.sign { 2 } else { 0 })
+            })
+            .collect()
+    }
+
+    /// Whether `p` stabilizes the current state:
+    ///
+    /// * `Some(true)` — `+p` is in the stabilizer group;
+    /// * `Some(false)` — `−p` is in the group;
+    /// * `None` — neither (measuring `p` would be random).
+    pub fn stabilizes(&self, p: &Pauli) -> Option<bool> {
+        assert_eq!(p.num_qubits(), self.n, "operator size mismatch");
+        let gens = self.stabilizer_generators();
+        let mut basis = BitBasis::new(2 * self.n);
+        for g in &gens {
+            basis.insert(g.pauli().symplectic());
+        }
+        let (residue, combo) = basis.reduce(p.symplectic());
+        if residue != 0 {
+            return None;
+        }
+        // Multiply out the combination to recover the exact sign.
+        let mut acc = PhasedPauli::new(Pauli::identity(self.n));
+        for (i, g) in gens.iter().enumerate() {
+            if (combo >> i) & 1 == 1 {
+                acc = acc.mul(g);
+            }
+        }
+        debug_assert_eq!(acc.pauli(), p);
+        match acc.phase() {
+            0 => Some(true),
+            2 => Some(false),
+            _ => unreachable!("commuting Hermitian products are ±1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli(s: &str) -> Pauli {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fresh_state_is_all_zeros() {
+        let sim = StabilizerSim::new(3);
+        assert_eq!(sim.stabilizes(&pauli("ZII")), Some(true));
+        assert_eq!(sim.stabilizes(&pauli("IZZ")), Some(true));
+        assert_eq!(sim.stabilizes(&pauli("XII")), None);
+    }
+
+    #[test]
+    fn x_flips_a_qubit() {
+        let mut sim = StabilizerSim::new(1);
+        sim.apply(Gate::X, &[0]).unwrap();
+        assert_eq!(sim.stabilizes(&pauli("Z")), Some(false)); // -Z = |1>
+    }
+
+    #[test]
+    fn hadamard_makes_plus() {
+        let mut sim = StabilizerSim::new(1);
+        sim.apply(Gate::H, &[0]).unwrap();
+        assert_eq!(sim.stabilizes(&pauli("X")), Some(true));
+        assert_eq!(sim.stabilizes(&pauli("Z")), None);
+    }
+
+    #[test]
+    fn s_gate_turns_x_into_y() {
+        let mut sim = StabilizerSim::new(1);
+        sim.apply(Gate::H, &[0]).unwrap();
+        sim.apply(Gate::S, &[0]).unwrap();
+        assert_eq!(sim.stabilizes(&pauli("Y")), Some(true));
+        // S† undoes it.
+        sim.apply(Gate::Sdg, &[0]).unwrap();
+        assert_eq!(sim.stabilizes(&pauli("X")), Some(true));
+    }
+
+    #[test]
+    fn ghz_state_stabilizers() {
+        let p = Program::parse(
+            "QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X b,c\n",
+        )
+        .unwrap();
+        let mut sim = StabilizerSim::new(3);
+        sim.run(&p).unwrap();
+        assert_eq!(sim.stabilizes(&pauli("XXX")), Some(true));
+        assert_eq!(sim.stabilizes(&pauli("ZZI")), Some(true));
+        assert_eq!(sim.stabilizes(&pauli("IZZ")), Some(true));
+        assert_eq!(sim.stabilizes(&pauli("ZIZ")), Some(true));
+        assert_eq!(sim.stabilizes(&pauli("ZZZ")), None);
+    }
+
+    #[test]
+    fn cz_and_cy_match_their_definitions() {
+        // CZ |++> stabilizers: XZ, ZX.
+        let mut sim = StabilizerSim::new(2);
+        sim.apply(Gate::H, &[0]).unwrap();
+        sim.apply(Gate::H, &[1]).unwrap();
+        sim.apply(Gate::CZ, &[0, 1]).unwrap();
+        assert_eq!(sim.stabilizes(&pauli("XZ")), Some(true));
+        assert_eq!(sim.stabilizes(&pauli("ZX")), Some(true));
+
+        // CY with control |+>: stabilizers XY, ZI? |0>|0> + |1>(i|1>)...
+        let mut sim = StabilizerSim::new(2);
+        sim.apply(Gate::H, &[0]).unwrap();
+        sim.apply(Gate::CY, &[0, 1]).unwrap();
+        assert_eq!(sim.stabilizes(&pauli("XY")), Some(true));
+        assert_eq!(sim.stabilizes(&pauli("ZZ")), Some(true));
+    }
+
+    #[test]
+    fn swap_exchanges_states() {
+        let mut sim = StabilizerSim::new(2);
+        sim.apply(Gate::X, &[0]).unwrap();
+        sim.apply(Gate::Swap, &[0, 1]).unwrap();
+        assert_eq!(sim.stabilizes(&pauli("ZI")), Some(true)); // q0 back to |0>
+        assert_eq!(sim.stabilizes(&pauli("IZ")), Some(false)); // q1 is |1>
+    }
+
+    #[test]
+    fn t_gate_is_unsupported() {
+        let mut sim = StabilizerSim::new(1);
+        assert_eq!(
+            sim.apply(Gate::T, &[0]),
+            Err(UnsupportedGate(Gate::T))
+        );
+    }
+
+    #[test]
+    fn five_code_encoder_fixture() {
+        // The paper's Fig. 2/3 circuit maps |0000>|psi=0> into the
+        // [[5,1,3]] code space -- checked against the cyclic stabilizers
+        // XZZX-type up to the specific convention. Here we just verify
+        // the run completes and yields a valid 5-qubit state.
+        let p = Program::parse(
+            "QUBIT q0,0\nQUBIT q1,0\nQUBIT q2,0\nQUBIT q3\nQUBIT q4,0\n\
+             H q0\nH q1\nH q2\nH q4\n\
+             C-X q3,q2\nC-Z q4,q2\nC-Y q2,q1\nC-Y q3,q1\nC-X q4,q1\n\
+             C-Z q2,q0\nC-Y q3,q0\nC-Z q4,q0\n",
+        )
+        .unwrap();
+        let mut sim = StabilizerSim::new(5);
+        sim.run(&p).unwrap();
+        assert_eq!(sim.stabilizer_generators().len(), 5);
+    }
+}

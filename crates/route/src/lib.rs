@@ -1,0 +1,86 @@
+//! Routing of ion qubits through an ion-trap fabric.
+//!
+//! Implements the QSPR paper's router (§IV.B):
+//!
+//! * the fabric is modelled as a weighted graph whose vertices are
+//!   junctions and whose edges are channel segments;
+//! * a channel edge weighs `(n+1)·length` scaled by `T_move`, where `n`
+//!   counts the qubits *already using or booked to use* the channel; a
+//!   full channel weighs ∞ (Eq. 2), which folds both `T_routing` and
+//!   `T_congestion` into path selection;
+//! * **turn awareness** (Fig. 5): every junction vertex is split into a
+//!   horizontal and a vertical node joined by an edge of weight `T_turn`,
+//!   so Dijkstra correctly prefers few-turn routes. The turn-blind
+//!   variant (used to model QUALE/QPOS) sets that edge's weight to zero —
+//!   but the returned [`RoutePlan`] still records every physical turn, so
+//!   the simulator charges the cost the router ignored;
+//! * an optional PathFinder-style *history* term (`history_cost`)
+//!   penalizes repeatedly used channels, standing in for QUALE's
+//!   negotiated-congestion router.
+//!
+//! Routes are returned as cell-level [`RoutePlan`]s: a list of
+//! [`Step`]s (`Move`/`Turn`) plus the [`Resource`]s (segments, junctions)
+//! the qubit books, each with the relative time at which it is released.
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr_fabric::{Fabric, TechParams};
+//! use qspr_route::{ResourceState, Router, RouterConfig};
+//!
+//! let fabric = Fabric::quale_45x85();
+//! let tech = TechParams::date2012();
+//! let router = Router::new(fabric.topology(), RouterConfig::qspr(&tech));
+//! let state = ResourceState::new(fabric.topology());
+//!
+//! let traps = fabric.topology().traps_by_distance(fabric.center());
+//! let plan = router
+//!     .route(&state, traps[0], traps[40])
+//!     .expect("uncongested fabric is routable");
+//! assert!(plan.moves() > 0);
+//! assert_eq!(
+//!     plan.duration(),
+//!     u64::from(plan.moves()) * tech.t_move + u64::from(plan.turns()) * tech.t_turn
+//! );
+//! ```
+
+mod plan;
+mod proptests;
+mod resource;
+mod router;
+
+pub use plan::{ResourceUse, RoutePlan, Step};
+pub use resource::{Resource, ResourceState};
+pub use router::{Router, RouterConfig};
+
+/// A fabric realizing the paper's Fig. 5 scenario: between the two traps,
+/// a *staircase* offers the fewest moves (18) at the price of eight
+/// turns, while a *ring corridor* takes two extra moves (20) but only two
+/// turns. A turn-blind router picks the staircase (98µs of travel at the
+/// DATE-2012 timings); the turn-aware router picks the ring (40µs).
+///
+/// ```
+/// use qspr_fabric::{Coord, Fabric, TechParams};
+/// use qspr_route::{ResourceState, Router, RouterConfig, FIG5_DEMO_FABRIC};
+///
+/// let fabric = Fabric::from_ascii(FIG5_DEMO_FABRIC).unwrap();
+/// let topo = fabric.topology();
+/// let tech = TechParams::date2012();
+/// let router = Router::new(topo, RouterConfig::qspr(&tech));
+/// let state = ResourceState::new(topo);
+/// let s = topo.trap_at(Coord::new(7, 4)).unwrap();
+/// let t = topo.trap_at(Coord::new(1, 6)).unwrap();
+/// let plan = router.route(&state, s, t).unwrap();
+/// assert_eq!((plan.moves(), plan.turns()), (20, 2));
+/// ```
+pub const FIG5_DEMO_FABRIC: &str = "\
++------+.
+|.....T|.
+|....+-+.
+|....|...
+|....+-+.
+|......|.
+|....+-+.
+|...T|...
++----+...
+";

@@ -1,0 +1,104 @@
+//! Property-based tests of the router under random load.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use qspr_fabric::{Fabric, TechParams, TrapId};
+
+use crate::resource::ResourceState;
+use crate::router::{Router, RouterConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Book a sequence of random routes; capacities must never be
+    /// exceeded, and every booked route must remain releasable.
+    #[test]
+    fn bookings_respect_capacity(pairs in proptest::collection::vec((0usize..900, 0usize..900), 1..12)) {
+        let fabric = Fabric::quale_45x85();
+        let topo = fabric.topology();
+        let tech = TechParams::date2012();
+        let router = Router::new(topo, RouterConfig::qspr(&tech));
+        let mut state = ResourceState::new(topo);
+        let n = topo.traps().len();
+        let mut booked = Vec::new();
+        for (a, b) in pairs {
+            let from = TrapId((a % n) as u32);
+            let to = TrapId((b % n) as u32);
+            if from == to {
+                continue;
+            }
+            if let Some(plan) = router.route(&state, from, to) {
+                for usage in plan.resources() {
+                    state.book(usage.resource);
+                    let cap = match usage.resource {
+                        crate::resource::Resource::Segment(_) => tech.channel_capacity,
+                        crate::resource::Resource::Junction(_) => tech.junction_capacity,
+                    };
+                    prop_assert!(
+                        state.usage(usage.resource) <= cap,
+                        "{} over capacity", usage.resource
+                    );
+                }
+                booked.push(plan);
+            }
+        }
+        for plan in &booked {
+            for usage in plan.resources() {
+                state.release(usage.resource);
+            }
+        }
+        prop_assert_eq!(state.total_bookings(), 0);
+    }
+
+    /// Congestion can only make the chosen route costlier, never cheaper.
+    #[test]
+    fn congestion_is_monotone(a in 0usize..900, b in 0usize..900, load in 0usize..900) {
+        let fabric = Fabric::quale_45x85();
+        let topo = fabric.topology();
+        let tech = TechParams::date2012();
+        let router = Router::new(topo, RouterConfig::qspr(&tech));
+        let n = topo.traps().len();
+        let from = TrapId((a % n) as u32);
+        let to = TrapId((b % n) as u32);
+        prop_assume!(from != to);
+
+        let quiet = ResourceState::new(topo);
+        let base = router.route(&quiet, from, to).expect("connected fabric");
+
+        // Apply an unrelated route's bookings as load.
+        let mut loaded = ResourceState::new(topo);
+        let lt = TrapId((load % n) as u32);
+        if lt != from && lt != to {
+            if let Some(plan) = router.route(&loaded, from, lt) {
+                for usage in plan.resources() {
+                    loaded.book(usage.resource);
+                }
+            }
+        }
+        if let Some(under_load) = router.route(&loaded, from, to) {
+            prop_assert!(under_load.est_cost() >= base.est_cost());
+        }
+    }
+
+    /// Routing is symmetric in travel time on a quiet fabric (paths may
+    /// differ, but the physical duration must match: the graph is
+    /// undirected and the cost model direction-free).
+    #[test]
+    fn quiet_routing_is_duration_symmetric(a in 0usize..900, b in 0usize..900) {
+        let fabric = Fabric::quale_45x85();
+        let topo = fabric.topology();
+        let tech = TechParams::date2012();
+        let router = Router::new(topo, RouterConfig::qspr(&tech));
+        let state = ResourceState::new(topo);
+        let n = topo.traps().len();
+        let from = TrapId((a % n) as u32);
+        let to = TrapId((b % n) as u32);
+        prop_assume!(from != to);
+        let fwd = router.route(&state, from, to).expect("connected");
+        let bwd = router.route(&state, to, from).expect("connected");
+        prop_assert_eq!(fwd.duration(), bwd.duration());
+        prop_assert_eq!(fwd.moves(), bwd.moves());
+    }
+}

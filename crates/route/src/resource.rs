@@ -1,0 +1,136 @@
+//! Bookable fabric resources and their occupancy state.
+
+use std::fmt;
+
+use qspr_fabric::{JunctionId, SegmentId, Topology};
+
+/// A capacity-limited fabric resource a moving qubit occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// A channel segment.
+    Segment(SegmentId),
+    /// A junction.
+    Junction(JunctionId),
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Segment(s) => write!(f, "{s}"),
+            Resource::Junction(j) => write!(f, "{j}"),
+        }
+    }
+}
+
+/// Current booking counts for every segment and junction of a fabric.
+///
+/// A qubit books every resource on its route when the route is *issued*
+/// (the paper's "already using or will use") and releases each resource at
+/// the simulated moment it physically exits it.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_fabric::{Fabric, SegmentId};
+/// use qspr_route::{Resource, ResourceState};
+///
+/// let fabric = Fabric::quale_45x85();
+/// let mut state = ResourceState::new(fabric.topology());
+/// let seg = Resource::Segment(SegmentId(0));
+/// state.book(seg);
+/// assert_eq!(state.usage(seg), 1);
+/// state.release(seg);
+/// assert_eq!(state.usage(seg), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceState {
+    segments: Vec<u8>,
+    junctions: Vec<u8>,
+}
+
+impl ResourceState {
+    /// Fresh state with every resource unoccupied.
+    pub fn new(topology: &Topology) -> ResourceState {
+        ResourceState {
+            segments: vec![0; topology.segments().len()],
+            junctions: vec![0; topology.junctions().len()],
+        }
+    }
+
+    /// Number of qubits currently using-or-booked on `resource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource id does not belong to the topology this
+    /// state was created for.
+    pub fn usage(&self, resource: Resource) -> u8 {
+        match resource {
+            Resource::Segment(s) => self.segments[s.index()],
+            Resource::Junction(j) => self.junctions[j.index()],
+        }
+    }
+
+    /// Records one more qubit on `resource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource id is out of range.
+    pub fn book(&mut self, resource: Resource) {
+        match resource {
+            Resource::Segment(s) => self.segments[s.index()] += 1,
+            Resource::Junction(j) => self.junctions[j.index()] += 1,
+        }
+    }
+
+    /// Releases one booking of `resource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when releasing an unbooked resource, which
+    /// would indicate a simulator accounting bug.
+    pub fn release(&mut self, resource: Resource) {
+        let slot = match resource {
+            Resource::Segment(s) => &mut self.segments[s.index()],
+            Resource::Junction(j) => &mut self.junctions[j.index()],
+        };
+        debug_assert!(*slot > 0, "releasing unbooked {resource}");
+        *slot = slot.saturating_sub(1);
+    }
+
+    /// Total bookings across all resources (0 when the fabric is quiet).
+    pub fn total_bookings(&self) -> usize {
+        self.segments.iter().map(|&n| n as usize).sum::<usize>()
+            + self.junctions.iter().map(|&n| n as usize).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qspr_fabric::Fabric;
+
+    #[test]
+    fn book_release_round_trip() {
+        let f = Fabric::quale_45x85();
+        let mut st = ResourceState::new(f.topology());
+        let r = Resource::Junction(qspr_fabric::JunctionId(3));
+        assert_eq!(st.usage(r), 0);
+        st.book(r);
+        st.book(r);
+        assert_eq!(st.usage(r), 2);
+        assert_eq!(st.total_bookings(), 2);
+        st.release(r);
+        assert_eq!(st.usage(r), 1);
+        st.release(r);
+        assert_eq!(st.total_bookings(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing unbooked")]
+    #[cfg(debug_assertions)]
+    fn over_release_is_caught() {
+        let f = Fabric::quale_45x85();
+        let mut st = ResourceState::new(f.topology());
+        st.release(Resource::Segment(qspr_fabric::SegmentId(0)));
+    }
+}

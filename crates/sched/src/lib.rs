@@ -1,0 +1,46 @@
+//! Quantum instruction dependency graph (QIDG) and scheduling analyses.
+//!
+//! The QSPR paper (§III) schedules QASM instructions under
+//! Minimum-Latency Resource-Constrained (MLRC) semantics, where the
+//! resource constraints are the fabric's channel and junction capacities.
+//! The *static* side of that problem lives here:
+//!
+//! * [`Qidg`] — the dependency DAG extracted from a
+//!   [`qspr_qasm::Program`] (one node per instruction, one edge per
+//!   qubit-carried dependency);
+//! * [`Schedule`] — resource-free ASAP and ALAP schedules
+//!   ([`Qidg::asap`], [`Qidg::alap`]); the ASAP makespan is the paper's
+//!   *ideal baseline* latency (`T_routing = T_congestion = 0`);
+//! * [`PriorityWeights`] — the paper's list-scheduling priority: a linear
+//!   combination of how many operations transitively depend on an
+//!   instruction and the longest delay path from it to the end of the
+//!   QIDG.
+//!
+//! The *dynamic* side — interleaved scheduling and routing on a concrete
+//! fabric — lives in `qspr-sim`, which consumes the priorities computed
+//! here. The *uncompute* graph (UIDG) used by the MVFB placer is simply
+//! `Qidg::new(&program.reversed(), tech)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr_fabric::TechParams;
+//! use qspr_qasm::Program;
+//! use qspr_sched::Qidg;
+//!
+//! # fn main() -> Result<(), qspr_qasm::ParseError> {
+//! let program = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\nH b\n")?;
+//! let qidg = Qidg::new(&program, &TechParams::date2012());
+//! // H(a) -> CX(a,b) -> H(b): a pure chain.
+//! assert_eq!(qidg.critical_path_delay(), 10 + 100 + 10);
+//! # Ok(())
+//! # }
+//! ```
+
+mod priority;
+mod qidg;
+mod schedule;
+
+pub use priority::PriorityWeights;
+pub use qidg::{gate_delay, InstrId, Qidg};
+pub use schedule::Schedule;

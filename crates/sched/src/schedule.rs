@@ -1,0 +1,121 @@
+//! Resource-free schedules over a QIDG.
+
+use qspr_fabric::Time;
+
+use crate::qidg::InstrId;
+
+/// A start-time assignment for every instruction of a QIDG.
+///
+/// Produced by [`crate::Qidg::asap`] and [`crate::Qidg::alap`]; these
+/// schedules ignore fabric resources (`T_routing = T_congestion = 0`), so
+/// the ASAP makespan is the paper's ideal lower bound on mapped latency.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_fabric::TechParams;
+/// use qspr_qasm::Program;
+/// use qspr_sched::{InstrId, Qidg};
+///
+/// # fn main() -> Result<(), qspr_qasm::ParseError> {
+/// let p = Program::parse("QUBIT a\nH a\nX a\n")?;
+/// let s = Qidg::new(&p, &TechParams::date2012()).asap();
+/// assert_eq!(s.start(InstrId(1)), 10);
+/// assert_eq!(s.makespan(), 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    start: Vec<Time>,
+    delay: Vec<Time>,
+    makespan: Time,
+}
+
+impl Schedule {
+    pub(crate) fn new(start: Vec<Time>, delay: Vec<Time>) -> Schedule {
+        debug_assert_eq!(start.len(), delay.len());
+        let makespan = start
+            .iter()
+            .zip(&delay)
+            .map(|(s, d)| s + d)
+            .max()
+            .unwrap_or(0);
+        Schedule {
+            start,
+            delay,
+            makespan,
+        }
+    }
+
+    /// Number of scheduled instructions.
+    pub fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    /// `true` for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
+
+    /// Scheduled start time of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn start(&self, id: InstrId) -> Time {
+        self.start[id.index()]
+    }
+
+    /// Scheduled finish time of `id` (start plus gate delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn finish(&self, id: InstrId) -> Time {
+        self.start[id.index()] + self.delay[id.index()]
+    }
+
+    /// Time at which the last instruction finishes.
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Instruction ids sorted by (start time, id) — the issue order QUALE
+    /// derives from its ALAP schedule.
+    pub fn issue_order(&self) -> Vec<InstrId> {
+        let mut ids: Vec<InstrId> = (0..self.start.len() as u32).map(InstrId).collect();
+        ids.sort_by_key(|id| (self.start[id.index()], *id));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_of_empty_schedule_is_zero() {
+        let s = Schedule::new(vec![], vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.makespan(), 0);
+    }
+
+    #[test]
+    fn finish_adds_delay() {
+        let s = Schedule::new(vec![0, 10], vec![10, 100]);
+        assert_eq!(s.finish(InstrId(0)), 10);
+        assert_eq!(s.finish(InstrId(1)), 110);
+        assert_eq!(s.makespan(), 110);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn issue_order_sorts_by_start_then_id() {
+        let s = Schedule::new(vec![5, 0, 5], vec![1, 1, 1]);
+        assert_eq!(
+            s.issue_order(),
+            vec![InstrId(1), InstrId(0), InstrId(2)]
+        );
+    }
+}

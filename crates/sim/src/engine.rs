@@ -1,0 +1,1161 @@
+//! The event-driven mapping engine (paper §III–§IV).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use qspr_fabric::{Coord, Fabric, TechParams, Time, Topology, TrapId};
+use qspr_qasm::{Operands, Program, QubitId};
+use qspr_route::{Resource, ResourceState, RoutePlan, Router, Step};
+use qspr_sched::{InstrId, Qidg};
+
+use crate::error::MapError;
+use crate::outcome::{InstrStats, MappingOutcome};
+use crate::placement::Placement;
+use crate::policy::{IssueOrder, MapperPolicy, MovementPolicy};
+use crate::trace::{MicroCommand, Trace, TraceEntry};
+
+/// Maps programs onto a fabric under a given policy.
+///
+/// The mapper is reusable: each call to [`Mapper::map`] runs an
+/// independent simulation. See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Mapper<'a> {
+    fabric: &'a Fabric,
+    tech: TechParams,
+    policy: MapperPolicy,
+    record_trace: bool,
+}
+
+impl<'a> Mapper<'a> {
+    /// Creates a mapper over `fabric` with technology `tech` and `policy`.
+    pub fn new(fabric: &'a Fabric, tech: TechParams, policy: MapperPolicy) -> Mapper<'a> {
+        Mapper {
+            fabric,
+            tech,
+            policy,
+            record_trace: false,
+        }
+    }
+
+    /// Enables or disables micro-command trace recording (off by default;
+    /// placers run thousands of mappings and only need latencies).
+    pub fn record_trace(mut self, record: bool) -> Mapper<'a> {
+        self.record_trace = record;
+        self
+    }
+
+    /// The fabric this mapper targets.
+    pub fn fabric(&self) -> &Fabric {
+        self.fabric
+    }
+
+    /// The technology parameters in use.
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &MapperPolicy {
+        &self.policy
+    }
+
+    /// Schedules, places (per the given initial placement) and routes
+    /// `program`, returning the full mapping outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapError`] when the placement is inconsistent with the
+    /// program/fabric, or when the simulation stalls (unroutable operand
+    /// pair on a disconnected fabric, or no trap ever frees up).
+    pub fn map(
+        &self,
+        program: &Program,
+        placement: &Placement,
+    ) -> Result<MappingOutcome, MapError> {
+        placement.check(self.fabric, program.num_qubits())?;
+        let qidg = Qidg::new(program, &self.tech);
+        let order_key: Vec<f64> = match self.policy.order {
+            IssueOrder::PriorityList(w) => {
+                qidg.priorities(&w).iter().map(|p| -p).collect()
+            }
+            IssueOrder::Alap => {
+                let alap = qidg.alap();
+                qidg.topo_order()
+                    .map(|id| alap.start(id) as f64)
+                    .collect()
+            }
+            IssueOrder::Asap => {
+                let asap = qidg.asap();
+                qidg.topo_order()
+                    .map(|id| asap.start(id) as f64)
+                    .collect()
+            }
+        };
+        let sim = Sim::new(self, &qidg, placement, order_key);
+        sim.run()
+    }
+}
+
+/// A scheduled simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A qubit exits a channel segment or junction; its booking frees.
+    Release(Resource),
+    /// One operand of `InstrId` reached the target trap.
+    Arrived(InstrId),
+    /// The gate of `InstrId` finished.
+    GateDone(InstrId),
+    /// A qubit completed its shuttle back to its home trap
+    /// ([`MovementPolicy::ReturnToHome`]) and is usable again.
+    ReturnedHome(QubitId),
+}
+
+/// A blocked work item waiting for fabric resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusyItem {
+    /// The instruction has not been issued at all.
+    Unissued(InstrId),
+    /// One operand is already at (or moving to) the meeting trap; the
+    /// other still needs a route (staged movement, required whenever
+    /// channel capacity 1 forbids simultaneous operand motion).
+    SecondLeg(InstrId),
+    /// A qubit whose post-gate shuttle home is blocked on channels.
+    ReturnLeg(QubitId),
+}
+
+impl BusyItem {
+    /// Sort key: instructions order by their schedule key; return legs
+    /// ride along with the highest urgency (they unblock dependents).
+    fn sort_instr(self) -> Option<InstrId> {
+        match self {
+            BusyItem::Unissued(id) | BusyItem::SecondLeg(id) => Some(id),
+            BusyItem::ReturnLeg(_) => None,
+        }
+    }
+}
+
+struct Sim<'m, 'a> {
+    mapper: &'m Mapper<'a>,
+    topo: &'a Topology,
+    qidg: &'m Qidg,
+    order_key: Vec<f64>,
+    router: Router<'a>,
+    resources: ResourceState,
+    /// Per-trap count of physically present plus reserved qubits.
+    trap_occupancy: Vec<u8>,
+    /// Destination trap of each qubit (its trap once all issued moves
+    /// complete).
+    qubit_trap: Vec<TrapId>,
+    /// The trap a qubit must be routed *from*: equals `qubit_trap` except
+    /// for pending second legs that have not physically left yet.
+    phys_trap: Vec<TrapId>,
+    /// Current cell of each qubit, for trace recording.
+    qubit_coord: Vec<Coord>,
+    /// Unfinished dependency count per instruction.
+    pending: Vec<u32>,
+    ready: Vec<InstrId>,
+    busy: Vec<BusyItem>,
+    resources_changed: bool,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    time: Time,
+    arrivals_needed: Vec<u8>,
+    arrivals_done: Vec<u8>,
+    /// The unrouted mover of a half-issued instruction.
+    second_leg: Vec<Option<QubitId>>,
+    gate_trap: Vec<TrapId>,
+    /// Fixed home trap per qubit (the initial placement), used by the
+    /// return-to-home movement policy.
+    home_trap: Vec<TrapId>,
+    /// Qubits currently shuttling home (unusable until they arrive).
+    in_transit: Vec<bool>,
+    /// For a queued return leg: the trap the qubit still sits in.
+    return_from: Vec<Option<TrapId>>,
+    stats: Vec<InstrStats>,
+    trace: Option<Vec<TraceEntry>>,
+    finished: usize,
+}
+
+impl<'m, 'a> Sim<'m, 'a> {
+    fn new(
+        mapper: &'m Mapper<'a>,
+        qidg: &'m Qidg,
+        placement: &Placement,
+        order_key: Vec<f64>,
+    ) -> Sim<'m, 'a> {
+        let topo = mapper.fabric.topology();
+        let n = qidg.len();
+        let mut trap_occupancy = vec![0u8; topo.traps().len()];
+        for &t in placement.as_slice() {
+            trap_occupancy[t.index()] += 1;
+        }
+        let qubit_coord = placement
+            .as_slice()
+            .iter()
+            .map(|&t| topo.trap(t).coord())
+            .collect();
+        let pending: Vec<u32> = qidg
+            .topo_order()
+            .map(|id| qidg.preds(id).len() as u32)
+            .collect();
+        let ready: Vec<InstrId> = qidg
+            .topo_order()
+            .filter(|id| pending[id.index()] == 0)
+            .collect();
+        Sim {
+            router: Router::new(topo, mapper.policy.router),
+            resources: ResourceState::new(topo),
+            mapper,
+            topo,
+            qidg,
+            order_key,
+            trap_occupancy,
+            qubit_trap: placement.as_slice().to_vec(),
+            phys_trap: placement.as_slice().to_vec(),
+            qubit_coord,
+            pending,
+            ready,
+            busy: Vec::new(),
+            resources_changed: false,
+            events: BinaryHeap::new(),
+            seq: 0,
+            time: 0,
+            arrivals_needed: vec![0; n],
+            arrivals_done: vec![0; n],
+            second_leg: vec![None; n],
+            gate_trap: vec![TrapId(0); n],
+            home_trap: placement.as_slice().to_vec(),
+            in_transit: vec![false; placement.num_qubits()],
+            return_from: vec![None; placement.num_qubits()],
+            stats: vec![InstrStats::default(); n],
+            trace: mapper.record_trace.then(Vec::new),
+            finished: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<MappingOutcome, MapError> {
+        self.issue_phase();
+        while let Some(&Reverse(next)) = self.events.peek() {
+            let t = next.time;
+            debug_assert!(t >= self.time, "event time went backwards");
+            self.time = t;
+            while let Some(&Reverse(ev)) = self.events.peek() {
+                if ev.time != t {
+                    break;
+                }
+                let ev = self.events.pop().expect("peeked").0;
+                self.process(ev.kind);
+            }
+            self.issue_phase();
+        }
+        if self.finished != self.qidg.len() {
+            return Err(MapError::Stalled {
+                remaining: self.qidg.len() - self.finished,
+            });
+        }
+        let latency = self
+            .stats
+            .iter()
+            .map(|s| s.finish)
+            .max()
+            .unwrap_or(0);
+        let final_placement = Placement::new(self.qubit_trap.clone())
+            .expect("occupancy bookkeeping caps traps at two qubits");
+        let trace = self.trace.take().map(Trace::new);
+        Ok(MappingOutcome::new(
+            latency,
+            self.stats,
+            final_placement,
+            trace,
+        ))
+    }
+
+    fn process(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Release(resource) => {
+                self.resources.release(resource);
+                self.resources_changed = true;
+            }
+            EventKind::Arrived(id) => {
+                self.arrivals_done[id.index()] += 1;
+                if self.arrivals_done[id.index()] == self.arrivals_needed[id.index()] {
+                    self.begin_gate(id);
+                }
+            }
+            EventKind::GateDone(id) => {
+                self.stats[id.index()].finish = self.time;
+                self.finished += 1;
+                self.emit(self.time, MicroCommand::GateEnd { instr: id });
+                for &s in self.qidg.succs(id) {
+                    let p = &mut self.pending[s.index()];
+                    *p -= 1;
+                    if *p == 0 {
+                        self.stats[s.index()].ready_at = self.time;
+                        self.ready.push(s);
+                    }
+                }
+                // Under the storage model, the visiting source qubit now
+                // shuttles back to its home trap.
+                if self.mapper.policy.movement == MovementPolicy::ReturnToHome {
+                    if let Operands::Two { control, .. } =
+                        self.qidg.instruction(id).operands
+                    {
+                        let here = self.gate_trap[id.index()];
+                        if self.home_trap[control.index()] != here {
+                            self.in_transit[control.index()] = true;
+                            self.return_from[control.index()] = Some(here);
+                            if !self.try_return_leg(control) {
+                                self.busy.push(BusyItem::ReturnLeg(control));
+                            }
+                        }
+                    }
+                }
+            }
+            EventKind::ReturnedHome(q) => {
+                self.in_transit[q.index()] = false;
+                self.resources_changed = true;
+            }
+        }
+    }
+
+    /// Issues every instruction that can start now, in policy order,
+    /// looping until a fixpoint (an issue can free traps that unblock
+    /// other instructions).
+    fn issue_phase(&mut self) {
+        loop {
+            let mut candidates: Vec<BusyItem> = self
+                .ready
+                .drain(..)
+                .map(BusyItem::Unissued)
+                .collect();
+            if self.resources_changed && !self.busy.is_empty() {
+                candidates.append(&mut self.busy);
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            self.resources_changed = false;
+            candidates.sort_by(|a, b| {
+                let key = |item: &BusyItem| match item.sort_instr() {
+                    Some(id) => (self.order_key[id.index()], id.0),
+                    // Return legs first: they free traps and qubits.
+                    None => (f64::NEG_INFINITY, 0),
+                };
+                let (ka, kb) = (key(a), key(b));
+                ka.0.partial_cmp(&kb.0)
+                    .expect("priorities are finite")
+                    .then(ka.1.cmp(&kb.1))
+            });
+            let strict = self.mapper.policy.strict_order;
+            let mut progressed = false;
+            let mut head_blocked = false;
+            for item in candidates {
+                let issued = match item {
+                    // Under strict extraction, a blocked instruction
+                    // holds back every unissued instruction behind it;
+                    // second/return legs belong to already-issued
+                    // operations and may always proceed.
+                    BusyItem::Unissued(_) if strict && head_blocked => false,
+                    BusyItem::Unissued(id) => self.try_issue(id),
+                    BusyItem::SecondLeg(id) => self.try_second_leg(id),
+                    BusyItem::ReturnLeg(q) => self.try_return_leg(q),
+                };
+                if issued {
+                    progressed = true;
+                } else {
+                    if matches!(item, BusyItem::Unissued(_)) {
+                        head_blocked = true;
+                    }
+                    self.busy.push(item);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Attempts to issue one instruction; returns `false` when blocked.
+    fn try_issue(&mut self, id: InstrId) -> bool {
+        let instr = *self.qidg.instruction(id);
+        // Operands still shuttling home are unusable.
+        if instr.qubits().any(|q| self.in_transit[q.index()]) {
+            return false;
+        }
+        match instr.operands {
+            Operands::One(q) => {
+                self.stats[id.index()].issued_at = self.time;
+                self.arrivals_needed[id.index()] = 0;
+                self.gate_trap[id.index()] = self.qubit_trap[q.index()];
+                self.begin_gate(id);
+                true
+            }
+            Operands::Two { control, target } => {
+                if self.mapper.policy.movement == MovementPolicy::ReturnToHome {
+                    return self.try_issue_return_to_home(id, control, target);
+                }
+                let tc = self.qubit_trap[control.index()];
+                let tt = self.qubit_trap[target.index()];
+                if tc == tt {
+                    self.stats[id.index()].issued_at = self.time;
+                    self.arrivals_needed[id.index()] = 0;
+                    self.gate_trap[id.index()] = tc;
+                    self.begin_gate(id);
+                    return true;
+                }
+                let meeting = match self.mapper.policy.movement {
+                    MovementPolicy::ReturnToHome => {
+                        unreachable!("handled by try_issue_return_to_home")
+                    }
+                    MovementPolicy::BothToMedian => {
+                        // The paper picks the meeting point "so as to
+                        // minimize the movement delay": compare the free
+                        // trap nearest the median (both operands move)
+                        // against hosting the gate in either operand's
+                        // own trap (one operand moves), and keep the
+                        // cheapest routable choice.
+                        match self.cheapest_meeting(tc, tt) {
+                            Some(t) => t,
+                            None => return false,
+                        }
+                    }
+                    MovementPolicy::SourceToDestination => {
+                        if self.trap_occupancy[tt.index()] <= 1 {
+                            tt
+                        } else {
+                            // The destination trap already hosts a second
+                            // qubit from an earlier gate; fall back to the
+                            // nearest free trap so the trap never exceeds
+                            // its two-ion capacity (the destination
+                            // operand then hops over too).
+                            let occ = &self.trap_occupancy;
+                            match self
+                                .topo
+                                .nearest_trap(self.topo.trap(tt).coord(), |t| {
+                                    occ[t.index()] == 0
+                                }) {
+                                Some(t) => t,
+                                None => return false,
+                            }
+                        }
+                    }
+                };
+
+                // Route the movers one after another so the second sees
+                // the first's bookings. A mover whose route is blocked
+                // becomes a *pending second leg*: it keeps its seat in the
+                // source trap (plus a reservation at the meeting trap) and
+                // is routed later, when channels free up. This staging is
+                // what keeps capacity-1 configurations live: two qubits
+                // can never share the meeting trap's port segment at once.
+                let mut routed: Vec<(QubitId, RoutePlan)> = Vec::with_capacity(2);
+                let mut blocked: Vec<QubitId> = Vec::new();
+                let movers: &[(QubitId, TrapId)] = &[(control, tc), (target, tt)];
+                for &(q, from) in movers {
+                    if from == meeting {
+                        continue; // SourceToDestination target stays put.
+                    }
+                    match self.router.route(&self.resources, from, meeting) {
+                        Some(plan) => {
+                            for usage in plan.resources() {
+                                self.resources.book(usage.resource);
+                            }
+                            routed.push((q, plan));
+                        }
+                        None => blocked.push(q),
+                    }
+                }
+                if routed.is_empty() {
+                    // Nothing committed; the whole instruction waits.
+                    return false;
+                }
+                debug_assert!(blocked.len() <= 1, "at most two movers");
+
+                // Commit.
+                self.stats[id.index()].issued_at = self.time;
+                self.gate_trap[id.index()] = meeting;
+                self.arrivals_needed[id.index()] =
+                    (routed.len() + blocked.len()) as u8;
+                self.arrivals_done[id.index()] = 0;
+                for (q, plan) in routed {
+                    self.commit_leg(id, q, plan, meeting);
+                }
+                for q in blocked {
+                    // Reserve the meeting seat; the qubit physically stays
+                    // put (and keeps its source-trap seat) until routable.
+                    self.trap_occupancy[meeting.index()] += 1;
+                    self.qubit_trap[q.index()] = meeting;
+                    self.second_leg[id.index()] = Some(q);
+                    self.busy.push(BusyItem::SecondLeg(id));
+                }
+                // Freed source traps may unblock busy instructions.
+                self.resources_changed = true;
+                if self.arrivals_needed[id.index()] == 0 {
+                    self.begin_gate(id);
+                }
+                true
+            }
+        }
+    }
+
+    /// Chooses the cheapest meeting trap for a QSPR-style 2-qubit gate:
+    /// the free trap nearest the operands' median (both move), or either
+    /// operand's trap when it has a spare seat (one moves). Cost is the
+    /// later arrival time of the movers, estimated by routing under the
+    /// current bookings; unroutable candidates are skipped. Falls back to
+    /// the median trap (handled downstream via staged movement) when no
+    /// candidate routes completely.
+    fn cheapest_meeting(&mut self, tc: TrapId, tt: TrapId) -> Option<TrapId> {
+        let a = self.topo.trap(tc).coord();
+        let b = self.topo.trap(tt).coord();
+        let median = Coord::new((a.row + b.row) / 2, (a.col + b.col) / 2);
+        let occ = &self.trap_occupancy;
+        let median_trap = self.topo.nearest_trap(median, |t| occ[t.index()] == 0);
+
+        let mut candidates: Vec<(TrapId, [Option<TrapId>; 2])> = Vec::with_capacity(3);
+        if let Some(m) = median_trap {
+            candidates.push((m, [Some(tc), Some(tt)]));
+        }
+        if self.trap_occupancy[tt.index()] <= 1 {
+            candidates.push((tt, [Some(tc), None]));
+        }
+        if self.trap_occupancy[tc.index()] <= 1 {
+            candidates.push((tc, [Some(tt), None]));
+        }
+
+        let mut best: Option<(Time, TrapId)> = None;
+        for (meeting, movers) in &candidates {
+            // Route the movers sequentially with temporary bookings so
+            // the second sees the first's load, then roll back.
+            let mut booked: Vec<RoutePlan> = Vec::new();
+            let mut worst: Option<Time> = Some(0);
+            for from in movers.iter().flatten() {
+                match self.router.route(&self.resources, *from, *meeting) {
+                    Some(plan) => {
+                        for usage in plan.resources() {
+                            self.resources.book(usage.resource);
+                        }
+                        worst = worst.map(|w| w.max(plan.duration()));
+                        booked.push(plan);
+                    }
+                    None => {
+                        worst = None;
+                        break;
+                    }
+                }
+            }
+            for plan in &booked {
+                for usage in plan.resources() {
+                    self.resources.release(usage.resource);
+                }
+            }
+            if let Some(w) = worst {
+                if best.map_or(true, |(bw, _)| w < bw) {
+                    best = Some((w, *meeting));
+                }
+            }
+        }
+        // No candidate routes completely right now: hand the median trap
+        // to the staged-movement path, which can move one operand and
+        // queue the other.
+        best.map(|(_, t)| t).or(median_trap)
+    }
+
+    /// Issues a two-qubit gate under the storage (return-to-home) model:
+    /// the source visits the destination's home trap; the return trip is
+    /// scheduled when the gate completes.
+    fn try_issue_return_to_home(
+        &mut self,
+        id: InstrId,
+        control: QubitId,
+        target: QubitId,
+    ) -> bool {
+        let src_home = self.home_trap[control.index()];
+        let dst_home = self.home_trap[target.index()];
+        debug_assert_eq!(self.qubit_trap[control.index()], src_home);
+        debug_assert_eq!(self.qubit_trap[target.index()], dst_home);
+        // The destination trap must have a seat for the visitor.
+        if self.trap_occupancy[dst_home.index()] >= 2 {
+            return false;
+        }
+        let Some(plan) = self.router.route(&self.resources, src_home, dst_home) else {
+            return false;
+        };
+        for usage in plan.resources() {
+            self.resources.book(usage.resource);
+        }
+        self.router.note_booked(&plan);
+        self.stats[id.index()].issued_at = self.time;
+        self.gate_trap[id.index()] = dst_home;
+        self.arrivals_needed[id.index()] = 1;
+        self.arrivals_done[id.index()] = 0;
+        // The home seat stays reserved; only the visit seat is added.
+        self.trap_occupancy[dst_home.index()] += 1;
+        self.qubit_trap[control.index()] = dst_home;
+        self.phys_trap[control.index()] = dst_home;
+        self.stats[id.index()].moves += plan.moves();
+        self.stats[id.index()].turns += plan.turns();
+        for usage in plan.resources() {
+            self.schedule(
+                self.time + usage.exit_offset,
+                EventKind::Release(usage.resource),
+            );
+        }
+        self.schedule(self.time + plan.duration(), EventKind::Arrived(id));
+        self.record_motion(control, &plan);
+        self.resources_changed = true;
+        true
+    }
+
+    /// Routes a finished visitor back to its home trap.
+    fn try_return_leg(&mut self, q: QubitId) -> bool {
+        let from = self.return_from[q.index()].expect("return leg is pending");
+        let home = self.home_trap[q.index()];
+        let Some(plan) = self.router.route(&self.resources, from, home) else {
+            return false;
+        };
+        for usage in plan.resources() {
+            self.resources.book(usage.resource);
+        }
+        self.router.note_booked(&plan);
+        self.return_from[q.index()] = None;
+        self.trap_occupancy[from.index()] -= 1;
+        self.qubit_trap[q.index()] = home;
+        self.phys_trap[q.index()] = home;
+        for usage in plan.resources() {
+            self.schedule(
+                self.time + usage.exit_offset,
+                EventKind::Release(usage.resource),
+            );
+        }
+        self.schedule(self.time + plan.duration(), EventKind::ReturnedHome(q));
+        self.record_motion(q, &plan);
+        self.resources_changed = true;
+        true
+    }
+
+    /// Routes the held-back mover of a half-issued instruction.
+    fn try_second_leg(&mut self, id: InstrId) -> bool {
+        let q = self.second_leg[id.index()].expect("second leg is pending");
+        let from = self.phys_trap[q.index()];
+        let meeting = self.gate_trap[id.index()];
+        match self.router.route(&self.resources, from, meeting) {
+            Some(plan) => {
+                for usage in plan.resources() {
+                    self.resources.book(usage.resource);
+                }
+                // The meeting seat was reserved at first-half commit; only
+                // the source seat frees now.
+                self.trap_occupancy[from.index()] -= 1;
+                self.second_leg[id.index()] = None;
+                self.router.note_booked(&plan);
+                self.phys_trap[q.index()] = meeting;
+                self.stats[id.index()].moves += plan.moves();
+                self.stats[id.index()].turns += plan.turns();
+                for usage in plan.resources() {
+                    self.schedule(
+                        self.time + usage.exit_offset,
+                        EventKind::Release(usage.resource),
+                    );
+                }
+                self.schedule(self.time + plan.duration(), EventKind::Arrived(id));
+                self.record_motion(q, &plan);
+                self.resources_changed = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Books the events, occupancy transfer and trace output of one
+    /// routed mover.
+    fn commit_leg(&mut self, id: InstrId, q: QubitId, plan: RoutePlan, meeting: TrapId) {
+        self.router.note_booked(&plan);
+        self.trap_occupancy[self.qubit_trap[q.index()].index()] -= 1;
+        self.trap_occupancy[meeting.index()] += 1;
+        self.qubit_trap[q.index()] = meeting;
+        self.phys_trap[q.index()] = meeting;
+        self.stats[id.index()].moves += plan.moves();
+        self.stats[id.index()].turns += plan.turns();
+        for usage in plan.resources() {
+            self.schedule(
+                self.time + usage.exit_offset,
+                EventKind::Release(usage.resource),
+            );
+        }
+        self.schedule(self.time + plan.duration(), EventKind::Arrived(id));
+        self.record_motion(q, &plan);
+    }
+
+    fn begin_gate(&mut self, id: InstrId) {
+        let delay = self.qidg.delay(id);
+        self.stats[id.index()].gate_start = self.time;
+        let instr = self.qidg.instruction(id);
+        let (q0, q1) = match instr.operands {
+            Operands::One(q) => (q, None),
+            Operands::Two { control, target } => (control, Some(target)),
+        };
+        let trap_coord = self.topo.trap(self.gate_trap[id.index()]).coord();
+        self.emit(
+            self.time,
+            MicroCommand::GateStart {
+                instr: id,
+                gate: instr.gate,
+                trap: trap_coord,
+                q0,
+                q1,
+            },
+        );
+        self.schedule(self.time + delay, EventKind::GateDone(id));
+    }
+
+    fn schedule(&mut self, time: Time, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn record_motion(&mut self, qubit: QubitId, plan: &RoutePlan) {
+        let dest = self.topo.trap(plan.to_trap()).coord();
+        if self.trace.is_none() {
+            self.qubit_coord[qubit.index()] = dest;
+            return;
+        }
+        let t_move = self.mapper.tech.t_move;
+        let t_turn = self.mapper.tech.t_turn;
+        let mut t = self.time;
+        let mut pos = self.qubit_coord[qubit.index()];
+        let mut entries = Vec::with_capacity(plan.steps().len());
+        for step in plan.steps() {
+            match *step {
+                Step::Move { to } => {
+                    t += t_move;
+                    entries.push(TraceEntry {
+                        time: t,
+                        command: MicroCommand::Move {
+                            qubit,
+                            from: pos,
+                            to,
+                        },
+                    });
+                    pos = to;
+                }
+                Step::Turn { at } => {
+                    t += t_turn;
+                    entries.push(TraceEntry {
+                        time: t,
+                        command: MicroCommand::Turn { qubit, at },
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(pos, dest, "route must end in the target trap");
+        self.qubit_coord[qubit.index()] = pos;
+        if let Some(trace) = &mut self.trace {
+            trace.extend(entries);
+        }
+    }
+
+    fn emit(&mut self, time: Time, command: MicroCommand) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry { time, command });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qspr_qasm::Program;
+
+    const FIG3: &str = "\
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+";
+
+    fn fig3() -> Program {
+        Program::parse(FIG3).unwrap()
+    }
+
+    #[test]
+    fn one_qubit_program_runs_in_gate_time() {
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = Program::parse("QUBIT a\nH a\nX a\n").unwrap();
+        let placement = Placement::center(&f, 1);
+        let out = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        assert_eq!(out.latency(), 20);
+        assert_eq!(out.totals().moves, 0);
+    }
+
+    #[test]
+    fn two_qubit_gate_adds_routing_time() {
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = Program::parse("QUBIT a\nQUBIT b\nC-X a,b\n").unwrap();
+        let placement = Placement::center(&f, 2);
+        let out = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        assert!(out.latency() > 100, "routing adds to the 100µs gate");
+        let s = out.stats_of(qspr_sched::InstrId(0));
+        assert_eq!(s.gate_time(), 100);
+        assert!(s.routing_time() > 0);
+        assert_eq!(s.congestion_wait(), 0);
+        assert!(out.totals().moves > 0);
+    }
+
+    #[test]
+    fn fig3_latency_exceeds_ideal_baseline() {
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = fig3();
+        let ideal = Qidg::new(&p, &tech).critical_path_delay();
+        let placement = Placement::center(&f, 5);
+        let out = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        assert!(out.latency() >= ideal);
+        assert_eq!(out.instr_stats().len(), 12);
+    }
+
+    #[test]
+    fn quale_policy_is_slower_than_qspr_on_fig3() {
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = fig3();
+        let placement = Placement::center(&f, 5);
+        let qspr = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        let quale = Mapper::new(&f, tech, MapperPolicy::quale(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        assert!(
+            qspr.latency() <= quale.latency(),
+            "qspr {} vs quale {}",
+            qspr.latency(),
+            quale.latency()
+        );
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = fig3();
+        let placement = Placement::center(&f, 5);
+        let m = Mapper::new(&f, tech, MapperPolicy::qspr(&tech));
+        let a = m.map(&p, &placement).unwrap();
+        let b = m.map(&p, &placement).unwrap();
+        assert_eq!(a.latency(), b.latency());
+        assert_eq!(a.final_placement(), b.final_placement());
+    }
+
+    #[test]
+    fn final_placement_is_injective_and_complete() {
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = fig3();
+        let placement = Placement::center(&f, 5);
+        let out = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        assert_eq!(out.final_placement().num_qubits(), 5);
+    }
+
+    #[test]
+    fn trace_recording_is_optional() {
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = fig3();
+        let placement = Placement::center(&f, 5);
+        let without = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        assert!(without.trace().is_none());
+        let with = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .record_trace(true)
+            .map(&p, &placement)
+            .unwrap();
+        let trace = with.trace().unwrap();
+        assert_eq!(trace.move_count() as u64, with.totals().moves);
+        assert_eq!(trace.turn_count() as u64, with.totals().turns);
+        assert_eq!(with.latency(), without.latency(), "tracing is free");
+    }
+
+    #[test]
+    fn stalls_on_disconnected_fabric() {
+        let f = Fabric::from_ascii(
+            ".T....T.\n\
+             +-+..+-+\n",
+        )
+        .unwrap();
+        let tech = TechParams::date2012();
+        let p = Program::parse("QUBIT a\nQUBIT b\nC-X a,b\n").unwrap();
+        let t0 = f.topology().trap_at(Coord::new(0, 1)).unwrap();
+        let t1 = f.topology().trap_at(Coord::new(0, 6)).unwrap();
+        let placement = Placement::new(vec![t0, t1]).unwrap();
+        let err = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap_err();
+        assert_eq!(err, MapError::Stalled { remaining: 1 });
+    }
+
+    #[test]
+    fn placement_validation_errors_surface() {
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = Program::parse("QUBIT a\nQUBIT b\nC-X a,b\n").unwrap();
+        let placement = Placement::center(&f, 1);
+        let err = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap_err();
+        assert!(matches!(err, MapError::QubitCountMismatch { .. }));
+    }
+
+    #[test]
+    fn colocated_operands_skip_routing() {
+        // After C-X a,b both qubits share a trap; a following C-Z a,b
+        // should start immediately with no extra movement.
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = Program::parse("QUBIT a\nQUBIT b\nC-X a,b\nC-Z a,b\n").unwrap();
+        let placement = Placement::center(&f, 2);
+        let out = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        let s1 = out.stats_of(qspr_sched::InstrId(1));
+        assert_eq!(s1.routing_time(), 0);
+        assert_eq!(s1.moves, 0);
+    }
+
+    #[test]
+    fn congestion_wait_appears_under_contention() {
+        // Two independent CX gates whose operands sit in the same tile
+        // with capacity-1 channels: the second must wait for resources.
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012().without_multiplexing();
+        let p = Program::parse(
+            "QUBIT a\nQUBIT b\nQUBIT c\nQUBIT d\nC-X a,b\nC-X c,d\n",
+        )
+        .unwrap();
+        let mut policy = MapperPolicy::qspr(&tech);
+        policy.router.channel_capacity = 1;
+        policy.router.junction_capacity = 1;
+        let placement = Placement::center(&f, 4);
+        let out = Mapper::new(&f, tech, policy).map(&p, &placement).unwrap();
+        let total_wait: Time = out
+            .instr_stats()
+            .iter()
+            .map(|s| s.congestion_wait())
+            .sum();
+        // Both gates contend for the center channels; at least one waits
+        // or detours (cannot assert which, but latency must exceed the
+        // single-gate case).
+        assert!(out.latency() >= 100 + 1);
+        let _ = total_wait; // accounted, even if a detour avoided waiting
+    }
+}
+
+#[cfg(test)]
+mod policy_behavior_tests {
+    use super::*;
+    use qspr_qasm::Program;
+
+    fn fabric() -> Fabric {
+        Fabric::quale_45x85()
+    }
+
+    #[test]
+    fn return_to_home_restores_the_initial_placement() {
+        // Under the QUALE storage model every source qubit shuttles back
+        // home, so the final placement equals the initial one.
+        let f = fabric();
+        let tech = TechParams::date2012();
+        let p = Program::parse(
+            "QUBIT a,0\nQUBIT b,0\nQUBIT c,0\nC-X a,b\nC-X b,c\nC-X c,a\n",
+        )
+        .unwrap();
+        let placement = Placement::center(&f, 3);
+        let out = Mapper::new(&f, tech, MapperPolicy::quale(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        assert_eq!(out.final_placement(), &placement);
+    }
+
+    #[test]
+    fn qspr_policy_leaves_operands_at_the_meeting_trap() {
+        let f = fabric();
+        let tech = TechParams::date2012();
+        let p = Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\n").unwrap();
+        let placement = Placement::center(&f, 2);
+        let out = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        let fp = out.final_placement();
+        assert_eq!(
+            fp.trap_of(QubitId(0)),
+            fp.trap_of(QubitId(1)),
+            "operands co-located after the gate"
+        );
+    }
+
+    #[test]
+    fn return_to_home_charges_round_trips_on_serial_chains() {
+        // Two consecutive gates on the same control: the storage model
+        // must be strictly slower than the stay-in-place policy.
+        let f = fabric();
+        let tech = TechParams::date2012();
+        let p =
+            Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\nC-Z a,b\n").unwrap();
+        let placement = Placement::center(&f, 2);
+        let stay = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        let home = Mapper::new(&f, tech, MapperPolicy::quale(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        assert!(
+            home.latency() > stay.latency(),
+            "storage model {} must exceed stay-in-place {}",
+            home.latency(),
+            stay.latency()
+        );
+    }
+
+    #[test]
+    fn capacity_one_forces_staged_movement_but_still_completes() {
+        let f = fabric();
+        let tech = TechParams::date2012().without_multiplexing();
+        let mut policy = MapperPolicy::qspr(&tech);
+        policy.router.channel_capacity = 1;
+        policy.router.junction_capacity = 1;
+        let p = Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\n").unwrap();
+        let placement = Placement::center(&f, 2);
+        let out = Mapper::new(&f, tech, policy).map(&p, &placement).unwrap();
+        // Both qubits still reach a common trap; the gate runs.
+        assert!(out.latency() >= tech.t_gate_2q);
+        let fp = out.final_placement();
+        assert_eq!(fp.trap_of(QubitId(0)), fp.trap_of(QubitId(1)));
+    }
+
+    #[test]
+    fn capacity_one_is_slower_than_multiplexed_channels() {
+        let f = fabric();
+        let tech = TechParams::date2012();
+        let p = Program::parse(
+            "QUBIT a,0\nQUBIT b,0\nQUBIT c,0\nQUBIT d,0\n\
+             C-X a,b\nC-X c,d\nC-X a,c\nC-X b,d\n",
+        )
+        .unwrap();
+        let placement = Placement::center(&f, 4);
+        let fast = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        let mut slow_policy = MapperPolicy::qspr(&tech);
+        slow_policy.router.channel_capacity = 1;
+        slow_policy.router.junction_capacity = 1;
+        let slow = Mapper::new(&f, tech, slow_policy)
+            .map(&p, &placement)
+            .unwrap();
+        assert!(slow.latency() >= fast.latency());
+    }
+
+    #[test]
+    fn cheapest_meeting_never_loses_to_forced_single_movement() {
+        // The cost-based meeting choice considers hosting the gate in an
+        // operand's own trap, so it can never be slower than the policy
+        // that always does that.
+        let f = fabric();
+        let tech = TechParams::date2012();
+        for gates in [
+            "C-X a,b\n",
+            "C-X a,b\nC-Z b,a\n",
+            "H a\nC-X a,b\nH b\nC-Y b,a\n",
+        ] {
+            let src = format!("QUBIT a,0\nQUBIT b,0\n{gates}");
+            let p = Program::parse(&src).unwrap();
+            let placement = Placement::center(&f, 2);
+            let flexible = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+                .map(&p, &placement)
+                .unwrap();
+            let mut single = MapperPolicy::qspr(&tech);
+            single.movement = MovementPolicy::SourceToDestination;
+            let forced = Mapper::new(&f, tech, single)
+                .map(&p, &placement)
+                .unwrap();
+            assert!(
+                flexible.latency() <= forced.latency(),
+                "{gates:?}: {} vs {}",
+                flexible.latency(),
+                forced.latency()
+            );
+        }
+    }
+
+    #[test]
+    fn strict_order_never_beats_dynamic_order() {
+        let f = fabric();
+        let tech = TechParams::date2012();
+        let p = qspr_qasm::random_program(
+            &qspr_qasm::RandomProgramConfig::new(8, 40),
+            7,
+        );
+        let placement = Placement::center(&f, 8);
+        let dynamic = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        let mut strict_policy = MapperPolicy::qspr(&tech);
+        strict_policy.strict_order = true;
+        let strict = Mapper::new(&f, tech, strict_policy)
+            .map(&p, &placement)
+            .unwrap();
+        assert!(strict.latency() >= dynamic.latency());
+    }
+
+    #[test]
+    fn one_qubit_gates_wait_for_returning_qubits() {
+        // Under return-to-home, an H on the control right after a CX must
+        // wait for the shuttle home, showing up as congestion wait.
+        let f = fabric();
+        let tech = TechParams::date2012();
+        let p = Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\nH a\n").unwrap();
+        let placement = Placement::center(&f, 2);
+        let out = Mapper::new(&f, tech, MapperPolicy::quale(&tech))
+            .map(&p, &placement)
+            .unwrap();
+        let h_stats = out.stats_of(qspr_sched::InstrId(1));
+        assert!(
+            h_stats.congestion_wait() > 0,
+            "H must wait for the return shuttle"
+        );
+    }
+}

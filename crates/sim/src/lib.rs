@@ -1,0 +1,66 @@
+//! Event-driven mapping engine: the dynamic half of QSPR.
+//!
+//! The paper's mapper (§III–§IV) interleaves scheduling and routing: an
+//! instruction's delay (Eq. 1) is `T_gate + T_routing + T_congestion`,
+//! and the last two terms only materialize while the mapped circuit is
+//! *simulated* on the fabric. This crate provides that simulator:
+//!
+//! * [`Placement`] — an assignment of program qubits to fabric traps
+//!   (center placements, the seeds of every placer, live here too);
+//! * [`MapperPolicy`] — the policy knobs distinguishing QSPR from the
+//!   QUALE/QPOS baselines: router configuration, movement policy (move
+//!   both operands to a median trap vs. move only the source), and issue
+//!   order (priority list, ALAP, ASAP);
+//! * [`Mapper`] — the event-driven engine. Ready instructions are issued
+//!   in policy order; 2-qubit instructions pick a target trap and route
+//!   their operands, booking channel segments and junctions; blocked
+//!   instructions wait in a *busy queue* until a resource is released
+//!   (the paper's event list: instruction finished, qubit exits a
+//!   channel);
+//! * [`MappingOutcome`] — total latency, per-instruction timing
+//!   breakdown (`T_gate`/`T_routing`/`T_congestion`), final placement
+//!   (consumed by the MVFB placer), and an optional micro-command
+//!   [`Trace`];
+//! * [`validate_trace`] — an independent replay checker enforcing the
+//!   physical invariants (no teleports, turns only at junctions, gates
+//!   only in traps with ≤ 2 co-located qubits, channel/junction capacity
+//!   never exceeded).
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr_fabric::{Fabric, TechParams};
+//! use qspr_qasm::Program;
+//! use qspr_sim::{Mapper, MapperPolicy, Placement};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fabric = Fabric::quale_45x85();
+//! let tech = TechParams::date2012();
+//! let program = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n")?;
+//! let placement = Placement::center(&fabric, program.num_qubits());
+//!
+//! let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+//! let outcome = mapper.map(&program, &placement)?;
+//! assert!(outcome.latency() >= 110); // at least the gate delays
+//! # Ok(())
+//! # }
+//! ```
+
+mod engine;
+mod error;
+mod outcome;
+mod placement;
+mod policy;
+mod render;
+mod stress;
+mod trace;
+mod validate;
+
+pub use engine::Mapper;
+pub use error::{MapError, TraceError};
+pub use outcome::{InstrStats, MappingOutcome, Totals};
+pub use placement::Placement;
+pub use policy::{IssueOrder, MapperPolicy, MovementPolicy};
+pub use render::{qubit_positions_at, render_at, render_gantt};
+pub use trace::{MicroCommand, Trace, TraceEntry};
+pub use validate::validate_trace;

@@ -1,0 +1,160 @@
+//! Results of mapping a program onto a fabric.
+
+use qspr_fabric::Time;
+use qspr_sched::InstrId;
+
+use crate::placement::Placement;
+use crate::trace::Trace;
+
+/// Per-instruction timing breakdown, realizing Eq. 1 of the paper:
+/// `Instruction Delay = T_gate + T_routing + T_congestion`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstrStats {
+    /// When all dependencies had finished.
+    pub ready_at: Time,
+    /// When the instruction was issued (routes booked). The difference to
+    /// `ready_at` is the congestion wait (`T_congestion`).
+    pub issued_at: Time,
+    /// When all operands had arrived and the gate began (`T_routing` is
+    /// `gate_start − issued_at`).
+    pub gate_start: Time,
+    /// When the gate finished (`T_gate` is `finish − gate_start`).
+    pub finish: Time,
+    /// Cell moves performed by this instruction's operands.
+    pub moves: u32,
+    /// Junction turns performed by this instruction's operands.
+    pub turns: u32,
+}
+
+impl InstrStats {
+    /// Time spent waiting for channel/junction/trap resources.
+    pub fn congestion_wait(&self) -> Time {
+        self.issued_at - self.ready_at
+    }
+
+    /// Time spent physically relocating operands.
+    pub fn routing_time(&self) -> Time {
+        self.gate_start - self.issued_at
+    }
+
+    /// Time spent executing the quantum operation.
+    pub fn gate_time(&self) -> Time {
+        self.finish - self.gate_start
+    }
+}
+
+/// Aggregate movement/wait totals across a mapped execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Totals {
+    /// All cell moves.
+    pub moves: u64,
+    /// All junction turns.
+    pub turns: u64,
+    /// Summed per-instruction congestion waits.
+    pub congestion_wait: Time,
+    /// Summed per-instruction routing times.
+    pub routing_time: Time,
+}
+
+/// The result of [`crate::Mapper::map`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingOutcome {
+    latency: Time,
+    stats: Vec<InstrStats>,
+    final_placement: Placement,
+    trace: Option<Trace>,
+    totals: Totals,
+}
+
+impl MappingOutcome {
+    pub(crate) fn new(
+        latency: Time,
+        stats: Vec<InstrStats>,
+        final_placement: Placement,
+        trace: Option<Trace>,
+    ) -> MappingOutcome {
+        let totals = stats.iter().fold(Totals::default(), |mut acc, s| {
+            acc.moves += u64::from(s.moves);
+            acc.turns += u64::from(s.turns);
+            acc.congestion_wait += s.congestion_wait();
+            acc.routing_time += s.routing_time();
+            acc
+        });
+        MappingOutcome {
+            latency,
+            stats,
+            final_placement,
+            trace,
+            totals,
+        }
+    }
+
+    /// Total execution latency of the mapped circuit (makespan, µs).
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+
+    /// Per-instruction breakdown, indexed by instruction id.
+    pub fn instr_stats(&self) -> &[InstrStats] {
+        &self.stats
+    }
+
+    /// Stats of one instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn stats_of(&self, id: InstrId) -> &InstrStats {
+        &self.stats[id.index()]
+    }
+
+    /// Where each qubit ended up — the input to the next MVFB pass.
+    pub fn final_placement(&self) -> &Placement {
+        &self.final_placement
+    }
+
+    /// The micro-command trace, when recording was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Aggregate movement/wait totals.
+    pub fn totals(&self) -> Totals {
+        self.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qspr_fabric::TrapId;
+
+    #[test]
+    fn totals_accumulate() {
+        let stats = vec![
+            InstrStats {
+                ready_at: 0,
+                issued_at: 5,
+                gate_start: 10,
+                finish: 110,
+                moves: 8,
+                turns: 2,
+            },
+            InstrStats {
+                ready_at: 110,
+                issued_at: 110,
+                gate_start: 120,
+                finish: 130,
+                moves: 4,
+                turns: 1,
+            },
+        ];
+        let placement = Placement::new(vec![TrapId(0), TrapId(1)]).unwrap();
+        let o = MappingOutcome::new(130, stats, placement, None);
+        assert_eq!(o.totals().moves, 12);
+        assert_eq!(o.totals().turns, 3);
+        assert_eq!(o.totals().congestion_wait, 5);
+        assert_eq!(o.totals().routing_time, 15);
+        assert_eq!(o.stats_of(InstrId(0)).gate_time(), 100);
+    }
+}

@@ -1,0 +1,334 @@
+//! Independent replay validation of micro-command traces.
+
+use std::collections::HashMap;
+
+use qspr_fabric::{Cell, Coord, Fabric, TechParams, Time};
+use qspr_qasm::{Program, QubitId};
+use qspr_sched::{gate_delay, InstrId};
+
+use crate::error::TraceError;
+use crate::placement::Placement;
+use crate::trace::{MicroCommand, Trace};
+
+/// Replays `trace` against the fabric and program, checking every
+/// physical invariant of the ion-trap model:
+///
+/// * times are non-decreasing;
+/// * each move is one cell long, continues from the qubit's position and
+///   lands on a walkable cell (channel, junction or trap);
+/// * turns happen only on junction cells, at the qubit's position;
+/// * gates execute in trap cells with all operands present and at most
+///   two qubits co-located;
+/// * instantaneous channel-segment and junction occupancy never exceeds
+///   the technology capacities;
+/// * every gate's end follows its start by exactly the gate delay.
+///
+/// # Errors
+///
+/// Returns the first [`TraceError`] encountered, indexed by trace entry.
+///
+/// # Examples
+///
+/// ```
+/// use qspr_fabric::{Fabric, TechParams};
+/// use qspr_qasm::Program;
+/// use qspr_sim::{validate_trace, Mapper, MapperPolicy, Placement};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fabric = Fabric::quale_45x85();
+/// let tech = TechParams::date2012();
+/// let program = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n")?;
+/// let placement = Placement::center(&fabric, 2);
+/// let outcome = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech))
+///     .record_trace(true)
+///     .map(&program, &placement)?;
+/// validate_trace(&fabric, &program, &placement, outcome.trace().unwrap(), &tech)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn validate_trace(
+    fabric: &Fabric,
+    program: &Program,
+    placement: &Placement,
+    trace: &Trace,
+    tech: &TechParams,
+) -> Result<(), TraceError> {
+    let topo = fabric.topology();
+    let mut pos: Vec<Coord> = placement
+        .as_slice()
+        .iter()
+        .map(|&t| topo.trap(t).coord())
+        .collect();
+    // Instantaneous occupancy per segment / junction.
+    let mut seg_occ = vec![0u8; topo.segments().len()];
+    let mut jct_occ = vec![0u8; topo.junctions().len()];
+    let mut open_gates: HashMap<InstrId, Time> = HashMap::new();
+    let mut last_time: Time = 0;
+
+    let occupancy_key = |c: Coord| -> (Option<usize>, Option<usize>) {
+        let seg = topo.channel_at(c).map(|(s, _)| s.index());
+        let jct = topo.junction_at(c).map(|j| j.index());
+        (seg, jct)
+    };
+
+    for (index, entry) in trace.iter().enumerate() {
+        if entry.time < last_time {
+            return Err(TraceError::TimeNotMonotone { index });
+        }
+        last_time = entry.time;
+        match entry.command {
+            MicroCommand::Move { qubit, from, to } => {
+                let q = check_qubit(qubit, &pos, index)?;
+                if pos[q] != from || from.manhattan(to) != 1 {
+                    return Err(TraceError::BrokenMove { qubit, index });
+                }
+                if !fabric.in_bounds(to) || fabric.cell(to) == Cell::Empty {
+                    return Err(TraceError::BadDestination { qubit, index });
+                }
+                let (old_seg, old_jct) = occupancy_key(from);
+                let (new_seg, new_jct) = occupancy_key(to);
+                if let Some(s) = old_seg {
+                    seg_occ[s] -= 1;
+                }
+                if let Some(j) = old_jct {
+                    jct_occ[j] -= 1;
+                }
+                pos[q] = to;
+                if let Some(s) = new_seg {
+                    seg_occ[s] += 1;
+                    if seg_occ[s] > tech.channel_capacity {
+                        return Err(TraceError::ChannelOverflow { index });
+                    }
+                }
+                if let Some(j) = new_jct {
+                    jct_occ[j] += 1;
+                    if jct_occ[j] > tech.junction_capacity {
+                        return Err(TraceError::JunctionOverflow { index });
+                    }
+                }
+                if fabric.cell(to) == Cell::Trap {
+                    let residents = pos.iter().filter(|p| **p == to).count();
+                    if residents > 2 {
+                        return Err(TraceError::TrapOverflow { index });
+                    }
+                }
+            }
+            MicroCommand::Turn { qubit, at } => {
+                let q = check_qubit(qubit, &pos, index)?;
+                if pos[q] != at {
+                    return Err(TraceError::BrokenMove { qubit, index });
+                }
+                if topo.junction_at(at).is_none() {
+                    return Err(TraceError::TurnOutsideJunction { qubit, index });
+                }
+            }
+            MicroCommand::GateStart {
+                instr,
+                trap,
+                q0,
+                q1,
+                ..
+            } => {
+                if !fabric.in_bounds(trap) || fabric.cell(trap) != Cell::Trap {
+                    return Err(TraceError::GateOutsideTrap { index });
+                }
+                let mut operands = vec![q0];
+                operands.extend(q1);
+                for q in operands {
+                    let qi = check_qubit(q, &pos, index)?;
+                    if pos[qi] != trap {
+                        return Err(TraceError::OperandMissing { index });
+                    }
+                }
+                let residents = pos.iter().filter(|p| **p == trap).count();
+                if residents > 2 {
+                    return Err(TraceError::TrapOverflow { index });
+                }
+                if open_gates.insert(instr, entry.time).is_some() {
+                    return Err(TraceError::UnmatchedGate { index });
+                }
+            }
+            MicroCommand::GateEnd { instr } => {
+                let Some(started) = open_gates.remove(&instr) else {
+                    return Err(TraceError::UnmatchedGate { index });
+                };
+                let expected = gate_delay(
+                    program.instructions()[instr.index()].gate,
+                    tech,
+                );
+                if entry.time - started != expected {
+                    return Err(TraceError::BadGateTiming { index, expected });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_qubit(q: QubitId, pos: &[Coord], index: usize) -> Result<usize, TraceError> {
+    if q.index() < pos.len() {
+        Ok(q.index())
+    } else {
+        Err(TraceError::BrokenMove { qubit: q, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Mapper;
+    use crate::policy::MapperPolicy;
+    use crate::trace::TraceEntry;
+    use qspr_qasm::Gate;
+
+    const FIG3: &str = "\
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+";
+
+    fn mapped_trace(policy_of: fn(&TechParams) -> MapperPolicy) {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let program = Program::parse(FIG3).unwrap();
+        let placement = Placement::center(&fabric, 5);
+        let outcome = Mapper::new(&fabric, tech, policy_of(&tech))
+            .record_trace(true)
+            .map(&program, &placement)
+            .unwrap();
+        validate_trace(
+            &fabric,
+            &program,
+            &placement,
+            outcome.trace().unwrap(),
+            &tech,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn qspr_traces_validate() {
+        mapped_trace(MapperPolicy::qspr);
+    }
+
+    #[test]
+    fn quale_traces_validate() {
+        mapped_trace(MapperPolicy::quale);
+    }
+
+    #[test]
+    fn qpos_traces_validate() {
+        mapped_trace(MapperPolicy::qpos);
+    }
+
+    #[test]
+    fn teleporting_move_is_rejected() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let program = Program::parse("QUBIT a\n").unwrap();
+        let placement = Placement::center(&fabric, 1);
+        let start = fabric
+            .topology()
+            .trap(placement.trap_of(QubitId(0)))
+            .coord();
+        let far = Coord::new(start.row, start.col + 5);
+        let trace = Trace::new(vec![TraceEntry {
+            time: 1,
+            command: MicroCommand::Move {
+                qubit: QubitId(0),
+                from: start,
+                to: far,
+            },
+        }]);
+        let err =
+            validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
+        assert!(matches!(err, TraceError::BrokenMove { .. }));
+    }
+
+    #[test]
+    fn gate_outside_trap_is_rejected() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let program = Program::parse("QUBIT a\nH a\n").unwrap();
+        let placement = Placement::center(&fabric, 1);
+        let trace = Trace::new(vec![TraceEntry {
+            time: 0,
+            command: MicroCommand::GateStart {
+                instr: InstrId(0),
+                gate: Gate::H,
+                trap: Coord::new(0, 0), // a junction on the QUALE fabric
+                q0: QubitId(0),
+                q1: None,
+            },
+        }]);
+        let err =
+            validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
+        assert_eq!(err, TraceError::GateOutsideTrap { index: 0 });
+    }
+
+    #[test]
+    fn wrong_gate_timing_is_rejected() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let program = Program::parse("QUBIT a\nH a\n").unwrap();
+        let placement = Placement::center(&fabric, 1);
+        let trap = fabric
+            .topology()
+            .trap(placement.trap_of(QubitId(0)))
+            .coord();
+        let trace = Trace::new(vec![
+            TraceEntry {
+                time: 0,
+                command: MicroCommand::GateStart {
+                    instr: InstrId(0),
+                    gate: Gate::H,
+                    trap,
+                    q0: QubitId(0),
+                    q1: None,
+                },
+            },
+            TraceEntry {
+                time: 7, // should be 10
+                command: MicroCommand::GateEnd { instr: InstrId(0) },
+            },
+        ]);
+        let err =
+            validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::BadGateTiming {
+                index: 1,
+                expected: 10
+            }
+        );
+    }
+
+    #[test]
+    fn unmatched_gate_end_is_rejected() {
+        let fabric = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let program = Program::parse("QUBIT a\nH a\n").unwrap();
+        let placement = Placement::center(&fabric, 1);
+        let trace = Trace::new(vec![TraceEntry {
+            time: 0,
+            command: MicroCommand::GateEnd { instr: InstrId(0) },
+        }]);
+        let err =
+            validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
+        assert_eq!(err, TraceError::UnmatchedGate { index: 0 });
+    }
+}

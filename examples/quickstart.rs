@@ -1,0 +1,70 @@
+//! Quickstart: parse a QASM circuit, map it onto the 45×85 ion-trap
+//! fabric with QSPR, and inspect the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qspr::{QsprConfig, QsprTool};
+use qspr_fabric::Fabric;
+use qspr_qasm::Program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A little entangling circuit in the paper's QASM dialect.
+    let source = "\
+# Prepare a 4-qubit GHZ-like state, then uncompute half of it.
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3,0
+H q0
+C-X q0,q1
+C-X q1,q2
+C-X q2,q3
+C-Z q3,q0
+";
+    let program = Program::parse(source)?;
+    println!(
+        "parsed {} instructions over {} qubits",
+        program.instructions().len(),
+        program.num_qubits()
+    );
+
+    // The fabric every experiment in the paper uses.
+    let fabric = Fabric::quale_45x85();
+    println!(
+        "fabric: {}x{} cells, {} traps, {} junctions",
+        fabric.rows(),
+        fabric.cols(),
+        fabric.topology().traps().len(),
+        fabric.topology().junctions().len()
+    );
+
+    // Map with the full QSPR flow (MVFB placement, m=4 for speed).
+    let mut config = QsprConfig::fast();
+    config.record_trace = true;
+    let tool = QsprTool::new(&fabric, config);
+    let result = tool.map(&program)?;
+
+    println!("\nQSPR mapping:");
+    println!("  latency          {}µs", result.latency);
+    println!("  ideal baseline   {}µs", tool.ideal_latency(&program));
+    println!("  placement runs   {}", result.runs);
+    println!("  total moves      {}", result.outcome.totals().moves);
+    println!("  total turns      {}", result.outcome.totals().turns);
+
+    // The first few micro-commands of the winning control trace.
+    let trace = result.forward_trace.as_ref().expect("trace recorded");
+    println!("\nfirst micro-commands of the control trace:");
+    for entry in trace.iter().take(8) {
+        println!("  {entry}");
+    }
+    println!("  ... ({} commands total)", trace.len());
+
+    // Compare with the QUALE baseline.
+    let quale = tool.map_quale(&program)?;
+    println!(
+        "\nQUALE baseline: {}µs  ->  QSPR improves by {:.1}%",
+        quale.latency(),
+        100.0 * (quale.latency() as f64 - result.latency as f64) / quale.latency() as f64
+    );
+    Ok(())
+}

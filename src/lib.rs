@@ -1,0 +1,5 @@
+//! Umbrella crate for workspace-level examples and integration tests.
+//!
+//! The actual library surface lives in the `qspr*` crates; this package
+//! only hosts `examples/` and `tests/` that exercise the public APIs
+//! end-to-end, mirroring how a downstream user would consume them.
