@@ -1,0 +1,341 @@
+//! Parallel batch mapping: run the full QSPR comparison flow over a
+//! whole suite of circuits on a thread pool.
+//!
+//! The paper evaluates the mapper one benchmark at a time; reproducing
+//! Table 1/Table 2 (and any scaling study) means mapping many circuits,
+//! each of which is internally sequential but independent of the
+//! others. [`BatchMapper`] fans a job list out over `N` worker threads
+//! with a lock-free work-stealing counter, records per-circuit wall
+//! time, and returns results **in input order** regardless of thread
+//! count or scheduling. Because the underlying flow is seed-determined
+//! (see [`crate::QsprConfig`]), the reported latencies are identical at
+//! any thread count — only wall-clock time changes.
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr::{BatchJob, BatchMapper, QsprConfig};
+//! use qspr_fabric::Fabric;
+//! use qspr_qasm::Program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fabric = Fabric::quale_45x85();
+//! let jobs = vec![
+//!     BatchJob::new("bell", Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n")?),
+//!     BatchJob::new("ghz3", Program::parse(
+//!         "QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X b,c\n",
+//!     )?),
+//! ];
+//! let report = BatchMapper::new(&fabric, QsprConfig::fast())
+//!     .threads(2)
+//!     .run(&jobs)?;
+//! assert_eq!(report.items.len(), 2);
+//! assert_eq!(report.items[0].name, "bell"); // input order preserved
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qspr_fabric::Fabric;
+use qspr_qasm::Program;
+use qspr_sim::MapError;
+
+use crate::report::ComparisonRow;
+use crate::tool::{QsprConfig, QsprTool};
+
+/// One named circuit in a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchJob {
+    /// Display name (circuit name or source path).
+    pub name: String,
+    /// The program to map.
+    pub program: Program,
+}
+
+impl BatchJob {
+    /// Creates a job.
+    pub fn new(name: impl Into<String>, program: Program) -> BatchJob {
+        BatchJob {
+            name: name.into(),
+            program,
+        }
+    }
+}
+
+impl From<qspr_qecc::codes::Benchmark> for BatchJob {
+    /// Adopts a paper benchmark (its encoding circuit) as a batch job.
+    fn from(bench: qspr_qecc::codes::Benchmark) -> BatchJob {
+        BatchJob {
+            name: bench.name,
+            program: bench.program,
+        }
+    }
+}
+
+/// The per-circuit outcome of a batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// The job's name.
+    pub name: String,
+    /// Ideal baseline vs QUALE vs QSPR latencies (a Table 2 row).
+    pub row: ComparisonRow,
+    /// Wall-clock time this circuit took on its worker thread.
+    pub cpu: Duration,
+}
+
+/// A mapping failure attributed to the circuit that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchError {
+    /// Name of the failing job.
+    pub circuit: String,
+    /// The underlying mapper error.
+    pub source: MapError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.circuit, self.source)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The aggregate of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-circuit results, **in input order**.
+    pub items: Vec<BatchItem>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// End-to-end wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Sum of per-circuit worker times (the sequential cost estimate).
+    pub fn total_cpu(&self) -> Duration {
+        self.items.iter().map(|i| i.cpu).sum()
+    }
+
+    /// Parallel speedup: total worker time over wall time (≈1 with one
+    /// thread, approaching `threads` for balanced suites).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            return 1.0;
+        }
+        self.total_cpu().as_secs_f64() / wall
+    }
+
+    /// Mean QSPR-over-QUALE improvement across the suite (the paper
+    /// reports 24–55% per circuit).
+    pub fn mean_improvement_pct(&self) -> f64 {
+        if self.items.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.items.iter().map(|i| i.row.improvement_pct()).sum();
+        sum / self.items.len() as f64
+    }
+}
+
+/// Maps a suite of circuits in parallel with deterministic results.
+///
+/// See the module docs for an example.
+#[derive(Debug, Clone)]
+pub struct BatchMapper<'a> {
+    fabric: &'a Fabric,
+    config: QsprConfig,
+    threads: usize,
+}
+
+impl<'a> BatchMapper<'a> {
+    /// Creates a batch mapper using all available CPUs.
+    pub fn new(fabric: &'a Fabric, config: QsprConfig) -> BatchMapper<'a> {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        BatchMapper {
+            fabric,
+            config,
+            threads,
+        }
+    }
+
+    /// Sets the worker thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> BatchMapper<'a> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker thread count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the full comparison flow (ideal baseline, QUALE, QSPR) on
+    /// every job, fanned out over the thread pool.
+    ///
+    /// Results come back in input order; latencies are independent of
+    /// the thread count because the flow is seed-determined. An empty
+    /// job list yields an empty report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BatchError`] of the **earliest** (by input order)
+    /// failing circuit — also independent of the thread count. On the
+    /// first failure, unclaimed jobs are cancelled rather than mapped
+    /// to completion (in-flight jobs finish). This cannot change which
+    /// error is reported: the work counter hands out indices in input
+    /// order, so every job earlier than a failing one was already
+    /// claimed and completes.
+    pub fn run(&self, jobs: &[BatchJob]) -> Result<BatchReport, BatchError> {
+        let started = Instant::now();
+        let threads = self.threads.min(jobs.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<Result<BatchItem, BatchError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // Each worker gets its own tool; the shared fabric is
+                    // read-only.
+                    let tool = QsprTool::new(self.fabric, self.config);
+                    while !cancelled.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let t0 = Instant::now();
+                        let result = tool
+                            .compare(&job.name, &job.program)
+                            .map(|row| BatchItem {
+                                name: job.name.clone(),
+                                row,
+                                cpu: t0.elapsed(),
+                            })
+                            .map_err(|source| BatchError {
+                                circuit: job.name.clone(),
+                                source,
+                            });
+                        if result.is_err() {
+                            cancelled.store(true, Ordering::Relaxed);
+                        }
+                        *slots[i].lock().expect("no worker panics holding it") =
+                            Some(result);
+                    }
+                });
+            }
+        });
+
+        let mut items = Vec::with_capacity(jobs.len());
+        let mut first_error = None;
+        for slot in slots {
+            match slot.into_inner().expect("no worker panics holding it") {
+                Some(Ok(item)) => items.push(item),
+                Some(Err(e)) => {
+                    first_error = Some(e);
+                    break;
+                }
+                // Unfilled slots are the cancelled tail; the loop above
+                // reaches one only after passing the error that caused
+                // the cancellation — or never, when all jobs ran.
+                None => break,
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        debug_assert_eq!(items.len(), jobs.len(), "no error, so every job ran");
+        Ok(BatchReport {
+            items,
+            threads,
+            wall: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qspr_qasm::{random_program, RandomProgramConfig};
+
+    fn jobs(n: usize) -> Vec<BatchJob> {
+        (0..n)
+            .map(|i| {
+                BatchJob::new(
+                    format!("rand{i}"),
+                    random_program(&RandomProgramConfig::new(4, 12), i as u64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_report() {
+        let fabric = Fabric::quale_45x85();
+        let report = BatchMapper::new(&fabric, QsprConfig::fast())
+            .run(&[])
+            .unwrap();
+        assert!(report.items.is_empty());
+        assert_eq!(report.mean_improvement_pct(), 0.0);
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let fabric = Fabric::quale_45x85();
+        let jobs = jobs(5);
+        let report = BatchMapper::new(&fabric, QsprConfig::fast())
+            .threads(3)
+            .run(&jobs)
+            .unwrap();
+        let names: Vec<&str> = report.items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["rand0", "rand1", "rand2", "rand3", "rand4"]);
+        for item in &report.items {
+            assert!(item.row.baseline <= item.row.qspr, "{}", item.name);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_latencies() {
+        let fabric = Fabric::quale_45x85();
+        let jobs = jobs(6);
+        let mapper = BatchMapper::new(&fabric, QsprConfig::fast());
+        let serial = mapper.clone().threads(1).run(&jobs).unwrap();
+        let parallel = mapper.threads(8).run(&jobs).unwrap();
+        assert_eq!(serial.threads, 1);
+        let serial_rows: Vec<_> = serial.items.iter().map(|i| &i.row).collect();
+        let parallel_rows: Vec<_> = parallel.items.iter().map(|i| &i.row).collect();
+        assert_eq!(serial_rows, parallel_rows);
+    }
+
+    #[test]
+    fn failures_name_the_earliest_offending_circuit() {
+        let fabric = Fabric::quale_45x85();
+        // Zero MVFB seeds stalls every circuit; regardless of which
+        // worker fails first, the reported error must belong to the
+        // earliest job in input order.
+        let config = QsprConfig::fast().with_seeds(0);
+        let err = BatchMapper::new(&fabric, config)
+            .threads(4)
+            .run(&jobs(5))
+            .unwrap_err();
+        assert_eq!(err.circuit, "rand0");
+        assert!(err.to_string().starts_with("rand0: "));
+    }
+
+    #[test]
+    fn benchmark_conversion_keeps_names() {
+        let bench = qspr_qecc::codes::benchmark_suite().swap_remove(0);
+        let name = bench.name.clone();
+        let job = BatchJob::from(bench);
+        assert_eq!(job.name, name);
+        assert!(job.program.num_qubits() > 0);
+    }
+}

@@ -4,6 +4,7 @@
 //! qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F]
 //! qspr compare <file.qasm> [--m N] [--fabric F]
 //! qspr suite [--m N]
+//! qspr batch [files...] [--suite] [--m N] [--threads T] [--fabric F]
 //! qspr fabric [--fabric F]
 //! qspr encode <CODE>
 //! ```
@@ -14,7 +15,7 @@
 
 use std::process::ExitCode;
 
-use qspr::{QsprConfig, QsprTool};
+use qspr::{BatchJob, BatchMapper, QsprConfig, QsprTool};
 use qspr_fabric::Fabric;
 use qspr_qasm::Program;
 use qspr_qecc::codes;
@@ -38,6 +39,7 @@ usage:
   qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F]
   qspr compare <file.qasm> [--m N] [--fabric F]
   qspr suite [--m N] [--fabric F]
+  qspr batch [files...] [--suite] [--m N] [--threads T] [--fabric F]
   qspr fabric [--fabric F]
   qspr encode <CODE>          (5,1,3 | 7,1,3 | 9,1,3 | 14,8,3 | 19,1,7 | 23,1,7)
 
@@ -45,6 +47,8 @@ options:
   --fabric F    quale45x85 (default) or a path to an ASCII fabric file
   --policy P    mapper policy for `map` (default qspr)
   --m N         MVFB seed count (default 25)
+  --threads T   worker threads for `batch` (default: all CPUs)
+  --suite       add the paper's six benchmark circuits to the batch
   --trace       print the micro-command trace after mapping";
 
 /// Minimal flag parser: collects positional arguments and `--key value` /
@@ -56,8 +60,8 @@ struct Cli {
 
 impl Cli {
     fn parse(args: &[String]) -> Result<Cli, String> {
-        const VALUE_FLAGS: [&str; 3] = ["--fabric", "--policy", "--m"];
-        const SWITCHES: [&str; 1] = ["--trace"];
+        const VALUE_FLAGS: [&str; 4] = ["--fabric", "--policy", "--m", "--threads"];
+        const SWITCHES: [&str; 2] = ["--trace", "--suite"];
         let mut positional = Vec::new();
         let mut options = Vec::new();
         let mut it = args.iter();
@@ -103,6 +107,16 @@ impl Cli {
         }
     }
 
+    fn threads(&self) -> Result<Option<usize>, String> {
+        match self.value("--threads") {
+            None => Ok(None),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(format!("--threads expects a positive number, got {v:?}")),
+            },
+        }
+    }
+
     fn fabric(&self) -> Result<Fabric, String> {
         match self.value("--fabric") {
             None | Some("quale45x85") => Ok(Fabric::quale_45x85()),
@@ -130,6 +144,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "map" => cmd_map(&cli),
         "compare" => cmd_compare(&cli),
         "suite" => cmd_suite(&cli),
+        "batch" => cmd_batch(&cli),
         "fabric" => cmd_fabric(&cli),
         "encode" => cmd_encode(&cli),
         other => Err(format!("unknown command {other:?}")),
@@ -221,6 +236,39 @@ fn cmd_suite(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_batch(cli: &Cli) -> Result<(), String> {
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    for path in &cli.positional {
+        jobs.push(BatchJob::new(path.as_str(), load_program(path)?));
+    }
+    if cli.switch("--suite") {
+        jobs.extend(codes::benchmark_suite().into_iter().map(BatchJob::from));
+    }
+    if jobs.is_empty() {
+        return Err("batch needs QASM files and/or --suite".to_owned());
+    }
+    let fabric = cli.fabric()?;
+    let config = QsprConfig::paper().with_seeds(cli.m()?);
+    let mut mapper = BatchMapper::new(&fabric, config);
+    if let Some(threads) = cli.threads()? {
+        mapper = mapper.threads(threads);
+    }
+    let report = mapper.run(&jobs).map_err(|e| e.to_string())?;
+    for item in &report.items {
+        println!("{}  [{:>7.1?}]", item.row, item.cpu);
+    }
+    println!(
+        "{} circuits | {} threads | wall {:.2?} | worker time {:.2?} | speedup {:.2}x | mean improvement {:.2}%",
+        report.items.len(),
+        report.threads,
+        report.wall,
+        report.total_cpu(),
+        report.speedup(),
+        report.mean_improvement_pct(),
+    );
+    Ok(())
+}
+
 fn cmd_fabric(cli: &Cli) -> Result<(), String> {
     let fabric = cli.fabric()?;
     let topo = fabric.topology();
@@ -301,6 +349,28 @@ mod tests {
     fn default_m_is_25() {
         let cli = Cli::parse(&[]).unwrap();
         assert_eq!(cli.m().unwrap(), 25);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_validates() {
+        let cli = Cli::parse(&strings(&["--threads", "8", "--suite"])).unwrap();
+        assert_eq!(cli.threads().unwrap(), Some(8));
+        assert!(cli.switch("--suite"));
+        assert_eq!(Cli::parse(&[]).unwrap().threads().unwrap(), None);
+        assert!(Cli::parse(&strings(&["--threads", "0"]))
+            .unwrap()
+            .threads()
+            .is_err());
+        assert!(Cli::parse(&strings(&["--threads", "many"]))
+            .unwrap()
+            .threads()
+            .is_err());
+    }
+
+    #[test]
+    fn batch_requires_some_input() {
+        let cli = Cli::parse(&[]).unwrap();
+        assert!(cmd_batch(&cli).is_err());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`QsprTool`] — the full flow: QASM program → QIDG scheduling → MVFB
 //!   placement → turn-aware congestion-weighted routing → event-driven
 //!   simulation → latency, stats and a micro-command trace;
+//! * [`BatchMapper`] — the same flow over a whole suite of circuits on
+//!   a thread pool, with per-circuit timing and deterministic,
+//!   input-ordered results at any thread count;
 //! * baselines: the **ideal** lower bound (`T_routing = T_congestion =
 //!   0`), a reimplementation of **QUALE** (center placement, ALAP
 //!   extraction, turn-blind PathFinder-style routing, no channel
@@ -38,11 +41,13 @@
 //! ```
 
 mod ablation;
+mod batch;
 mod noise;
 mod report;
 mod tool;
 
 pub use ablation::ablation_policies;
+pub use batch::{BatchError, BatchItem, BatchJob, BatchMapper, BatchReport};
 pub use noise::NoiseModel;
 pub use report::{ComparisonRow, PlacerComparisonRow};
 pub use tool::{QsprConfig, QsprResult, QsprTool};

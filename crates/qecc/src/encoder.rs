@@ -98,6 +98,9 @@ impl StandardForm {
 
         // Phase 1: RREF of the X block, pivots moved to columns 0..r.
         let mut r = 0;
+        // `r` advances right before `continue 'outer` restarts the scan,
+        // so the in-flight `r..n` / `r..s` ranges are never stale.
+        #[allow(clippy::mut_range_bound)]
         'outer: loop {
             for c in r..n {
                 for i in r..s {

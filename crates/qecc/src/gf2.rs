@@ -93,7 +93,7 @@ impl BitBasis {
         let pivot = 127 - residue.leading_zeros();
         self.rows.push((pivot, residue, combo | (1u128 << idx)));
         // Keep rows sorted by descending pivot for canonical reduction.
-        self.rows.sort_by(|a, b| b.0.cmp(&a.0));
+        self.rows.sort_by_key(|row| std::cmp::Reverse(row.0));
         true
     }
 

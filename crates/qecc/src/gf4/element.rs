@@ -90,6 +90,8 @@ impl Gf4 {
 impl Add for Gf4 {
     type Output = Gf4;
 
+    // GF(4) has characteristic 2: addition genuinely is bitwise XOR.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Gf4) -> Gf4 {
         Gf4(self.0 ^ rhs.0)
     }

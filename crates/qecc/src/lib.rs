@@ -41,6 +41,10 @@ pub mod gf4;
 
 mod gf2;
 mod pauli;
+// Test-only: keeps `proptest` a dev-dependency and the module out of
+// release builds entirely (the file's inner `#![cfg(test)]` alone would
+// still parse it into non-test builds).
+#[cfg(test)]
 mod proptests;
 mod stabilizer;
 mod tableau;

@@ -74,7 +74,7 @@ impl Pauli {
     ///
     /// Panics if `n == 0` or `n > 64`.
     pub fn identity(n: usize) -> Pauli {
-        assert!(n >= 1 && n <= 64, "Pauli supports 1..=64 qubits");
+        assert!((1..=64).contains(&n), "Pauli supports 1..=64 qubits");
         Pauli {
             n: n as u8,
             x: 0,
@@ -88,7 +88,7 @@ impl Pauli {
     ///
     /// Panics if `n` is out of range or a mask has bits above `n`.
     pub fn from_masks(n: usize, x: u64, z: u64) -> Pauli {
-        assert!(n >= 1 && n <= 64, "Pauli supports 1..=64 qubits");
+        assert!((1..=64).contains(&n), "Pauli supports 1..=64 qubits");
         let valid = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         assert!(x & !valid == 0 && z & !valid == 0, "mask exceeds {n} qubits");
         Pauli {

@@ -234,12 +234,7 @@ impl StabilizerCode {
         for s in &self.stabilizers {
             group.insert(s.symplectic());
         }
-        for w in 1..=max_weight {
-            if self.has_logical_of_weight(w, &group) {
-                return Some(w);
-            }
-        }
-        None
+        (1..=max_weight).find(|&w| self.has_logical_of_weight(w, &group))
     }
 
     /// Confirms the code distance is at least `d` (exhaustive check of

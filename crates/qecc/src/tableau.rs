@@ -64,7 +64,7 @@ impl StabilizerSim {
     ///
     /// Panics if `n == 0` or `n > 64`.
     pub fn new(n: usize) -> StabilizerSim {
-        assert!(n >= 1 && n <= 64, "tableau supports 1..=64 qubits");
+        assert!((1..=64).contains(&n), "tableau supports 1..=64 qubits");
         let mut rows = Vec::with_capacity(2 * n);
         for i in 0..n {
             rows.push(Row {

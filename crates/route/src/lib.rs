@@ -45,6 +45,10 @@
 //! ```
 
 mod plan;
+// Test-only: keeps `proptest` a dev-dependency and the module out of
+// release builds entirely (the file's inner `#![cfg(test)]` alone would
+// still parse it into non-test builds).
+#[cfg(test)]
 mod proptests;
 mod resource;
 mod router;

@@ -232,18 +232,14 @@ impl Qidg {
             let i = id.index();
             // Union the successors' reachable sets plus the successors
             // themselves.
-            let (mut acc, rest) = {
-                let mut acc = vec![0u64; words];
-                for s in self.succs(id) {
-                    let si = s.index();
-                    acc[si / 64] |= 1u64 << (si % 64);
-                    for w in 0..words {
-                        acc[w] |= reach[si * words + w];
-                    }
+            let mut acc = vec![0u64; words];
+            for s in self.succs(id) {
+                let si = s.index();
+                acc[si / 64] |= 1u64 << (si % 64);
+                for w in 0..words {
+                    acc[w] |= reach[si * words + w];
                 }
-                (acc, ())
-            };
-            let _ = rest;
+            }
             counts[i] = acc.iter().map(|w| w.count_ones()).sum();
             reach[i * words..(i + 1) * words].swap_with_slice(&mut acc);
         }

@@ -146,3 +146,49 @@ fn quale_overhead_grows_with_circuit_size() {
         large.quale_overhead()
     );
 }
+
+#[test]
+fn batch_mapping_is_deterministic_across_thread_counts() {
+    // The BatchMapper contract: per-circuit results are identical at
+    // --threads 1 and --threads N, and come back in input order.
+    use qspr::{BatchJob, BatchMapper};
+    use qspr_qasm::{random_program, RandomProgramConfig};
+
+    let fabric = Fabric::quale_45x85();
+    let mut jobs: Vec<BatchJob> = (0..4)
+        .map(|i| {
+            BatchJob::new(
+                format!("rand{i}"),
+                random_program(&RandomProgramConfig::new(5, 15), 100 + i),
+            )
+        })
+        .collect();
+    jobs.push(BatchJob::from(benchmark_suite().swap_remove(0)));
+
+    let mapper = BatchMapper::new(&fabric, QsprConfig::fast());
+    let serial = mapper.clone().threads(1).run(&jobs).expect("maps");
+    let parallel = mapper.threads(8).run(&jobs).expect("maps");
+
+    assert_eq!(serial.items.len(), jobs.len());
+    for (job, (s, p)) in jobs
+        .iter()
+        .zip(serial.items.iter().zip(parallel.items.iter()))
+    {
+        assert_eq!(s.name, job.name, "input order preserved");
+        assert_eq!(s.row, p.row, "{}: thread count changed the result", job.name);
+    }
+}
+
+#[test]
+fn batch_mapping_of_an_empty_suite_is_empty() {
+    use qspr::BatchMapper;
+
+    let fabric = Fabric::quale_45x85();
+    let report = BatchMapper::new(&fabric, QsprConfig::fast())
+        .threads(4)
+        .run(&[])
+        .expect("empty batch is fine");
+    assert!(report.items.is_empty());
+    assert_eq!(report.total_cpu(), std::time::Duration::ZERO);
+    assert_eq!(report.mean_improvement_pct(), 0.0);
+}

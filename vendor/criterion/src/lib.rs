@@ -1,0 +1,250 @@
+//! Offline shim of the `criterion` 0.5 API surface used by this
+//! workspace's benches.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal timing harness with criterion's call shape:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It measures wall-clock medians over a fixed iteration budget and
+//! prints one line per benchmark — good enough to compare runs by hand,
+//! with none of criterion's statistics, plotting or history. Benchmark
+//! names can be filtered by passing a substring argument, mirroring
+//! `cargo bench -- <filter>`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median over the sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call keeps cold caches out of the first sample.
+        black_box(routine());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_one(
+    name: &str,
+    filter: Option<&str>,
+    samples: usize,
+    f: impl FnOnce(&mut Bencher),
+) {
+    if let Some(needle) = filter {
+        if !name.contains(needle) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples,
+        last: None,
+    };
+    f(&mut bencher);
+    match bencher.last {
+        Some(median) => println!("{name:<40} median {median:>12.2?} ({samples} samples)"),
+        None => println!("{name:<40} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks sharing a sample budget.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.samples = n;
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: R,
+    ) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.filter.as_deref(),
+            self.samples,
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        routine: R,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.filter.as_deref(),
+            self.samples,
+            routine,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    /// A driver honoring a `cargo bench -- <filter>` substring argument.
+    fn default() -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.ends_with("bench"));
+        Criterion {
+            filter,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        routine: R,
+    ) -> &mut Self {
+        run_one(name, self.filter.as_deref(), self.default_samples, routine);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_median() {
+        let mut b = Bencher {
+            samples: 5,
+            last: None,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.last.is_some());
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("qspr", "[[5,1,3]]").to_string(), "qspr/[[5,1,3]]");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn groups_run_and_filter() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            default_samples: 2,
+        };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .bench_with_input(BenchmarkId::new("keep", 1), &41, |b, &x| {
+                    b.iter(|| x + 1);
+                });
+            g.finish();
+        }
+        // The filtered-out closure must never execute.
+        c.bench_function("dropped", |_b| ran.push("dropped"));
+        assert!(ran.is_empty());
+    }
+}
