@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use qspr_bench::Workbench;
 use qspr_fabric::TechParams;
-use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer};
+use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer, Placer};
 use qspr_sim::{Mapper, MapperPolicy};
 
 fn bench_placers(c: &mut Criterion) {

@@ -10,7 +10,7 @@
 //!
 //! Usage: `cargo run -p qspr-bench --bin ablations --release [--quick]`
 
-use qspr::{ablation_policies, QsprConfig, QsprTool};
+use qspr::{ablation_policies, Flow};
 use qspr_bench::{quick_mode, Workbench};
 use qspr_fabric::TechParams;
 use qspr_sim::Placement;
@@ -22,7 +22,7 @@ fn main() {
         Workbench::load()
     };
     let tech = TechParams::date2012();
-    let tool = QsprTool::new(&wb.fabric, QsprConfig::paper());
+    let flow = Flow::on(wb.fabric);
     let policies = ablation_policies(&tech);
 
     print!("{:<22}", "policy");
@@ -34,8 +34,8 @@ fn main() {
     for (name, policy) in &policies {
         print!("{:<22}", name);
         for (i, bench) in wb.benchmarks.iter().enumerate() {
-            let placement = Placement::center(&wb.fabric, bench.program.num_qubits());
-            let outcome = tool
+            let placement = Placement::center(flow.fabric(), bench.program.num_qubits());
+            let outcome = flow
                 .map_with(&bench.program, *policy, &placement)
                 .expect("benchmarks map cleanly");
             print!(" {:>10}", outcome.latency());

@@ -4,23 +4,27 @@
 //!
 //! Usage: `cargo run -p qspr-bench --bin fidelity --release [--m N]`
 
-use qspr::{NoiseModel, QsprConfig, QsprTool};
+use qspr::{Flow, FlowPolicy, NoiseModel};
 use qspr_bench::{parse_flag, Workbench};
 
 fn main() {
     let m = parse_flag("--m", 10);
     let wb = Workbench::load();
-    let tool = QsprTool::new(&wb.fabric, QsprConfig::paper().with_seeds(m));
+    let flow = Flow::on(wb.fabric).seeds(m);
+    let quale_flow = flow.clone().policy(FlowPolicy::Quale);
     let model = NoiseModel::ion_trap_2012();
 
-    println!("Estimated success probabilities (T2 = {}µs, MVFB m={m}):", model.t2);
+    println!(
+        "Estimated success probabilities (T2 = {}µs, MVFB m={m}):",
+        model.t2
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "circuit", "QSPR µs", "QUALE µs", "P(QSPR)", "P(QUALE)", "fidelity gain"
     );
     for bench in &wb.benchmarks {
-        let qspr = tool.map(&bench.program).expect("maps");
-        let quale = tool.map_quale(&bench.program).expect("maps");
+        let qspr = flow.run(&bench.program).expect("maps");
+        let quale = quale_flow.run(&bench.program).expect("maps").outcome;
         let p_qspr = model.success_probability(&bench.program, &qspr.outcome);
         let p_quale = model.success_probability(&bench.program, &quale);
         println!(

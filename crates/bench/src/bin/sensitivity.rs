@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run -p qspr-bench --bin sensitivity --release [--quick]`
 
-use qspr::{QsprConfig, QsprTool};
+use qspr::Flow;
 use qspr_bench::{quick_mode, Workbench};
 
 fn main() {
@@ -18,6 +18,7 @@ fn main() {
     } else {
         Workbench::load()
     };
+    let flow = Flow::on(wb.fabric);
 
     println!("Sensitivity of QSPR latency to the MVFB seed count m");
     print!("{:<12}", "circuit");
@@ -30,8 +31,11 @@ fn main() {
         let mut last_latency = u64::MAX;
         let mut runs_at_max = 0;
         for &m in ms {
-            let tool = QsprTool::new(&wb.fabric, QsprConfig::paper().with_seeds(m));
-            let result = tool.map(&bench.program).expect("maps cleanly");
+            let result = flow
+                .clone()
+                .seeds(m)
+                .run(&bench.program)
+                .expect("maps cleanly");
             print!(" {:>8}", result.latency);
             // Larger m keeps a superset of seeds: latency is monotone.
             assert!(

@@ -3,12 +3,13 @@
 //!
 //! Usage: `cargo run -p qspr-bench --bin table1 --release [--quick]`
 
-use qspr::{QsprConfig, QsprTool};
+use qspr::Flow;
 use qspr_bench::{quick_mode, Workbench, PAPER_TABLE1};
 
 fn main() {
     let ms: &[usize] = if quick_mode() { &[5] } else { &[25, 100] };
     let wb = Workbench::load();
+    let flow = Flow::on(wb.fabric);
 
     for &m in ms {
         println!("Table 1 — MVFB vs Monte Carlo, m={m} (45x85 fabric)");
@@ -16,9 +17,9 @@ fn main() {
             "{:<12} {:>9} {:>9} {:>9} {:>9} {:>6} | paper(m={m}): MVFB/MC µs, runs",
             "circuit", "MVFB µs", "MVFB ms", "MC µs", "MC ms", "runs"
         );
-        let tool = QsprTool::new(&wb.fabric, QsprConfig::paper().with_seeds(m));
+        let flow = flow.clone().seeds(m);
         for (bench, paper) in wb.benchmarks.iter().zip(PAPER_TABLE1) {
-            let row = tool
+            let row = flow
                 .compare_placers(&bench.name, &bench.program)
                 .expect("benchmarks map cleanly");
             let paper_ref = match m {

@@ -3,13 +3,13 @@
 //!
 //! Usage: `cargo run -p qspr-bench --bin table2 --release [--m 100] [--quick]`
 
-use qspr::{QsprConfig, QsprTool};
+use qspr::Flow;
 use qspr_bench::{parse_flag, quick_mode, Workbench, PAPER_TABLE2};
 
 fn main() {
     let m = parse_flag("--m", if quick_mode() { 5 } else { 100 });
     let wb = Workbench::load();
-    let tool = QsprTool::new(&wb.fabric, QsprConfig::paper().with_seeds(m));
+    let flow = Flow::on(wb.fabric).seeds(m);
 
     println!("Table 2 — Baseline vs QUALE vs QSPR (45x85 fabric, MVFB m={m})");
     println!(
@@ -17,7 +17,7 @@ fn main() {
         "circuit", "baseline", "QUALE", "QSPR", "impr%", "base", "QUALE", "QSPR", "impr%"
     );
     for (bench, paper) in wb.benchmarks.iter().zip(PAPER_TABLE2) {
-        let row = tool
+        let row = flow
             .compare(&bench.name, &bench.program)
             .expect("benchmarks map cleanly");
         let paper_impr = 100.0 * (paper.2 as f64 - paper.3 as f64) / paper.2 as f64;

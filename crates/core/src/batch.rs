@@ -4,29 +4,29 @@
 //! The paper evaluates the mapper one benchmark at a time; reproducing
 //! Table 1/Table 2 (and any scaling study) means mapping many circuits,
 //! each of which is internally sequential but independent of the
-//! others. [`BatchMapper`] fans a job list out over `N` worker threads
-//! with a lock-free work-stealing counter, records per-circuit wall
-//! time, and returns results **in input order** regardless of thread
-//! count or scheduling. Because the underlying flow is seed-determined
-//! (see [`crate::QsprConfig`]), the reported latencies are identical at
-//! any thread count — only wall-clock time changes.
+//! others. [`BatchMapper`] wraps a [`Flow`] — which owns its fabric, so
+//! there is no lifetime parameter to thread through — and fans a job
+//! list out over `N` worker threads with a lock-free work-stealing
+//! counter, records per-circuit wall time, and returns results **in
+//! input order** regardless of thread count or scheduling. Because the
+//! underlying flow is seed-determined, the reported latencies are
+//! identical at any thread count — only wall-clock time changes.
 //!
 //! # Examples
 //!
 //! ```
-//! use qspr::{BatchJob, BatchMapper, QsprConfig};
+//! use qspr::{BatchJob, BatchMapper, Flow};
 //! use qspr_fabric::Fabric;
 //! use qspr_qasm::Program;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let fabric = Fabric::quale_45x85();
 //! let jobs = vec![
 //!     BatchJob::new("bell", Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n")?),
 //!     BatchJob::new("ghz3", Program::parse(
 //!         "QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X b,c\n",
 //!     )?),
 //! ];
-//! let report = BatchMapper::new(&fabric, QsprConfig::fast())
+//! let report = BatchMapper::new(Flow::on(Fabric::quale_45x85()).seeds(4))
 //!     .threads(2)
 //!     .run(&jobs)?;
 //! assert_eq!(report.items.len(), 2);
@@ -41,12 +41,12 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use qspr_fabric::Fabric;
 use qspr_qasm::Program;
-use qspr_sim::MapError;
 
+use crate::error::QsprError;
+use crate::flow::Flow;
+use crate::json::{JsonArray, JsonObject, ToJson};
 use crate::report::ComparisonRow;
-use crate::tool::{QsprConfig, QsprTool};
 
 /// One named circuit in a batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,13 +88,27 @@ pub struct BatchItem {
     pub cpu: Duration,
 }
 
+impl ToJson for BatchItem {
+    /// Stable JSON schema: the [`ComparisonRow`] fields plus `cpu_ms`.
+    fn to_json(&self) -> String {
+        // The row already carries the circuit name; splice cpu_ms into
+        // its object rather than nesting one level deeper.
+        let row = self.row.to_json();
+        let inner = row
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .expect("rows serialize to objects");
+        format!("{{{inner},\"cpu_ms\":{}}}", self.cpu.as_millis())
+    }
+}
+
 /// A mapping failure attributed to the circuit that caused it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct BatchError {
     /// Name of the failing job.
     pub circuit: String,
-    /// The underlying mapper error.
-    pub source: MapError,
+    /// The underlying flow error.
+    pub source: QsprError,
 }
 
 impl fmt::Display for BatchError {
@@ -147,29 +161,42 @@ impl BatchReport {
     }
 }
 
+impl ToJson for BatchReport {
+    /// Stable JSON schema, pinned by a golden test:
+    /// `{"items":[...],"threads","wall_ms","total_cpu_ms","speedup",
+    /// "mean_improvement_pct"}`.
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .raw("items", &JsonArray::of(self.items.iter()))
+            .number("threads", self.threads as u64)
+            .number("wall_ms", self.wall.as_millis() as u64)
+            .number("total_cpu_ms", self.total_cpu().as_millis() as u64)
+            .float("speedup", self.speedup())
+            .float("mean_improvement_pct", self.mean_improvement_pct())
+            .build()
+    }
+}
+
 /// Maps a suite of circuits in parallel with deterministic results.
 ///
-/// See the module docs for an example.
+/// Owns its [`Flow`] (and through it the fabric), so it has no lifetime
+/// parameter and can itself move across threads or into long-lived
+/// services. See the module docs for an example.
 #[derive(Debug, Clone)]
-pub struct BatchMapper<'a> {
-    fabric: &'a Fabric,
-    config: QsprConfig,
+pub struct BatchMapper {
+    flow: Flow,
     threads: usize,
 }
 
-impl<'a> BatchMapper<'a> {
-    /// Creates a batch mapper using all available CPUs.
-    pub fn new(fabric: &'a Fabric, config: QsprConfig) -> BatchMapper<'a> {
+impl BatchMapper {
+    /// Creates a batch mapper running `flow` on all available CPUs.
+    pub fn new(flow: Flow) -> BatchMapper {
         let threads = thread::available_parallelism().map_or(1, |n| n.get());
-        BatchMapper {
-            fabric,
-            config,
-            threads,
-        }
+        BatchMapper { flow, threads }
     }
 
     /// Sets the worker thread count (clamped to at least 1).
-    pub fn threads(mut self, threads: usize) -> BatchMapper<'a> {
+    pub fn threads(mut self, threads: usize) -> BatchMapper {
         self.threads = threads.max(1);
         self
     }
@@ -177,6 +204,11 @@ impl<'a> BatchMapper<'a> {
     /// The configured worker thread count.
     pub fn thread_count(&self) -> usize {
         self.threads
+    }
+
+    /// The flow each worker runs.
+    pub fn flow(&self) -> &Flow {
+        &self.flow
     }
 
     /// Runs the full comparison flow (ideal baseline, QUALE, QSPR) on
@@ -206,14 +238,14 @@ impl<'a> BatchMapper<'a> {
         thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    // Each worker gets its own tool; the shared fabric is
-                    // read-only.
-                    let tool = QsprTool::new(self.fabric, self.config);
+                    // Workers share the flow immutably; the fabric
+                    // behind its Arc is read-only.
+                    let flow = &self.flow;
                     while !cancelled.load(Ordering::Relaxed) {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
                         let t0 = Instant::now();
-                        let result = tool
+                        let result = flow
                             .compare(&job.name, &job.program)
                             .map(|row| BatchItem {
                                 name: job.name.clone(),
@@ -227,8 +259,7 @@ impl<'a> BatchMapper<'a> {
                         if result.is_err() {
                             cancelled.store(true, Ordering::Relaxed);
                         }
-                        *slots[i].lock().expect("no worker panics holding it") =
-                            Some(result);
+                        *slots[i].lock().expect("no worker panics holding it") = Some(result);
                     }
                 });
             }
@@ -264,7 +295,12 @@ impl<'a> BatchMapper<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qspr_fabric::Fabric;
     use qspr_qasm::{random_program, RandomProgramConfig};
+
+    fn fast_flow() -> Flow {
+        Flow::on(Fabric::quale_45x85()).seeds(4)
+    }
 
     fn jobs(n: usize) -> Vec<BatchJob> {
         (0..n)
@@ -278,23 +314,22 @@ mod tests {
     }
 
     #[test]
+    fn batch_mapper_is_send_and_static() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<BatchMapper>();
+    }
+
+    #[test]
     fn empty_batch_yields_empty_report() {
-        let fabric = Fabric::quale_45x85();
-        let report = BatchMapper::new(&fabric, QsprConfig::fast())
-            .run(&[])
-            .unwrap();
+        let report = BatchMapper::new(fast_flow()).run(&[]).unwrap();
         assert!(report.items.is_empty());
         assert_eq!(report.mean_improvement_pct(), 0.0);
     }
 
     #[test]
     fn results_preserve_input_order() {
-        let fabric = Fabric::quale_45x85();
         let jobs = jobs(5);
-        let report = BatchMapper::new(&fabric, QsprConfig::fast())
-            .threads(3)
-            .run(&jobs)
-            .unwrap();
+        let report = BatchMapper::new(fast_flow()).threads(3).run(&jobs).unwrap();
         let names: Vec<&str> = report.items.iter().map(|i| i.name.as_str()).collect();
         assert_eq!(names, ["rand0", "rand1", "rand2", "rand3", "rand4"]);
         for item in &report.items {
@@ -304,9 +339,8 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_latencies() {
-        let fabric = Fabric::quale_45x85();
         let jobs = jobs(6);
-        let mapper = BatchMapper::new(&fabric, QsprConfig::fast());
+        let mapper = BatchMapper::new(fast_flow());
         let serial = mapper.clone().threads(1).run(&jobs).unwrap();
         let parallel = mapper.threads(8).run(&jobs).unwrap();
         assert_eq!(serial.threads, 1);
@@ -317,17 +351,16 @@ mod tests {
 
     #[test]
     fn failures_name_the_earliest_offending_circuit() {
-        let fabric = Fabric::quale_45x85();
         // Zero MVFB seeds stalls every circuit; regardless of which
         // worker fails first, the reported error must belong to the
         // earliest job in input order.
-        let config = QsprConfig::fast().with_seeds(0);
-        let err = BatchMapper::new(&fabric, config)
+        let err = BatchMapper::new(fast_flow().seeds(0))
             .threads(4)
             .run(&jobs(5))
             .unwrap_err();
         assert_eq!(err.circuit, "rand0");
         assert!(err.to_string().starts_with("rand0: "));
+        assert!(matches!(err.source, QsprError::Map(_)));
     }
 
     #[test]
@@ -337,5 +370,24 @@ mod tests {
         let job = BatchJob::from(bench);
         assert_eq!(job.name, name);
         assert!(job.program.num_qubits() > 0);
+    }
+
+    #[test]
+    fn batch_report_json_golden() {
+        // Golden test: this string IS the schema contract for
+        // `qspr batch --format json`.
+        let report = BatchReport {
+            items: vec![BatchItem {
+                name: "[[5,1,3]]".into(),
+                row: ComparisonRow::new("[[5,1,3]]", 510, 832, 634),
+                cpu: Duration::from_millis(12),
+            }],
+            threads: 2,
+            wall: Duration::from_millis(40),
+        };
+        assert_eq!(
+            report.to_json(),
+            r#"{"items":[{"circuit":"[[5,1,3]]","baseline_us":510,"quale_us":832,"qspr_us":634,"quale_overhead_us":322,"qspr_overhead_us":124,"improvement_pct":23.80,"cpu_ms":12}],"threads":2,"wall_ms":40,"total_cpu_ms":12,"speedup":0.30,"mean_improvement_pct":23.80}"#
+        );
     }
 }

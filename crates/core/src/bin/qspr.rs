@@ -1,32 +1,34 @@
 //! `qspr` — command-line front end for the QSPR mapper.
 //!
 //! ```text
-//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F]
-//! qspr compare <file.qasm> [--m N] [--fabric F]
-//! qspr suite [--m N]
-//! qspr batch [files...] [--suite] [--m N] [--threads T] [--fabric F]
+//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F] [--format FMT]
+//! qspr compare <file.qasm> [--m N] [--fabric F] [--format FMT]
+//! qspr suite [--m N] [--fabric F] [--format FMT]
+//! qspr batch [files...] [--suite] [--m N] [--threads T] [--fabric F] [--format FMT]
 //! qspr fabric [--fabric F]
 //! qspr encode <CODE>
+//! qspr version
 //! ```
 //!
 //! `--fabric` takes either `quale45x85` (default) or a path to an ASCII
-//! fabric file; `CODE` is one of `5,1,3`, `7,1,3`, `9,1,3`, `14,8,3`,
-//! `19,1,7`, `23,1,7`.
+//! fabric file; `--format` is `text` (default) or `json` (stable
+//! machine-readable schema); `CODE` is one of `5,1,3`, `7,1,3`,
+//! `9,1,3`, `14,8,3`, `19,1,7`, `23,1,7`.
 
 use std::process::ExitCode;
 
-use qspr::{BatchJob, BatchMapper, QsprConfig, QsprTool};
+use qspr::json::JsonArray;
+use qspr::{BatchJob, BatchMapper, Flow, FlowPolicy, QsprError, ToJson};
 use qspr_fabric::Fabric;
 use qspr_qasm::Program;
 use qspr_qecc::codes;
-use qspr_sim::MapperPolicy;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("qspr: {msg}");
+        Err(e) => {
+            eprintln!("qspr: {e}");
             eprintln!();
             eprintln!("{USAGE}");
             ExitCode::FAILURE
@@ -36,46 +38,62 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F]
-  qspr compare <file.qasm> [--m N] [--fabric F]
-  qspr suite [--m N] [--fabric F]
-  qspr batch [files...] [--suite] [--m N] [--threads T] [--fabric F]
+  qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F] [--format FMT]
+  qspr compare <file.qasm> [--m N] [--fabric F] [--format FMT]
+  qspr suite [--m N] [--fabric F] [--format FMT]
+  qspr batch [files...] [--suite] [--m N] [--threads T] [--fabric F] [--format FMT]
   qspr fabric [--fabric F]
   qspr encode <CODE>          (5,1,3 | 7,1,3 | 9,1,3 | 14,8,3 | 19,1,7 | 23,1,7)
+  qspr version
 
 options:
   --fabric F    quale45x85 (default) or a path to an ASCII fabric file
   --policy P    mapper policy for `map` (default qspr)
   --m N         MVFB seed count (default 25)
   --threads T   worker threads for `batch` (default: all CPUs)
+  --format FMT  output format: text (default) or json
   --suite       add the paper's six benchmark circuits to the batch
-  --trace       print the micro-command trace after mapping";
+  --trace       print the micro-command trace after mapping
+  --help, -h    print this help and exit";
+
+/// Output format selected with `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
 
 /// Minimal flag parser: collects positional arguments and `--key value` /
-/// `--switch` options.
+/// `--switch` options. Duplicate value flags are rejected.
+#[derive(Debug)]
 struct Cli {
     positional: Vec<String>,
     options: Vec<(String, Option<String>)>,
 }
 
 impl Cli {
-    fn parse(args: &[String]) -> Result<Cli, String> {
-        const VALUE_FLAGS: [&str; 4] = ["--fabric", "--policy", "--m", "--threads"];
+    fn parse(args: &[String]) -> Result<Cli, QsprError> {
+        const VALUE_FLAGS: [&str; 5] = ["--fabric", "--policy", "--m", "--threads", "--format"];
         const SWITCHES: [&str; 2] = ["--trace", "--suite"];
         let mut positional = Vec::new();
-        let mut options = Vec::new();
+        let mut options: Vec<(String, Option<String>)> = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(flag) = a.strip_prefix("--").map(|_| a.as_str()) {
                 if VALUE_FLAGS.contains(&flag) {
+                    if options.iter().any(|(f, _)| f == flag) {
+                        return Err(QsprError::usage(format!(
+                            "flag {flag} given more than once"
+                        )));
+                    }
                     let value = it
                         .next()
-                        .ok_or_else(|| format!("flag {flag} needs a value"))?;
+                        .ok_or_else(|| QsprError::usage(format!("flag {flag} needs a value")))?;
                     options.push((flag.to_owned(), Some(value.clone())));
                 } else if SWITCHES.contains(&flag) {
                     options.push((flag.to_owned(), None));
                 } else {
-                    return Err(format!("unknown flag {flag}"));
+                    return Err(QsprError::usage(format!("unknown flag {flag}")));
                 }
             } else {
                 positional.push(a.clone());
@@ -98,46 +116,73 @@ impl Cli {
         self.options.iter().any(|(f, _)| f == flag)
     }
 
-    fn m(&self) -> Result<usize, String> {
+    fn m(&self) -> Result<usize, QsprError> {
         match self.value("--m") {
             None => Ok(25),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--m expects a number, got {v:?}")),
+                .map_err(|_| QsprError::usage(format!("--m expects a number, got {v:?}"))),
         }
     }
 
-    fn threads(&self) -> Result<Option<usize>, String> {
+    fn threads(&self) -> Result<Option<usize>, QsprError> {
         match self.value("--threads") {
             None => Ok(None),
             Some(v) => match v.parse() {
                 Ok(n) if n >= 1 => Ok(Some(n)),
-                _ => Err(format!("--threads expects a positive number, got {v:?}")),
+                _ => Err(QsprError::usage(format!(
+                    "--threads expects a positive number, got {v:?}"
+                ))),
             },
         }
     }
 
-    fn fabric(&self) -> Result<Fabric, String> {
+    fn format(&self) -> Result<OutputFormat, QsprError> {
+        match self.value("--format") {
+            None | Some("text") => Ok(OutputFormat::Text),
+            Some("json") => Ok(OutputFormat::Json),
+            Some(other) => Err(QsprError::usage(format!(
+                "--format expects text or json, got {other:?}"
+            ))),
+        }
+    }
+
+    fn fabric(&self) -> Result<Fabric, QsprError> {
         match self.value("--fabric") {
             None | Some("quale45x85") => Ok(Fabric::quale_45x85()),
             Some(path) => {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read fabric {path}: {e}"))?;
-                Fabric::from_ascii(&text).map_err(|e| format!("bad fabric {path}: {e}"))
+                let text = std::fs::read_to_string(path).map_err(|e| QsprError::io(path, e))?;
+                Ok(Fabric::from_ascii(&text)?)
             }
         }
     }
+
+    /// A flow on the selected fabric with the selected seed count.
+    fn flow(&self) -> Result<Flow, QsprError> {
+        Ok(Flow::on(self.fabric()?).seeds(self.m()?))
+    }
 }
 
-fn load_program(path: &str) -> Result<Program, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Program::parse(&text).map_err(|e| format!("{path}: {e}"))
+fn load_program(path: &str) -> Result<Program, QsprError> {
+    let text = std::fs::read_to_string(path).map_err(|e| QsprError::io(path, e))?;
+    Program::parse(&text).map_err(QsprError::from)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), QsprError> {
+    // Help short-circuits everything: any `--help`/`-h` anywhere wins,
+    // and must exit 0 rather than trip the unknown-flag path.
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    // `--version` wins anywhere too, for consistency with `--help`.
+    if args.first().map(String::as_str) == Some("version") || args.iter().any(|a| a == "--version")
+    {
+        println!("qspr {}", env!("CARGO_PKG_VERSION"));
+        return Ok(());
+    }
     let Some(command) = args.first() else {
-        return Err("missing command".to_owned());
+        return Err(QsprError::usage("missing command"));
     };
     let cli = Cli::parse(&args[1..])?;
     match command.as_str() {
@@ -147,29 +192,35 @@ fn run(args: &[String]) -> Result<(), String> {
         "batch" => cmd_batch(&cli),
         "fabric" => cmd_fabric(&cli),
         "encode" => cmd_encode(&cli),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(QsprError::usage(format!("unknown command {other:?}"))),
     }
 }
 
-fn cmd_map(cli: &Cli) -> Result<(), String> {
+fn cmd_map(cli: &Cli) -> Result<(), QsprError> {
     let path = cli
         .positional
         .first()
-        .ok_or("map needs a QASM file argument")?;
+        .ok_or_else(|| QsprError::usage("map needs a QASM file argument"))?;
     let program = load_program(path)?;
-    let fabric = cli.fabric()?;
-    let mut config = QsprConfig::paper().with_seeds(cli.m()?);
-    config.record_trace = cli.switch("--trace");
-    let tool = QsprTool::new(&fabric, config);
-    let tech = config.tech;
+    let policy: FlowPolicy = cli.value("--policy").unwrap_or("qspr").parse()?;
+    let format = cli.format()?;
+    let flow = cli
+        .flow()?
+        .policy(policy)
+        .record_trace(cli.switch("--trace"));
 
-    let policy = cli.value("--policy").unwrap_or("qspr");
-    match policy {
-        "qspr" => {
-            let result = tool.map(&program).map_err(|e| e.to_string())?;
-            println!("policy          qspr (MVFB m={})", config.mvfb.seeds);
+    let result = flow.run(&program)?;
+    match format {
+        OutputFormat::Json => println!("{}", result.summary().to_json()),
+        OutputFormat::Text => {
+            match policy {
+                FlowPolicy::Qspr => {
+                    println!("policy          qspr (MVFB m={})", flow.seed_count())
+                }
+                other => println!("policy          {other}"),
+            }
             println!("latency         {}µs", result.latency);
-            println!("ideal baseline  {}µs", tool.ideal_latency(&program));
+            println!("ideal baseline  {}µs", flow.ideal_latency(&program));
             println!("placement runs  {}", result.runs);
             println!(
                 "movement        {} moves, {} turns",
@@ -187,56 +238,43 @@ fn cmd_map(cli: &Cli) -> Result<(), String> {
                 }
             }
         }
-        "quale" | "qpos" => {
-            let policy = match policy {
-                "quale" => MapperPolicy::quale(&tech),
-                _ => MapperPolicy::qpos(&tech),
-            };
-            let placement =
-                qspr_sim::Placement::center(&fabric, program.num_qubits());
-            let outcome = tool
-                .map_with(&program, policy, &placement)
-                .map_err(|e| e.to_string())?;
-            println!("policy          {}", cli.value("--policy").expect("set"));
-            println!("latency         {}µs", outcome.latency());
-            println!("ideal baseline  {}µs", tool.ideal_latency(&program));
-            println!(
-                "movement        {} moves, {} turns",
-                outcome.totals().moves,
-                outcome.totals().turns
-            );
-        }
-        other => return Err(format!("unknown policy {other:?}")),
     }
     Ok(())
 }
 
-fn cmd_compare(cli: &Cli) -> Result<(), String> {
+fn cmd_compare(cli: &Cli) -> Result<(), QsprError> {
     let path = cli
         .positional
         .first()
-        .ok_or("compare needs a QASM file argument")?;
+        .ok_or_else(|| QsprError::usage("compare needs a QASM file argument"))?;
     let program = load_program(path)?;
-    let fabric = cli.fabric()?;
-    let tool = QsprTool::new(&fabric, QsprConfig::paper().with_seeds(cli.m()?));
-    let row = tool.compare(path, &program).map_err(|e| e.to_string())?;
-    println!("{row}");
-    Ok(())
-}
-
-fn cmd_suite(cli: &Cli) -> Result<(), String> {
-    let fabric = cli.fabric()?;
-    let tool = QsprTool::new(&fabric, QsprConfig::paper().with_seeds(cli.m()?));
-    for bench in codes::benchmark_suite() {
-        let row = tool
-            .compare(&bench.name, &bench.program)
-            .map_err(|e| e.to_string())?;
-        println!("{row}");
+    let format = cli.format()?;
+    let row = cli.flow()?.compare(path, &program)?;
+    match format {
+        OutputFormat::Text => println!("{row}"),
+        OutputFormat::Json => println!("{}", row.to_json()),
     }
     Ok(())
 }
 
-fn cmd_batch(cli: &Cli) -> Result<(), String> {
+fn cmd_suite(cli: &Cli) -> Result<(), QsprError> {
+    let format = cli.format()?;
+    let flow = cli.flow()?;
+    let mut rows = JsonArray::new();
+    for bench in codes::benchmark_suite() {
+        let row = flow.compare(&bench.name, &bench.program)?;
+        match format {
+            OutputFormat::Text => println!("{row}"),
+            OutputFormat::Json => rows.push_raw(&row.to_json()),
+        }
+    }
+    if format == OutputFormat::Json {
+        println!("{}", rows.build());
+    }
+    Ok(())
+}
+
+fn cmd_batch(cli: &Cli) -> Result<(), QsprError> {
     let mut jobs: Vec<BatchJob> = Vec::new();
     for path in &cli.positional {
         jobs.push(BatchJob::new(path.as_str(), load_program(path)?));
@@ -245,31 +283,35 @@ fn cmd_batch(cli: &Cli) -> Result<(), String> {
         jobs.extend(codes::benchmark_suite().into_iter().map(BatchJob::from));
     }
     if jobs.is_empty() {
-        return Err("batch needs QASM files and/or --suite".to_owned());
+        return Err(QsprError::usage("batch needs QASM files and/or --suite"));
     }
-    let fabric = cli.fabric()?;
-    let config = QsprConfig::paper().with_seeds(cli.m()?);
-    let mut mapper = BatchMapper::new(&fabric, config);
+    let format = cli.format()?;
+    let mut mapper = BatchMapper::new(cli.flow()?);
     if let Some(threads) = cli.threads()? {
         mapper = mapper.threads(threads);
     }
-    let report = mapper.run(&jobs).map_err(|e| e.to_string())?;
-    for item in &report.items {
-        println!("{}  [{:>7.1?}]", item.row, item.cpu);
+    let report = mapper.run(&jobs)?;
+    match format {
+        OutputFormat::Json => println!("{}", report.to_json()),
+        OutputFormat::Text => {
+            for item in &report.items {
+                println!("{}  [{:>7.1?}]", item.row, item.cpu);
+            }
+            println!(
+                "{} circuits | {} threads | wall {:.2?} | worker time {:.2?} | speedup {:.2}x | mean improvement {:.2}%",
+                report.items.len(),
+                report.threads,
+                report.wall,
+                report.total_cpu(),
+                report.speedup(),
+                report.mean_improvement_pct(),
+            );
+        }
     }
-    println!(
-        "{} circuits | {} threads | wall {:.2?} | worker time {:.2?} | speedup {:.2}x | mean improvement {:.2}%",
-        report.items.len(),
-        report.threads,
-        report.wall,
-        report.total_cpu(),
-        report.speedup(),
-        report.mean_improvement_pct(),
-    );
     Ok(())
 }
 
-fn cmd_fabric(cli: &Cli) -> Result<(), String> {
+fn cmd_fabric(cli: &Cli) -> Result<(), QsprError> {
     let fabric = cli.fabric()?;
     let topo = fabric.topology();
     println!("{fabric}");
@@ -294,11 +336,11 @@ fn cmd_fabric(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_encode(cli: &Cli) -> Result<(), String> {
+fn cmd_encode(cli: &Cli) -> Result<(), QsprError> {
     let name = cli
         .positional
         .first()
-        .ok_or("encode needs a code argument")?;
+        .ok_or_else(|| QsprError::usage("encode needs a code argument"))?;
     let code = match name.trim_matches(|c| c == '[' || c == ']').trim() {
         "5,1,3" => codes::five_one_three(),
         "7,1,3" => codes::steane(),
@@ -306,10 +348,10 @@ fn cmd_encode(cli: &Cli) -> Result<(), String> {
         "14,8,3" => codes::fourteen_eight_three(),
         "19,1,7" => codes::nineteen_one_seven(),
         "23,1,7" => codes::twenty_three_one_seven(),
-        other => return Err(format!("unknown code {other:?}")),
+        other => return Err(QsprError::usage(format!("unknown code {other:?}"))),
     };
     let program =
-        qspr_qecc::encoder::encoding_circuit(&code).map_err(|e| e.to_string())?;
+        qspr_qecc::encoder::encoding_circuit(&code).map_err(|e| QsprError::usage(e.to_string()))?;
     print!("{}", program.to_qasm());
     Ok(())
 }
@@ -340,9 +382,57 @@ mod tests {
     }
 
     #[test]
-    fn cli_rejects_unknown_flags_and_missing_values() {
-        assert!(Cli::parse(&strings(&["--frobnicate"])).is_err());
-        assert!(Cli::parse(&strings(&["--m"])).is_err());
+    fn cli_rejects_unknown_flags() {
+        let err = Cli::parse(&strings(&["--frobnicate"])).unwrap_err();
+        assert!(matches!(err, QsprError::Usage(_)));
+        assert_eq!(err.to_string(), "unknown flag --frobnicate");
+    }
+
+    #[test]
+    fn cli_rejects_missing_values() {
+        let err = Cli::parse(&strings(&["--m"])).unwrap_err();
+        assert_eq!(err.to_string(), "flag --m needs a value");
+        assert!(Cli::parse(&strings(&["--format"])).is_err());
+    }
+
+    #[test]
+    fn cli_rejects_duplicate_value_flags() {
+        // Regression: `--m 4 --m 100` used to resolve silently to the
+        // first occurrence.
+        let err = Cli::parse(&strings(&["--m", "4", "--m", "100"])).unwrap_err();
+        assert_eq!(err.to_string(), "flag --m given more than once");
+        let err = Cli::parse(&strings(&["--fabric", "a", "--fabric", "b"])).unwrap_err();
+        assert_eq!(err.to_string(), "flag --fabric given more than once");
+        // Repeated switches stay harmless and idempotent.
+        let cli = Cli::parse(&strings(&["--trace", "--trace"])).unwrap();
+        assert!(cli.switch("--trace"));
+    }
+
+    #[test]
+    fn format_flag_validates() {
+        assert_eq!(
+            Cli::parse(&[]).unwrap().format().unwrap(),
+            OutputFormat::Text
+        );
+        assert_eq!(
+            Cli::parse(&strings(&["--format", "text"]))
+                .unwrap()
+                .format()
+                .unwrap(),
+            OutputFormat::Text
+        );
+        assert_eq!(
+            Cli::parse(&strings(&["--format", "json"]))
+                .unwrap()
+                .format()
+                .unwrap(),
+            OutputFormat::Json
+        );
+        let err = Cli::parse(&strings(&["--format", "yaml"]))
+            .unwrap()
+            .format()
+            .unwrap_err();
+        assert!(err.to_string().contains("text or json"));
     }
 
     #[test]
@@ -380,6 +470,30 @@ mod tests {
     }
 
     #[test]
+    fn help_exits_cleanly_everywhere() {
+        // `--help` used to fall into the unknown-flag failure path; it
+        // must now succeed wherever it appears.
+        assert!(run(&strings(&["--help"])).is_ok());
+        assert!(run(&strings(&["-h"])).is_ok());
+        assert!(run(&strings(&["map", "--help"])).is_ok());
+        assert!(run(&strings(&["batch", "--suite", "-h"])).is_ok());
+    }
+
+    #[test]
+    fn version_subcommand_succeeds() {
+        assert!(run(&strings(&["version"])).is_ok());
+        assert!(run(&strings(&["--version"])).is_ok());
+        // Like --help, the flag form wins anywhere on the line.
+        assert!(run(&strings(&["map", "--version"])).is_ok());
+    }
+
+    #[test]
+    fn map_rejects_bad_policy_via_flow_policy() {
+        let err = "best".parse::<FlowPolicy>().unwrap_err();
+        assert!(err.to_string().contains("unknown policy"));
+    }
+
+    #[test]
     fn encode_produces_parseable_qasm() {
         // Drive the command path end to end for one code.
         let cli = Cli::parse(&strings(&["5,1,3"])).unwrap();
@@ -394,5 +508,45 @@ mod tests {
         }
         let cli = Cli::parse(&strings(&["31,1,7"])).unwrap();
         assert!(cmd_encode(&cli).is_err());
+    }
+
+    #[test]
+    fn compare_json_round_trips_through_the_golden_schema() {
+        // End-to-end: run `compare --format json` machinery on a real
+        // program and check the emitted object against the pinned
+        // schema keys, in order.
+        let flow = Flow::on(Fabric::quale_45x85()).seeds(2);
+        let bench = codes::benchmark_suite().swap_remove(0);
+        let row = flow.compare(&bench.name, &bench.program).unwrap();
+        let json = row.to_json();
+        let keys = [
+            "\"circuit\":",
+            "\"baseline_us\":",
+            "\"quale_us\":",
+            "\"qspr_us\":",
+            "\"quale_overhead_us\":",
+            "\"qspr_overhead_us\":",
+            "\"improvement_pct\":",
+        ];
+        let mut at = 0;
+        for key in keys {
+            let pos = json[at..]
+                .find(key)
+                .unwrap_or_else(|| panic!("{key} missing (or out of order) in {json}"));
+            at += pos + key.len();
+        }
+        // Round-trip: the values re-parse as the row's numbers.
+        let grab = |key: &str| -> u64 {
+            let start = json.find(key).expect("key present") + key.len();
+            json[start..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .expect("integer value")
+        };
+        assert_eq!(grab("\"baseline_us\":"), row.baseline);
+        assert_eq!(grab("\"quale_us\":"), row.quale);
+        assert_eq!(grab("\"qspr_us\":"), row.qspr);
     }
 }

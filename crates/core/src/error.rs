@@ -1,0 +1,153 @@
+//! The workspace-wide error type: one enum for every way a QSPR flow
+//! can fail, from reading a file to a stalled simulation.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use qspr_fabric::FabricError;
+use qspr_qasm::ParseError;
+use qspr_sim::MapError;
+
+use crate::batch::BatchError;
+
+/// Any failure of the QSPR flow.
+///
+/// Every layer's error converts into this enum (via `From` or the
+/// [`QsprError::io`] constructor), so application code — the `qspr`
+/// CLI included — propagates one type with `?` instead of stringly
+/// plumbing.
+///
+/// # Examples
+///
+/// ```
+/// use qspr::QsprError;
+/// use qspr_qasm::Program;
+///
+/// fn parse(src: &str) -> Result<Program, QsprError> {
+///     Ok(Program::parse(src)?)
+/// }
+///
+/// let err = parse("FROB q\n").unwrap_err();
+/// assert!(matches!(err, QsprError::Parse(_)));
+/// assert!(err.to_string().contains("unknown gate"));
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum QsprError {
+    /// QASM source was rejected by the parser.
+    Parse(ParseError),
+    /// A fabric description was rejected.
+    Fabric(FabricError),
+    /// The mapper could not map a program.
+    Map(MapError),
+    /// A batch run failed on a named circuit.
+    Batch(Box<BatchError>),
+    /// A file could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// Invalid usage or configuration (unknown flag, bad option value).
+    Usage(String),
+}
+
+impl QsprError {
+    /// An I/O failure attributed to `path`.
+    pub fn io(path: impl Into<String>, source: io::Error) -> QsprError {
+        QsprError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// A usage/configuration error with a human-readable message.
+    pub fn usage(message: impl Into<String>) -> QsprError {
+        QsprError::Usage(message.into())
+    }
+}
+
+impl fmt::Display for QsprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsprError::Parse(e) => write!(f, "{e}"),
+            QsprError::Fabric(e) => write!(f, "invalid fabric: {e}"),
+            QsprError::Map(e) => write!(f, "{e}"),
+            QsprError::Batch(e) => write!(f, "{e}"),
+            QsprError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+            QsprError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for QsprError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QsprError::Parse(e) => Some(e),
+            QsprError::Fabric(e) => Some(e),
+            QsprError::Map(e) => Some(e),
+            QsprError::Batch(e) => Some(e),
+            QsprError::Io { source, .. } => Some(source),
+            QsprError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for QsprError {
+    fn from(e: ParseError) -> QsprError {
+        QsprError::Parse(e)
+    }
+}
+
+impl From<FabricError> for QsprError {
+    fn from(e: FabricError) -> QsprError {
+        QsprError::Fabric(e)
+    }
+}
+
+impl From<MapError> for QsprError {
+    fn from(e: MapError) -> QsprError {
+        QsprError::Map(e)
+    }
+}
+
+impl From<BatchError> for QsprError {
+    fn from(e: BatchError) -> QsprError {
+        QsprError::Batch(Box::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer() {
+        let parse = qspr_qasm::Program::parse("FROB q\n").unwrap_err();
+        let e = QsprError::from(parse);
+        assert!(matches!(e, QsprError::Parse(_)));
+        assert!(e.source().is_some());
+
+        let fabric = qspr_fabric::Fabric::from_ascii("").unwrap_err();
+        let e = QsprError::from(fabric);
+        assert!(e.to_string().starts_with("invalid fabric:"));
+
+        let e = QsprError::from(MapError::Stalled { remaining: 2 });
+        assert!(e.to_string().contains("2 instruction"));
+
+        let e = QsprError::io("missing.qasm", io::Error::other("boom"));
+        assert!(e.to_string().contains("missing.qasm"));
+
+        let e = QsprError::usage("unknown flag --frob");
+        assert_eq!(e.to_string(), "unknown flag --frob");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn is_a_send_sync_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<QsprError>();
+    }
+}

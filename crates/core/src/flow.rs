@@ -1,0 +1,626 @@
+//! The owned, composable QSPR flow — the service-grade front door of
+//! the crate.
+//!
+//! [`Flow`] owns its fabric behind an [`Arc`], so it is `Send +
+//! 'static`: it can be cloned into worker threads, stored in a service
+//! state, or moved into async tasks without lifetime plumbing. Every
+//! knob of the paper's flow is a builder method, and the placement
+//! engine is a pluggable [`Placer`] trait object.
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr::{Flow, FlowPolicy};
+//! use qspr_fabric::Fabric;
+//! use qspr_qasm::Program;
+//!
+//! # fn main() -> Result<(), qspr::QsprError> {
+//! let program = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n")?;
+//! let flow = Flow::on(Fabric::quale_45x85()).seeds(4);
+//!
+//! let result = flow.run(&program)?;
+//! assert!(result.latency >= flow.ideal_latency(&program));
+//!
+//! // The same flow, rebound to a baseline policy, is one line away.
+//! let quale = flow.clone().policy(FlowPolicy::Quale).run(&program)?;
+//! assert!(quale.latency >= result.latency);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qspr_fabric::{Fabric, TechParams, Time};
+use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer, PassDirection, Placer, PlacerSolution};
+use qspr_qasm::Program;
+use qspr_sched::Qidg;
+use qspr_sim::{Mapper, MapperPolicy, MappingOutcome, Placement, Trace};
+
+use crate::error::QsprError;
+use crate::json::{JsonObject, ToJson};
+use crate::report::{ComparisonRow, PlacerComparisonRow};
+
+/// Which mapper policy a [`Flow`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowPolicy {
+    /// The paper's full tool: priority scheduling, placer-driven
+    /// placement, turn-aware multiplexed routing.
+    Qspr,
+    /// The QUALE baseline: center placement, ALAP extraction,
+    /// turn-blind routing, capacity-1 channels, single moving qubit.
+    Quale,
+    /// The QPOS baseline: center placement, ASAP + dependent-count
+    /// priority, destination operand fixed, capacity-1 channels.
+    Qpos,
+}
+
+impl FlowPolicy {
+    /// Stable lowercase name (`"qspr"` / `"quale"` / `"qpos"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlowPolicy::Qspr => "qspr",
+            FlowPolicy::Quale => "quale",
+            FlowPolicy::Qpos => "qpos",
+        }
+    }
+
+    fn mapper_policy(self, tech: &TechParams) -> MapperPolicy {
+        match self {
+            FlowPolicy::Qspr => MapperPolicy::qspr(tech),
+            FlowPolicy::Quale => MapperPolicy::quale(tech),
+            FlowPolicy::Qpos => MapperPolicy::qpos(tech),
+        }
+    }
+}
+
+impl fmt::Display for FlowPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for FlowPolicy {
+    type Err = QsprError;
+
+    fn from_str(s: &str) -> Result<FlowPolicy, QsprError> {
+        match s {
+            "qspr" => Ok(FlowPolicy::Qspr),
+            "quale" => Ok(FlowPolicy::Quale),
+            "qpos" => Ok(FlowPolicy::Qpos),
+            other => Err(QsprError::usage(format!(
+                "unknown policy {other:?} (expected qspr, quale or qpos)"
+            ))),
+        }
+    }
+}
+
+/// The full QSPR flow as an owned, reusable value.
+///
+/// Built with [`Flow::on`] and configured through chained builder
+/// methods; [`Flow::run`] executes QIDG scheduling, placement (through
+/// the configured [`Placer`]) and turn-aware routing on one program.
+/// Because the fabric lives behind an [`Arc`], a `Flow` is `Send +
+/// 'static` and cheap to clone — the foundation for batch and service
+/// front ends.
+///
+/// See the crate docs for an example and the `QsprTool` migration
+/// table.
+#[derive(Clone)]
+pub struct Flow {
+    fabric: Arc<Fabric>,
+    tech: TechParams,
+    policy: FlowPolicy,
+    mvfb: MvfbConfig,
+    placer: Option<Arc<dyn Placer + Send + Sync>>,
+    record_trace: bool,
+}
+
+impl Flow {
+    /// Starts a flow on `fabric` with the paper's defaults: DATE 2012
+    /// technology parameters, the full QSPR policy, and the built-in
+    /// MVFB placer with `m = 100` seeds.
+    ///
+    /// Accepts an owned [`Fabric`] or an existing `Arc<Fabric>` (to
+    /// share one fabric across many flows without copying it).
+    pub fn on(fabric: impl Into<Arc<Fabric>>) -> Flow {
+        Flow {
+            fabric: fabric.into(),
+            tech: TechParams::date2012(),
+            policy: FlowPolicy::Qspr,
+            mvfb: MvfbConfig::new(100, 0xD57E_2012),
+            placer: None,
+            record_trace: false,
+        }
+    }
+
+    /// Sets the technology parameters.
+    pub fn tech(mut self, tech: TechParams) -> Flow {
+        self.tech = tech;
+        self
+    }
+
+    /// Sets the mapper policy (QSPR or one of the paper's baselines).
+    pub fn policy(mut self, policy: FlowPolicy) -> Flow {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a custom placement engine, replacing the built-in MVFB
+    /// placer. Only consulted under [`FlowPolicy::Qspr`]; the baselines
+    /// specify their own (center) placement.
+    pub fn placer(mut self, placer: impl Placer + Send + Sync + 'static) -> Flow {
+        self.placer = Some(Arc::new(placer));
+        self
+    }
+
+    /// Sets the MVFB seed count `m` for the built-in placer (ignored
+    /// once a custom [`Flow::placer`] is installed). Also the `m`
+    /// reported by [`Flow::compare_placers`].
+    pub fn seeds(mut self, m: usize) -> Flow {
+        self.mvfb.seeds = m;
+        self
+    }
+
+    /// Replaces the whole MVFB configuration of the built-in placer.
+    pub fn mvfb_config(mut self, config: MvfbConfig) -> Flow {
+        self.mvfb = config;
+        self
+    }
+
+    /// Enables or disables recording of the winning micro-command trace
+    /// (off by default; placers run thousands of mappings and only need
+    /// latencies).
+    pub fn record_trace(mut self, record: bool) -> Flow {
+        self.record_trace = record;
+        self
+    }
+
+    /// The fabric this flow maps onto.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The shared handle to the fabric (clone it to build sibling flows
+    /// without copying the fabric).
+    pub fn fabric_arc(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// The technology parameters in use.
+    pub fn tech_params(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// The configured MVFB seed count `m`.
+    pub fn seed_count(&self) -> usize {
+        self.mvfb.seeds
+    }
+
+    /// The name of the active placement engine.
+    pub fn placer_name(&self) -> &str {
+        match &self.placer {
+            Some(p) => p.name(),
+            None => "mvfb",
+        }
+    }
+
+    fn mapper(&self, policy: MapperPolicy) -> Mapper<'_> {
+        Mapper::new(&self.fabric, self.tech, policy)
+    }
+
+    /// Runs the flow on `program`.
+    ///
+    /// Under [`FlowPolicy::Qspr`] the configured placer searches for
+    /// the best initial placement; the baselines map once from the
+    /// deterministic center placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsprError::Map`] when the program cannot be mapped
+    /// (stalls on degenerate fabrics, placement mismatches).
+    pub fn run(&self, program: &Program) -> Result<FlowResult, QsprError> {
+        let mapper = self.mapper(self.policy.mapper_policy(&self.tech));
+        // Baselines map exactly once; keep that outcome rather than
+        // recomputing it below.
+        let (solution, baseline_outcome) = match self.policy {
+            FlowPolicy::Qspr => {
+                let default_placer;
+                let placer: &dyn Placer = match &self.placer {
+                    Some(p) => p,
+                    None => {
+                        default_placer = MvfbPlacer::new(self.mvfb);
+                        &default_placer
+                    }
+                };
+                (placer.place(&mapper, program)?, None)
+            }
+            FlowPolicy::Quale | FlowPolicy::Qpos => {
+                let started = Instant::now();
+                let placement = Placement::center(&self.fabric, program.num_qubits());
+                // Baselines map exactly once, tracing inline if asked.
+                let outcome = mapper
+                    .clone()
+                    .record_trace(self.record_trace)
+                    .map(program, &placement)?;
+                let solution = PlacerSolution {
+                    latency: outcome.latency(),
+                    direction: PassDirection::Forward,
+                    initial_placement: placement,
+                    runs: 1,
+                    cpu: started.elapsed(),
+                };
+                (solution, Some(outcome))
+            }
+        };
+        let (outcome, forward_trace) = match baseline_outcome {
+            Some(outcome) => {
+                let trace = outcome.trace().cloned();
+                (outcome, trace)
+            }
+            None if self.record_trace => {
+                let (outcome, trace) = solution.replay(&mapper, program)?;
+                (outcome, Some(trace))
+            }
+            None => {
+                let prog = match solution.direction {
+                    PassDirection::Forward => program.clone(),
+                    PassDirection::Backward => program.reversed(),
+                };
+                (mapper.map(&prog, &solution.initial_placement)?, None)
+            }
+        };
+        // The re-mapped outcome is ground truth. A conforming placer's
+        // reported latency matches it exactly; a misreporting placer is
+        // reconciled here rather than poisoning downstream reports.
+        let latency = outcome.latency();
+        Ok(FlowResult {
+            policy: self.policy,
+            // Baselines bypass the placer for their fixed center
+            // placement; report what actually ran.
+            placer: match self.policy {
+                FlowPolicy::Qspr => self.placer_name().to_owned(),
+                FlowPolicy::Quale | FlowPolicy::Qpos => "center".to_owned(),
+            },
+            latency,
+            direction: solution.direction,
+            initial_placement: solution.initial_placement,
+            runs: solution.runs,
+            cpu: solution.cpu,
+            outcome,
+            forward_trace,
+        })
+    }
+
+    /// Maps `program` with an explicit policy and placement (the escape
+    /// hatch for ablations and custom flows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsprError::Map`] on mapper failures.
+    pub fn map_with(
+        &self,
+        program: &Program,
+        policy: MapperPolicy,
+        placement: &Placement,
+    ) -> Result<MappingOutcome, QsprError> {
+        Ok(self.mapper(policy).map(program, placement)?)
+    }
+
+    /// The paper's ideal baseline: execution latency on a fabric with
+    /// `T_congestion = T_routing = 0`, i.e. the gate-delay critical path
+    /// of the QIDG. A lower bound for any placed-and-routed result.
+    pub fn ideal_latency(&self, program: &Program) -> Time {
+        Qidg::new(program, &self.tech).critical_path_delay()
+    }
+
+    /// Produces one row of the paper's Table 2 for `program`: the ideal
+    /// lower bound, the QUALE baseline, and this flow's configured
+    /// policy/placer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsprError::Map`] when either mapping fails.
+    pub fn compare(&self, name: &str, program: &Program) -> Result<ComparisonRow, QsprError> {
+        let baseline = self.ideal_latency(program);
+        let placement = Placement::center(&self.fabric, program.num_qubits());
+        let quale = self
+            .map_with(program, MapperPolicy::quale(&self.tech), &placement)?
+            .latency();
+        let qspr = self.run(program)?.latency;
+        Ok(ComparisonRow::new(name, baseline, quale, qspr))
+    }
+
+    /// Produces one row of the paper's Table 1 for `program`: MVFB with
+    /// the configured `m` seeds versus Monte Carlo given exactly the
+    /// same number of placement runs (the paper's equal-effort design).
+    /// Both engines run through the [`Placer`] trait seam.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsprError::Map`] when either placer fails.
+    pub fn compare_placers(
+        &self,
+        name: &str,
+        program: &Program,
+    ) -> Result<PlacerComparisonRow, QsprError> {
+        let mapper = self.mapper(MapperPolicy::qspr(&self.tech));
+        let mvfb_engine = MvfbPlacer::new(self.mvfb);
+        let mvfb = (&mvfb_engine as &dyn Placer).place(&mapper, program)?;
+        let mc_engine = MonteCarloPlacer::new(mvfb.runs, self.mvfb.rng_seed ^ 0x4D43);
+        let mc = (&mc_engine as &dyn Placer).place(&mapper, program)?;
+        Ok(PlacerComparisonRow {
+            circuit: name.to_owned(),
+            m: self.mvfb.seeds,
+            runs: mvfb.runs,
+            mvfb_latency: mvfb.latency,
+            mvfb_cpu: mvfb.cpu,
+            mc_latency: mc.latency,
+            mc_cpu: mc.cpu,
+        })
+    }
+}
+
+impl fmt::Debug for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Flow")
+            .field(
+                "fabric",
+                &format_args!("{}x{}", self.fabric.rows(), self.fabric.cols()),
+            )
+            .field("policy", &self.policy)
+            .field("placer", &self.placer_name())
+            .field("mvfb", &self.mvfb)
+            .field("record_trace", &self.record_trace)
+            .finish()
+    }
+}
+
+/// Result of one [`Flow::run`].
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The policy that produced this result.
+    pub policy: FlowPolicy,
+    /// Name of the placement engine used (`"mvfb"` unless swapped).
+    pub placer: String,
+    /// Best mapped execution latency (µs).
+    pub latency: Time,
+    /// Direction of the winning placement pass.
+    pub direction: PassDirection,
+    /// Placement the winning pass started from.
+    pub initial_placement: Placement,
+    /// Total placement runs executed (`m'` for MVFB, 1 for baselines).
+    pub runs: usize,
+    /// Placement wall-clock time.
+    pub cpu: Duration,
+    /// Full outcome (stats, final placement) of the winning pass.
+    pub outcome: MappingOutcome,
+    /// Forward-executing micro-command trace, when
+    /// [`Flow::record_trace`] was set.
+    pub forward_trace: Option<Trace>,
+}
+
+impl FlowResult {
+    /// Condenses the result into the flat, JSON-serializable
+    /// [`FlowSummary`].
+    pub fn summary(&self) -> FlowSummary {
+        let totals = self.outcome.totals();
+        FlowSummary {
+            policy: self.policy,
+            placer: self.placer.clone(),
+            latency: self.latency,
+            direction: self.direction,
+            runs: self.runs,
+            cpu_ms: self.cpu.as_millis() as u64,
+            moves: totals.moves,
+            turns: totals.turns,
+            congestion_wait: totals.congestion_wait,
+            trace_commands: self.forward_trace.as_ref().map(|t| t.len()),
+        }
+    }
+}
+
+/// The flat summary of a [`FlowResult`], made for reports and JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSummary {
+    /// The policy that produced this result.
+    pub policy: FlowPolicy,
+    /// Name of the placement engine used.
+    pub placer: String,
+    /// Best mapped execution latency (µs).
+    pub latency: Time,
+    /// Direction of the winning placement pass.
+    pub direction: PassDirection,
+    /// Total placement runs executed.
+    pub runs: usize,
+    /// Placement wall-clock time, whole milliseconds.
+    pub cpu_ms: u64,
+    /// Total qubit moves in the winning mapping.
+    pub moves: u64,
+    /// Total junction turns in the winning mapping.
+    pub turns: u64,
+    /// Total congestion wait (µs) across instructions.
+    pub congestion_wait: Time,
+    /// Command count of the recorded trace, when one was recorded.
+    pub trace_commands: Option<usize>,
+}
+
+impl ToJson for FlowSummary {
+    fn to_json(&self) -> String {
+        let mut obj = JsonObject::new()
+            .string("policy", self.policy.as_str())
+            .string("placer", &self.placer)
+            .number("latency_us", self.latency)
+            .string("direction", self.direction.as_str())
+            .number("runs", self.runs as u64)
+            .number("cpu_ms", self.cpu_ms)
+            .number("moves", self.moves)
+            .number("turns", self.turns)
+            .number("congestion_wait_us", self.congestion_wait);
+        if let Some(n) = self.trace_commands {
+            obj = obj.number("trace_commands", n as u64);
+        }
+        obj.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = "\
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+";
+
+    fn fast_flow() -> Flow {
+        Flow::on(Fabric::quale_45x85()).seeds(4)
+    }
+
+    fn program() -> Program {
+        Program::parse(FIG3).unwrap()
+    }
+
+    #[test]
+    fn flow_is_send_sync_and_static() {
+        // Compile-time assertion: the service-grade contract.
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Flow>();
+        assert_send_sync::<FlowResult>();
+    }
+
+    #[test]
+    fn run_is_reproducible() {
+        let flow = fast_flow();
+        let program = program();
+        let a = flow.run(&program).unwrap();
+        let b = flow.run(&program).unwrap();
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.initial_placement, b.initial_placement);
+    }
+
+    #[test]
+    fn policies_order_correctly() {
+        let flow = fast_flow();
+        let program = program();
+        let qspr = flow.run(&program).unwrap();
+        let quale = flow
+            .clone()
+            .policy(FlowPolicy::Quale)
+            .run(&program)
+            .unwrap();
+        assert!(flow.ideal_latency(&program) <= qspr.latency);
+        assert!(qspr.latency <= quale.latency);
+        assert_eq!(quale.runs, 1);
+        assert_eq!(quale.direction, PassDirection::Forward);
+    }
+
+    #[test]
+    fn baseline_policies_record_traces_too() {
+        let flow = fast_flow().policy(FlowPolicy::Qpos).record_trace(true);
+        let result = flow.run(&program()).unwrap();
+        let trace = result.forward_trace.as_ref().unwrap();
+        assert_eq!(trace.move_count() as u64, result.outcome.totals().moves);
+    }
+
+    #[test]
+    fn custom_placer_plugs_in() {
+        use qspr_sim::MapError;
+
+        struct CenterPlacer;
+        impl Placer for CenterPlacer {
+            fn name(&self) -> &str {
+                "center"
+            }
+            fn place(
+                &self,
+                mapper: &Mapper<'_>,
+                program: &Program,
+            ) -> Result<PlacerSolution, MapError> {
+                let placement = Placement::center(mapper.fabric(), program.num_qubits());
+                let outcome = mapper.map(program, &placement)?;
+                Ok(PlacerSolution {
+                    latency: outcome.latency(),
+                    direction: PassDirection::Forward,
+                    initial_placement: placement,
+                    runs: 1,
+                    cpu: Duration::ZERO,
+                })
+            }
+        }
+
+        let flow = fast_flow().placer(CenterPlacer);
+        assert_eq!(flow.placer_name(), "center");
+        let result = flow.run(&program()).unwrap();
+        assert_eq!(result.placer, "center");
+        assert_eq!(result.runs, 1);
+        // MVFB starts from random center permutations and searches; the
+        // plain center placement is a valid but generally worse start.
+        assert!(result.latency >= flow.ideal_latency(&program()));
+    }
+
+    #[test]
+    fn compare_matches_manual_runs() {
+        let flow = fast_flow();
+        let program = program();
+        let row = flow.compare("fig3", &program).unwrap();
+        assert_eq!(row.qspr, flow.run(&program).unwrap().latency);
+        assert_eq!(row.baseline, flow.ideal_latency(&program));
+        assert!(row.baseline <= row.qspr && row.qspr <= row.quale);
+    }
+
+    #[test]
+    fn compare_placers_goes_through_the_trait_seam() {
+        let flow = fast_flow();
+        let row = flow.compare_placers("fig3", &program()).unwrap();
+        assert_eq!(row.m, 4);
+        assert!(row.runs >= 4);
+        assert!(row.mvfb_latency > 0 && row.mc_latency > 0);
+    }
+
+    #[test]
+    fn policy_parses_and_displays() {
+        assert_eq!("qspr".parse::<FlowPolicy>().unwrap(), FlowPolicy::Qspr);
+        assert_eq!("quale".parse::<FlowPolicy>().unwrap(), FlowPolicy::Quale);
+        assert_eq!("qpos".parse::<FlowPolicy>().unwrap(), FlowPolicy::Qpos);
+        assert!("best".parse::<FlowPolicy>().is_err());
+        assert_eq!(FlowPolicy::Qspr.to_string(), "qspr");
+    }
+
+    #[test]
+    fn summary_serializes_stably() {
+        let flow = fast_flow().record_trace(true);
+        let summary = flow.run(&program()).unwrap().summary();
+        let json = summary.to_json();
+        assert!(json.starts_with(r#"{"policy":"qspr","placer":"mvfb","latency_us":"#));
+        assert!(json.contains(&format!(r#""direction":"{}""#, summary.direction.as_str())));
+        assert!(json.contains(r#""trace_commands":"#));
+    }
+
+    #[test]
+    fn shared_fabric_arc_is_not_copied() {
+        let fabric = Arc::new(Fabric::quale_45x85());
+        let a = Flow::on(Arc::clone(&fabric));
+        let b = Flow::on(Arc::clone(&fabric));
+        assert!(Arc::ptr_eq(a.fabric_arc(), b.fabric_arc()));
+    }
+}

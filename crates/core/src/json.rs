@@ -1,0 +1,200 @@
+//! A minimal hand-rolled JSON writer for stable report output.
+//!
+//! The build environment has no registry access, so there is no serde;
+//! reports instead implement [`ToJson`] on top of the tiny
+//! [`JsonObject`]/[`JsonArray`] builders below. The output contract is
+//! deliberately strict so downstream tooling can pin it:
+//!
+//! * object keys appear in the order the builder emitted them;
+//! * strings are escaped per RFC 8259 (quotes, backslashes, control
+//!   characters as `\u00XX`);
+//! * integers are written verbatim; floats with **two decimal places**
+//!   (non-finite floats become `null`);
+//! * no whitespace is emitted anywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr::json::JsonObject;
+//!
+//! let json = JsonObject::new()
+//!     .string("circuit", "[[5,1,3]]")
+//!     .number("latency_us", 634)
+//!     .float("improvement_pct", 23.798)
+//!     .boolean("mvfb_wins", true)
+//!     .build();
+//! assert_eq!(
+//!     json,
+//!     r#"{"circuit":"[[5,1,3]]","latency_us":634,"improvement_pct":23.80,"mvfb_wins":true}"#
+//! );
+//! ```
+
+use std::fmt::Write as _;
+
+/// Types that serialize themselves to a stable JSON string.
+pub trait ToJson {
+    /// Renders `self` as one JSON value with the stability guarantees
+    /// documented at the [module level](self).
+    fn to_json(&self) -> String;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> String {
+        (**self).to_json()
+    }
+}
+
+/// Escapes `s` as the *contents* of a JSON string literal (no
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one JSON object, emitting keys in call order.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Adds a string field.
+    pub fn string(mut self, key: &str, value: &str) -> JsonObject {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn number(mut self, key: &str, value: u64) -> JsonObject {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field, formatted with two decimal places
+    /// (`null` when not finite).
+    pub fn float(mut self, key: &str, value: f64) -> JsonObject {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:.2}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn boolean(mut self, key: &str, value: bool) -> JsonObject {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (nested object or array) verbatim.
+    pub fn raw(mut self, key: &str, value: &str) -> JsonObject {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Builder for one JSON array of pre-rendered values.
+#[derive(Debug, Clone, Default)]
+pub struct JsonArray {
+    buf: String,
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> JsonArray {
+        JsonArray { buf: String::new() }
+    }
+
+    /// Appends a pre-rendered JSON value.
+    pub fn push_raw(&mut self, value: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(value);
+    }
+
+    /// Collects the JSON renderings of `items` into one array.
+    pub fn of<T: ToJson>(items: impl IntoIterator<Item = T>) -> String {
+        let mut arr = JsonArray::new();
+        for item in items {
+            arr.push_raw(&item.to_json());
+        }
+        arr.build()
+    }
+
+    /// Finishes the array.
+    pub fn build(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+        assert_eq!(escape("µs ok"), "µs ok");
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().build(), "{}");
+        assert_eq!(JsonArray::new().build(), "[]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let json = JsonObject::new().float("x", f64::NAN).build();
+        assert_eq!(json, r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn nested_raw_values() {
+        let inner = JsonObject::new().number("n", 1).build();
+        let mut arr = JsonArray::new();
+        arr.push_raw(&inner);
+        arr.push_raw("2");
+        let outer = JsonObject::new().raw("items", &arr.build()).build();
+        assert_eq!(outer, r#"{"items":[{"n":1},2]}"#);
+    }
+}

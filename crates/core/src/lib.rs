@@ -5,52 +5,81 @@
 //! (Dousti & Pedram). This crate ties the substrates together into the
 //! tool the paper evaluates:
 //!
-//! * [`QsprTool`] — the full flow: QASM program → QIDG scheduling → MVFB
-//!   placement → turn-aware congestion-weighted routing → event-driven
-//!   simulation → latency, stats and a micro-command trace;
+//! * [`Flow`] — the full flow as one owned, composable value: QASM
+//!   program → QIDG scheduling → placement (through any
+//!   [`qspr_place::Placer`] engine; MVFB by default) → turn-aware
+//!   congestion-weighted routing → event-driven simulation → latency,
+//!   stats and a micro-command trace. A `Flow` owns its fabric behind
+//!   an `Arc`, so it is `Send + 'static` — ready for thread pools and
+//!   services;
+//! * [`FlowPolicy`] — QSPR or the paper's **QUALE**/**QPOS** baselines,
+//!   selected with one builder call; the **ideal** lower bound
+//!   (`T_routing = T_congestion = 0`) is [`Flow::ideal_latency`];
+//! * [`QsprError`] — the workspace-wide error enum wrapping parse,
+//!   fabric, mapping, batch and I/O failures;
 //! * [`BatchMapper`] — the same flow over a whole suite of circuits on
 //!   a thread pool, with per-circuit timing and deterministic,
 //!   input-ordered results at any thread count;
-//! * baselines: the **ideal** lower bound (`T_routing = T_congestion =
-//!   0`), a reimplementation of **QUALE** (center placement, ALAP
-//!   extraction, turn-blind PathFinder-style routing, no channel
-//!   multiplexing, single moving qubit) and of **QPOS** (ASAP +
-//!   dependent-count priority, destination operand fixed);
 //! * [`ComparisonRow`] / [`PlacerComparisonRow`] — the rows of the
-//!   paper's Table 2 and Table 1;
+//!   paper's Table 2 and Table 1, JSON-serializable via [`json::ToJson`]
+//!   like every other report type;
 //! * [`ablation_policies`] — one policy per QSPR design claim, for the
 //!   ablation benches called out in DESIGN.md.
 //!
 //! # Examples
 //!
 //! ```
-//! use qspr::{QsprConfig, QsprTool};
+//! use qspr::Flow;
 //! use qspr_fabric::Fabric;
 //! use qspr_qasm::Program;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let fabric = Fabric::quale_45x85();
-//! let tool = QsprTool::new(&fabric, QsprConfig::fast());
+//! # fn main() -> Result<(), qspr::QsprError> {
 //! let program = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n")?;
+//! let flow = Flow::on(Fabric::quale_45x85()).seeds(4);
 //!
-//! let result = tool.map(&program)?;
-//! let ideal = tool.ideal_latency(&program);
-//! assert!(result.latency >= ideal);
+//! let result = flow.run(&program)?;
+//! assert!(result.latency >= flow.ideal_latency(&program));
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migrating from `QsprTool`
+//!
+//! [`QsprTool`] (deprecated) borrowed its fabric and hardcoded the MVFB
+//! placer. The replacement is mechanical:
+//!
+//! | old | new |
+//! |---|---|
+//! | `QsprTool::new(&fabric, QsprConfig::paper())` | `Flow::on(fabric)` |
+//! | `QsprTool::new(&fabric, QsprConfig::fast())` | `Flow::on(fabric).seeds(4)` |
+//! | `config.record_trace = true` | `.record_trace(true)` |
+//! | `tool.map(&p)?` | `flow.run(&p)?` |
+//! | `tool.map_quale(&p)?` | `flow.clone().policy(FlowPolicy::Quale).run(&p)?.outcome` |
+//! | `tool.map_qpos(&p)?` | `flow.clone().policy(FlowPolicy::Qpos).run(&p)?.outcome` |
+//! | `tool.compare(name, &p)?` | `flow.compare(name, &p)?` |
+//! | `tool.compare_placers(name, &p)?` | `flow.compare_placers(name, &p)?` |
+//! | `BatchMapper::new(&fabric, config)` | `BatchMapper::new(flow)` |
+//! | `Result<_, MapError>` | `Result<_, QsprError>` (wraps `MapError`) |
 
 mod ablation;
 mod batch;
+mod error;
+mod flow;
+pub mod json;
 mod noise;
 mod report;
 mod tool;
 
 pub use ablation::ablation_policies;
 pub use batch::{BatchError, BatchItem, BatchJob, BatchMapper, BatchReport};
+pub use error::QsprError;
+pub use flow::{Flow, FlowPolicy, FlowResult, FlowSummary};
+pub use json::ToJson;
 pub use noise::NoiseModel;
 pub use report::{ComparisonRow, PlacerComparisonRow};
-pub use tool::{QsprConfig, QsprResult, QsprTool};
+#[allow(deprecated)]
+pub use tool::QsprTool;
+pub use tool::{QsprConfig, QsprResult};
 
 // Re-export the layered API so downstream users need only one dependency.
 pub use qspr_fabric as fabric;

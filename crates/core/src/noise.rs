@@ -68,19 +68,18 @@ impl NoiseModel {
     /// # Examples
     ///
     /// ```
-    /// use qspr::{NoiseModel, QsprConfig, QsprTool};
+    /// use qspr::{Flow, FlowPolicy, NoiseModel};
     /// use qspr_fabric::Fabric;
     /// use qspr_qasm::Program;
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// let fabric = Fabric::quale_45x85();
-    /// let tool = QsprTool::new(&fabric, QsprConfig::fast());
+    /// let flow = Flow::on(Fabric::quale_45x85()).seeds(4);
     /// let program = Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\n")?;
-    /// let qspr = tool.map(&program)?;
-    /// let quale = tool.map_quale(&program)?;
+    /// let qspr = flow.run(&program)?;
+    /// let quale = flow.clone().policy(FlowPolicy::Quale).run(&program)?;
     /// let model = NoiseModel::ion_trap_2012();
     /// let p_qspr = model.success_probability(&program, &qspr.outcome);
-    /// let p_quale = model.success_probability(&program, &quale);
+    /// let p_quale = model.success_probability(&program, &quale.outcome);
     /// assert!(p_qspr >= p_quale, "lower latency means higher fidelity");
     /// # Ok(())
     /// # }
@@ -123,8 +122,7 @@ mod tests {
     fn success_probability_is_a_probability() {
         let fabric = Fabric::quale_45x85();
         let tech = TechParams::date2012();
-        let program =
-            Program::parse("QUBIT a,0\nQUBIT b,0\nH a\nC-X a,b\n").unwrap();
+        let program = Program::parse("QUBIT a,0\nQUBIT b,0\nH a\nC-X a,b\n").unwrap();
         let placement = Placement::center(&fabric, 2);
         let outcome = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech))
             .map(&program, &placement)
@@ -148,11 +146,7 @@ mod tests {
                 .unwrap();
             let p_qspr = model.success_probability(&bench.program, &qspr);
             let p_quale = model.success_probability(&bench.program, &quale);
-            assert!(
-                p_qspr >= p_quale,
-                "{}: {p_qspr} vs {p_quale}",
-                bench.name
-            );
+            assert!(p_qspr >= p_quale, "{}: {p_qspr} vs {p_quale}", bench.name);
         }
     }
 }

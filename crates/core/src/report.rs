@@ -5,6 +5,8 @@ use std::time::Duration;
 
 use qspr_fabric::Time;
 
+use crate::json::{JsonObject, ToJson};
+
 /// One row of the paper's Table 2: ideal baseline vs QUALE vs QSPR.
 ///
 /// # Examples
@@ -60,6 +62,23 @@ impl ComparisonRow {
     }
 }
 
+impl ToJson for ComparisonRow {
+    /// Stable JSON schema, pinned by a golden test:
+    /// `{"circuit","baseline_us","quale_us","qspr_us","quale_overhead_us",
+    /// "qspr_overhead_us","improvement_pct"}`.
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("circuit", &self.circuit)
+            .number("baseline_us", self.baseline)
+            .number("quale_us", self.quale)
+            .number("qspr_us", self.qspr)
+            .number("quale_overhead_us", self.quale_overhead())
+            .number("qspr_overhead_us", self.qspr_overhead())
+            .float("improvement_pct", self.improvement_pct())
+            .build()
+    }
+}
+
 impl fmt::Display for ComparisonRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -101,6 +120,24 @@ impl PlacerComparisonRow {
     /// observation for every circuit and both values of `m`).
     pub fn mvfb_wins(&self) -> bool {
         self.mvfb_latency <= self.mc_latency
+    }
+}
+
+impl ToJson for PlacerComparisonRow {
+    /// Stable JSON schema, pinned by a golden test:
+    /// `{"circuit","m","runs","mvfb_latency_us","mvfb_cpu_ms",
+    /// "mc_latency_us","mc_cpu_ms","mvfb_wins"}`.
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("circuit", &self.circuit)
+            .number("m", self.m as u64)
+            .number("runs", self.runs as u64)
+            .number("mvfb_latency_us", self.mvfb_latency)
+            .number("mvfb_cpu_ms", self.mvfb_cpu.as_millis() as u64)
+            .number("mc_latency_us", self.mc_latency)
+            .number("mc_cpu_ms", self.mc_cpu.as_millis() as u64)
+            .boolean("mvfb_wins", self.mvfb_wins())
+            .build()
     }
 }
 
@@ -158,5 +195,39 @@ mod tests {
         };
         assert!(prow.mvfb_wins());
         assert!(prow.to_string().contains("runs=88"));
+    }
+
+    #[test]
+    fn comparison_row_json_golden() {
+        // Golden test: this string IS the schema contract. Changing it
+        // breaks downstream consumers of `--format json`.
+        let row = ComparisonRow::new("[[5,1,3]]", 510, 832, 634);
+        assert_eq!(
+            row.to_json(),
+            r#"{"circuit":"[[5,1,3]]","baseline_us":510,"quale_us":832,"qspr_us":634,"quale_overhead_us":322,"qspr_overhead_us":124,"improvement_pct":23.80}"#
+        );
+    }
+
+    #[test]
+    fn placer_comparison_row_json_golden() {
+        let row = PlacerComparisonRow {
+            circuit: "[[9,1,3]]".into(),
+            m: 25,
+            runs: 86,
+            mvfb_latency: 1159,
+            mvfb_cpu: Duration::from_millis(546),
+            mc_latency: 1212,
+            mc_cpu: Duration::from_millis(562),
+        };
+        assert_eq!(
+            row.to_json(),
+            r#"{"circuit":"[[9,1,3]]","m":25,"runs":86,"mvfb_latency_us":1159,"mvfb_cpu_ms":546,"mc_latency_us":1212,"mc_cpu_ms":562,"mvfb_wins":true}"#
+        );
+    }
+
+    #[test]
+    fn json_escapes_circuit_names() {
+        let row = ComparisonRow::new("odd\"name", 1, 2, 2);
+        assert!(row.to_json().starts_with(r#"{"circuit":"odd\"name""#));
     }
 }

@@ -1,13 +1,20 @@
-//! The end-to-end QSPR tool and its baselines.
+//! The legacy `QsprTool` facade, now a thin shim over [`Flow`].
+//!
+//! New code should use [`Flow`] directly — it owns its fabric (no
+//! lifetime parameter), exposes every knob as a builder method, and
+//! returns the unified [`crate::QsprError`]. The shim is kept for one
+//! release so existing callers migrate on their own schedule; see the
+//! migration table in the crate docs.
 
 use std::time::Duration;
 
 use qspr_fabric::{Fabric, TechParams, Time};
-use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer, PassDirection};
+use qspr_place::{MvfbConfig, PassDirection};
 use qspr_qasm::Program;
-use qspr_sched::Qidg;
-use qspr_sim::{MapError, Mapper, MapperPolicy, MappingOutcome, Placement, Trace};
+use qspr_sim::{MapError, MapperPolicy, MappingOutcome, Placement, Trace};
 
+use crate::error::QsprError;
+use crate::flow::{Flow, FlowPolicy};
 use crate::report::{ComparisonRow, PlacerComparisonRow};
 
 /// Configuration of the full QSPR flow.
@@ -18,7 +25,7 @@ pub struct QsprConfig {
     /// MVFB placer parameters. The paper's headline results use `m = 100`
     /// seeds; [`QsprConfig::fast`] uses 4 for tests and quick runs.
     pub mvfb: MvfbConfig,
-    /// Record the winning micro-command trace during [`QsprTool::map`].
+    /// Record the winning micro-command trace during mapping.
     pub record_trace: bool,
 }
 
@@ -55,6 +62,14 @@ impl QsprConfig {
         self.mvfb.seeds = m;
         self
     }
+
+    /// The equivalent [`Flow`] on `fabric` — the forward-migration path.
+    pub fn into_flow(self, fabric: impl Into<std::sync::Arc<Fabric>>) -> Flow {
+        Flow::on(fabric)
+            .tech(self.tech)
+            .mvfb_config(self.mvfb)
+            .record_trace(self.record_trace)
+    }
 }
 
 impl Default for QsprConfig {
@@ -86,17 +101,45 @@ pub struct QsprResult {
 
 /// The QSPR mapper plus the paper's baselines, bound to one fabric.
 ///
-/// See the crate docs for an example.
+/// Deprecated: this borrows its fabric and hardcodes the MVFB placer.
+/// [`Flow`] owns the fabric (`Send + 'static`), takes any [`Placer`]
+/// (`qspr_place::Placer`) engine, and reports unified errors. The full
+/// call-by-call migration table lives in the [crate docs](crate).
+///
+/// [`Placer`]: qspr_place::Placer
+#[deprecated(
+    since = "0.1.0",
+    note = "use `qspr::Flow`, which owns its fabric and takes pluggable placers"
+)]
 #[derive(Debug, Clone)]
 pub struct QsprTool<'a> {
     fabric: &'a Fabric,
     config: QsprConfig,
+    flow: Flow,
 }
 
+/// Shim-internal: `Flow` can only fail with a `MapError` here (programs
+/// and fabrics are already constructed), so unwrap the legacy type.
+fn legacy(e: QsprError) -> MapError {
+    match e {
+        QsprError::Map(e) => e,
+        other => unreachable!("flow on in-memory inputs only maps: {other}"),
+    }
+}
+
+#[allow(deprecated)]
 impl<'a> QsprTool<'a> {
     /// Creates the tool for `fabric`.
+    ///
+    /// Note: the shim clones `fabric` once into the owned [`Flow`] it
+    /// wraps; hot loops constructing a tool per iteration should build
+    /// one `Flow` (or one tool) up front instead.
     pub fn new(fabric: &'a Fabric, config: QsprConfig) -> QsprTool<'a> {
-        QsprTool { fabric, config }
+        QsprTool {
+            fabric,
+            config,
+            flow: config.into_flow(fabric.clone()),
+        }
     }
 
     /// The fabric experiments run on.
@@ -117,28 +160,15 @@ impl<'a> QsprTool<'a> {
     /// Propagates [`MapError`] from the underlying mapper (stalls on
     /// degenerate fabrics, placement mismatches).
     pub fn map(&self, program: &Program) -> Result<QsprResult, MapError> {
-        let mapper = self.mapper(MapperPolicy::qspr(&self.config.tech));
-        let placer = MvfbPlacer::new(self.config.mvfb);
-        let solution = placer.place(&mapper, program)?;
-        let (outcome, forward_trace) = if self.config.record_trace {
-            let (outcome, trace) = solution.replay(&mapper, program)?;
-            (outcome, Some(trace))
-        } else {
-            let prog = match solution.direction {
-                PassDirection::Forward => program.clone(),
-                PassDirection::Backward => program.reversed(),
-            };
-            (mapper.map(&prog, &solution.initial_placement)?, None)
-        };
-        debug_assert_eq!(outcome.latency(), solution.latency);
+        let result = self.flow.run(program).map_err(legacy)?;
         Ok(QsprResult {
-            latency: solution.latency,
-            direction: solution.direction,
-            initial_placement: solution.initial_placement,
-            runs: solution.runs,
-            cpu: solution.cpu,
-            outcome,
-            forward_trace,
+            latency: result.latency,
+            direction: result.direction,
+            initial_placement: result.initial_placement,
+            runs: result.runs,
+            cpu: result.cpu,
+            outcome: result.outcome,
+            forward_trace: result.forward_trace,
         })
     }
 
@@ -154,7 +184,9 @@ impl<'a> QsprTool<'a> {
         policy: MapperPolicy,
         placement: &Placement,
     ) -> Result<MappingOutcome, MapError> {
-        self.mapper(policy).map(program, placement)
+        self.flow
+            .map_with(program, policy, placement)
+            .map_err(legacy)
     }
 
     /// The QUALE baseline: deterministic center placement, ALAP
@@ -165,8 +197,13 @@ impl<'a> QsprTool<'a> {
     ///
     /// Propagates [`MapError`] from the mapper.
     pub fn map_quale(&self, program: &Program) -> Result<MappingOutcome, MapError> {
-        let placement = Placement::center(self.fabric, program.num_qubits());
-        self.map_with(program, MapperPolicy::quale(&self.config.tech), &placement)
+        let result = self
+            .flow
+            .clone()
+            .policy(FlowPolicy::Quale)
+            .run(program)
+            .map_err(legacy)?;
+        Ok(result.outcome)
     }
 
     /// The QPOS baseline: center placement, ASAP + dependent-count
@@ -176,15 +213,20 @@ impl<'a> QsprTool<'a> {
     ///
     /// Propagates [`MapError`] from the mapper.
     pub fn map_qpos(&self, program: &Program) -> Result<MappingOutcome, MapError> {
-        let placement = Placement::center(self.fabric, program.num_qubits());
-        self.map_with(program, MapperPolicy::qpos(&self.config.tech), &placement)
+        let result = self
+            .flow
+            .clone()
+            .policy(FlowPolicy::Qpos)
+            .run(program)
+            .map_err(legacy)?;
+        Ok(result.outcome)
     }
 
     /// The paper's ideal baseline: execution latency on a fabric with
     /// `T_congestion = T_routing = 0`, i.e. the gate-delay critical path
     /// of the QIDG. A lower bound for any placed-and-routed result.
     pub fn ideal_latency(&self, program: &Program) -> Time {
-        Qidg::new(program, &self.config.tech).critical_path_delay()
+        self.flow.ideal_latency(program)
     }
 
     /// Produces one row of the paper's Table 2 for `program`.
@@ -193,10 +235,7 @@ impl<'a> QsprTool<'a> {
     ///
     /// Propagates [`MapError`] from either mapper.
     pub fn compare(&self, name: &str, program: &Program) -> Result<ComparisonRow, MapError> {
-        let baseline = self.ideal_latency(program);
-        let quale = self.map_quale(program)?.latency();
-        let qspr = self.map(program)?.latency;
-        Ok(ComparisonRow::new(name, baseline, quale, qspr))
+        self.flow.compare(name, program).map_err(legacy)
     }
 
     /// Produces one row of the paper's Table 1 for `program`: MVFB with
@@ -211,27 +250,12 @@ impl<'a> QsprTool<'a> {
         name: &str,
         program: &Program,
     ) -> Result<PlacerComparisonRow, MapError> {
-        let mapper = self.mapper(MapperPolicy::qspr(&self.config.tech));
-        let mvfb = MvfbPlacer::new(self.config.mvfb).place(&mapper, program)?;
-        let mc = MonteCarloPlacer::new(mvfb.runs, self.config.mvfb.rng_seed ^ 0x4D43)
-            .place(&mapper, program)?;
-        Ok(PlacerComparisonRow {
-            circuit: name.to_owned(),
-            m: self.config.mvfb.seeds,
-            runs: mvfb.runs,
-            mvfb_latency: mvfb.latency,
-            mvfb_cpu: mvfb.cpu,
-            mc_latency: mc.latency,
-            mc_cpu: mc.cpu,
-        })
-    }
-
-    fn mapper(&self, policy: MapperPolicy) -> Mapper<'a> {
-        Mapper::new(self.fabric, self.config.tech, policy)
+        self.flow.compare_placers(name, program).map_err(legacy)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -270,13 +294,26 @@ C-Z q4,q0
     }
 
     #[test]
-    fn qspr_result_is_reproducible() {
+    fn shim_matches_flow_exactly() {
+        // The deprecated facade must stay a pure delegation: identical
+        // latencies, runs and placements to the Flow it wraps.
         let (fabric, program) = setup();
         let tool = QsprTool::new(&fabric, QsprConfig::fast());
-        let a = tool.map(&program).unwrap();
-        let b = tool.map(&program).unwrap();
-        assert_eq!(a.latency, b.latency);
-        assert_eq!(a.runs, b.runs);
+        let flow = QsprConfig::fast().into_flow(fabric.clone());
+        let old = tool.map(&program).unwrap();
+        let new = flow.run(&program).unwrap();
+        assert_eq!(old.latency, new.latency);
+        assert_eq!(old.runs, new.runs);
+        assert_eq!(old.direction, new.direction);
+        assert_eq!(old.initial_placement, new.initial_placement);
+        assert_eq!(
+            tool.map_quale(&program).unwrap().latency(),
+            flow.clone()
+                .policy(FlowPolicy::Quale)
+                .run(&program)
+                .unwrap()
+                .latency
+        );
     }
 
     #[test]

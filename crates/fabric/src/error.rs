@@ -46,7 +46,10 @@ impl fmt::Display for FabricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FabricError::UnknownChar { line, column, ch } => {
-                write!(f, "line {line}, column {column}: unknown cell character {ch:?}")
+                write!(
+                    f,
+                    "line {line}, column {column}: unknown cell character {ch:?}"
+                )
             }
             FabricError::EmptyGrid => write!(f, "fabric grid is empty"),
             FabricError::TooLarge { rows, cols } => {

@@ -50,6 +50,5 @@ pub use pmd::{TechParams, Time};
 pub use regular::RegularFabricSpec;
 pub use stats::FabricStats;
 pub use topology::{
-    Direction, Junction, JunctionId, Port, Segment, SegmentEnd, SegmentId, Topology, Trap,
-    TrapId,
+    Direction, Junction, JunctionId, Port, Segment, SegmentEnd, SegmentId, Topology, Trap, TrapId,
 };

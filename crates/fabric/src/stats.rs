@@ -141,8 +141,7 @@ impl Fabric {
             junctions: n_j,
             segments: topo.segments().len(),
             channel_cells,
-            empty_fraction: empty as f64
-                / (self.rows() as f64 * self.cols() as f64),
+            empty_fraction: empty as f64 / (self.rows() as f64 * self.cols() as f64),
             connected,
             junction_diameter_moves: diameter_moves,
             junction_diameter_hops: diameter_hops,

@@ -127,9 +127,7 @@ impl Segment {
 
     /// Which end (0 or 1) attaches to junction `j`, if either.
     pub fn end_attached_to(&self, j: JunctionId) -> Option<usize> {
-        self.ends
-            .iter()
-            .position(|e| *e == SegmentEnd::Junction(j))
+        self.ends.iter().position(|e| *e == SegmentEnd::Junction(j))
     }
 
     /// Moves needed to go from the cell at `offset` onto the end junction
@@ -580,10 +578,7 @@ T.|..
         let t = f.topology();
         for (i, seg) in t.segments().iter().enumerate() {
             for (o, coord) in seg.cells().enumerate() {
-                assert_eq!(
-                    t.channel_at(coord),
-                    Some((SegmentId(i as u32), o as u16))
-                );
+                assert_eq!(t.channel_at(coord), Some((SegmentId(i as u32), o as u16)));
             }
         }
     }

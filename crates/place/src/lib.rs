@@ -19,12 +19,17 @@
 //!   pass over all `m` random seeds wins. If the best pass was backward,
 //!   the reported control trace is its reversal (§IV.A).
 //!
+//! Every engine implements the object-safe [`Placer`] trait and returns
+//! the engine-agnostic [`PlacerSolution`], so flows can hold a
+//! `dyn Placer` and third-party crates can plug in their own engines —
+//! see the trait docs for a worked example.
+//!
 //! # Examples
 //!
 //! ```
 //! use qspr_fabric::{Fabric, TechParams};
 //! use qspr_qasm::Program;
-//! use qspr_place::{MvfbConfig, MvfbPlacer};
+//! use qspr_place::{MvfbConfig, MvfbPlacer, Placer};
 //! use qspr_sim::{Mapper, MapperPolicy};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -43,6 +48,8 @@
 
 mod monte_carlo;
 mod mvfb;
+mod placer;
 
-pub use monte_carlo::{MonteCarloPlacer, PlacerSolution};
-pub use mvfb::{MvfbConfig, MvfbPlacer, MvfbSolution, PassDirection};
+pub use monte_carlo::MonteCarloPlacer;
+pub use mvfb::{MvfbConfig, MvfbPlacer, MvfbSolution};
+pub use placer::{PassDirection, Placer, PlacerSolution};

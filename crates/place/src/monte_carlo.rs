@@ -1,7 +1,7 @@
 //! The Monte Carlo placer (paper §V.A): best of N random center
 //! permutations.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -10,18 +10,7 @@ use qspr_fabric::Time;
 use qspr_qasm::Program;
 use qspr_sim::{MapError, Mapper, Placement};
 
-/// Result of a simple (single-direction) placement search.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PlacerSolution {
-    /// Best execution latency found.
-    pub latency: Time,
-    /// The initial placement that achieved it.
-    pub placement: Placement,
-    /// Number of placement runs executed.
-    pub runs: usize,
-    /// Wall-clock time spent.
-    pub cpu: Duration,
-}
+use crate::placer::{PassDirection, Placer, PlacerSolution};
 
 /// The paper's Monte Carlo baseline placer: `runs` random permutations of
 /// the center traps are mapped; the cheapest wins.
@@ -30,7 +19,7 @@ pub struct PlacerSolution {
 ///
 /// ```
 /// use qspr_fabric::{Fabric, TechParams};
-/// use qspr_place::MonteCarloPlacer;
+/// use qspr_place::{MonteCarloPlacer, Placer};
 /// use qspr_qasm::Program;
 /// use qspr_sim::{Mapper, MapperPolicy};
 ///
@@ -61,6 +50,12 @@ impl MonteCarloPlacer {
     pub fn runs(&self) -> usize {
         self.runs
     }
+}
+
+impl Placer for MonteCarloPlacer {
+    fn name(&self) -> &str {
+        "monte-carlo"
+    }
 
     /// Runs the search.
     ///
@@ -69,25 +64,15 @@ impl MonteCarloPlacer {
     /// Propagates the first [`MapError`] (e.g. a stalled mapping on a
     /// degenerate fabric). `runs == 0` is reported as a stall, since no
     /// placement was ever produced.
-    pub fn place(
-        &self,
-        mapper: &Mapper<'_>,
-        program: &Program,
-    ) -> Result<PlacerSolution, MapError> {
+    fn place(&self, mapper: &Mapper<'_>, program: &Program) -> Result<PlacerSolution, MapError> {
         let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.rng_seed);
         let mut best: Option<(Time, Placement)> = None;
         for _ in 0..self.runs {
-            let placement = Placement::center_permutation(
-                mapper.fabric(),
-                program.num_qubits(),
-                &mut rng,
-            );
+            let placement =
+                Placement::center_permutation(mapper.fabric(), program.num_qubits(), &mut rng);
             let outcome = mapper.map(program, &placement)?;
-            if best
-                .as_ref()
-                .map_or(true, |(l, _)| outcome.latency() < *l)
-            {
+            if best.as_ref().map_or(true, |(l, _)| outcome.latency() < *l) {
                 best = Some((outcome.latency(), placement));
             }
         }
@@ -96,7 +81,8 @@ impl MonteCarloPlacer {
         })?;
         Ok(PlacerSolution {
             latency,
-            placement,
+            direction: PassDirection::Forward,
+            initial_placement: placement,
             runs: self.runs,
             cpu: started.elapsed(),
         })
@@ -135,8 +121,12 @@ C-Z q4,q0
         let tech = TechParams::date2012();
         let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
         let program = Program::parse(FIG3).unwrap();
-        let few = MonteCarloPlacer::new(2, 7).place(&mapper, &program).unwrap();
-        let many = MonteCarloPlacer::new(8, 7).place(&mapper, &program).unwrap();
+        let few = MonteCarloPlacer::new(2, 7)
+            .place(&mapper, &program)
+            .unwrap();
+        let many = MonteCarloPlacer::new(8, 7)
+            .place(&mapper, &program)
+            .unwrap();
         // Same RNG stream: the first 2 permutations are a subset of the 8.
         assert!(many.latency <= few.latency);
         assert_eq!(many.runs, 8);
@@ -148,10 +138,14 @@ C-Z q4,q0
         let tech = TechParams::date2012();
         let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
         let program = Program::parse(FIG3).unwrap();
-        let a = MonteCarloPlacer::new(4, 3).place(&mapper, &program).unwrap();
-        let b = MonteCarloPlacer::new(4, 3).place(&mapper, &program).unwrap();
+        let a = MonteCarloPlacer::new(4, 3)
+            .place(&mapper, &program)
+            .unwrap();
+        let b = MonteCarloPlacer::new(4, 3)
+            .place(&mapper, &program)
+            .unwrap();
         assert_eq!(a.latency, b.latency);
-        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.initial_placement, b.initial_placement);
     }
 
     #[test]
@@ -160,8 +154,11 @@ C-Z q4,q0
         let tech = TechParams::date2012();
         let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
         let program = Program::parse(FIG3).unwrap();
-        let sol = MonteCarloPlacer::new(4, 11).place(&mapper, &program).unwrap();
-        let outcome = mapper.map(&program, &sol.placement).unwrap();
+        let sol = MonteCarloPlacer::new(4, 11)
+            .place(&mapper, &program)
+            .unwrap();
+        assert_eq!(sol.direction, PassDirection::Forward);
+        let outcome = mapper.map(&program, &sol.initial_placement).unwrap();
         assert_eq!(outcome.latency(), sol.latency);
     }
 
@@ -171,6 +168,8 @@ C-Z q4,q0
         let tech = TechParams::date2012();
         let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
         let program = Program::parse(FIG3).unwrap();
-        assert!(MonteCarloPlacer::new(0, 1).place(&mapper, &program).is_err());
+        assert!(MonteCarloPlacer::new(0, 1)
+            .place(&mapper, &program)
+            .is_err());
     }
 }

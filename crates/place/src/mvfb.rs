@@ -1,25 +1,16 @@
 //! The MVFB placer: Multi-start Variable-length Forward/Backward
 //! (paper §IV.A).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use qspr_fabric::Time;
 use qspr_qasm::Program;
-use qspr_sim::{MapError, Mapper, MappingOutcome, Placement, Trace};
+use qspr_sim::{MapError, Mapper, Placement};
 
-/// Whether a winning MVFB pass executed the QIDG (forward) or the
-/// uncompute UIDG (backward).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PassDirection {
-    /// The pass mapped the original program.
-    Forward,
-    /// The pass mapped the reversed (uncompute) program; the reported
-    /// control trace is its time-reversal.
-    Backward,
-}
+use crate::placer::{PassDirection, Placer, PlacerSolution};
 
 /// MVFB tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,54 +39,12 @@ impl MvfbConfig {
 }
 
 /// The result of an MVFB search.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MvfbSolution {
-    /// Best execution latency over every forward and backward pass.
-    pub latency: Time,
-    /// Direction of the winning pass.
-    pub direction: PassDirection,
-    /// The placement the winning pass started from. Re-mapping the
-    /// program (or its reverse, per `direction`) from here reproduces
-    /// `latency` exactly.
-    pub initial_placement: Placement,
-    /// Total number of placement runs (forward + backward passes) across
-    /// all seeds — the paper's `m'`, and the budget handed to the Monte
-    /// Carlo placer for the equal-effort comparison of Table 1.
-    pub runs: usize,
-    /// Wall-clock time spent.
-    pub cpu: Duration,
-}
-
-impl MvfbSolution {
-    /// Re-runs the winning pass with trace recording and returns the
-    /// outcome together with a *forward-executing* control trace: the
-    /// pass's own trace when it was forward, its reversal when backward
-    /// (the paper's "reverse of `T'_k`").
-    ///
-    /// # Errors
-    ///
-    /// Propagates mapping errors (none are expected, since the winning
-    /// pass already mapped successfully once).
-    pub fn replay(
-        &self,
-        mapper: &Mapper<'_>,
-        program: &Program,
-    ) -> Result<(MappingOutcome, Trace), MapError> {
-        let tracing = mapper.clone().record_trace(true);
-        let outcome = match self.direction {
-            PassDirection::Forward => tracing.map(program, &self.initial_placement)?,
-            PassDirection::Backward => {
-                tracing.map(&program.reversed(), &self.initial_placement)?
-            }
-        };
-        let trace = outcome.trace().expect("trace recording was enabled");
-        let forward = match self.direction {
-            PassDirection::Forward => trace.clone(),
-            PassDirection::Backward => trace.reversed(),
-        };
-        Ok((outcome, forward))
-    }
-}
+///
+/// Historical alias: MVFB now returns the engine-agnostic
+/// [`PlacerSolution`] shared by every [`Placer`]; its `runs` field is
+/// the paper's `m'` — the budget handed to the Monte Carlo placer for
+/// the equal-effort comparison of Table 1.
+pub type MvfbSolution = PlacerSolution;
 
 /// The Multi-start Variable-length Forward/Backward placer.
 ///
@@ -120,6 +69,12 @@ impl MvfbPlacer {
     pub fn config(&self) -> &MvfbConfig {
         &self.config
     }
+}
+
+impl Placer for MvfbPlacer {
+    fn name(&self) -> &str {
+        "mvfb"
+    }
 
     /// Runs the search.
     ///
@@ -127,11 +82,7 @@ impl MvfbPlacer {
     ///
     /// Propagates the first [`MapError`]; reports a stall when configured
     /// with zero seeds.
-    pub fn place(
-        &self,
-        mapper: &Mapper<'_>,
-        program: &Program,
-    ) -> Result<MvfbSolution, MapError> {
+    fn place(&self, mapper: &Mapper<'_>, program: &Program) -> Result<PlacerSolution, MapError> {
         let started = Instant::now();
         let reversed = program.reversed();
         let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
@@ -142,11 +93,8 @@ impl MvfbPlacer {
             // Derive a per-seed stream so seeds are independent of how
             // many passes earlier seeds consumed.
             let mut seed_rng = StdRng::seed_from_u64(rng.gen());
-            let mut placement = Placement::center_permutation(
-                mapper.fabric(),
-                program.num_qubits(),
-                &mut seed_rng,
-            );
+            let mut placement =
+                Placement::center_permutation(mapper.fabric(), program.num_qubits(), &mut seed_rng);
             let mut seed_best = Time::MAX;
             let mut stale = 0usize;
             let mut forward = true;
@@ -160,10 +108,7 @@ impl MvfbPlacer {
                 } else {
                     PassDirection::Backward
                 };
-                if best
-                    .as_ref()
-                    .map_or(true, |(l, _, _)| latency < *l)
-                {
+                if best.as_ref().map_or(true, |(l, _, _)| latency < *l) {
                     best = Some((latency, direction, placement.clone()));
                 }
                 if latency < seed_best {
@@ -183,7 +128,7 @@ impl MvfbPlacer {
         let (latency, direction, initial_placement) = best.ok_or(MapError::Stalled {
             remaining: program.instructions().len(),
         })?;
-        Ok(MvfbSolution {
+        Ok(PlacerSolution {
             latency,
             direction,
             initial_placement,

@@ -322,7 +322,12 @@ impl Program {
     pub fn reversed(&self) -> Program {
         Program {
             qubits: self.qubits.clone(),
-            instructions: self.instructions.iter().rev().map(|i| i.inverse()).collect(),
+            instructions: self
+                .instructions
+                .iter()
+                .rev()
+                .map(|i| i.inverse())
+                .collect(),
         }
     }
 }

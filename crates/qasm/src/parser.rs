@@ -53,10 +53,12 @@ impl Program {
             };
             if mnemonic.eq_ignore_ascii_case("QUBIT") {
                 if seen_gate {
-                    return Err(ParseError::at_line(line_no, ParseErrorKind::LateDeclaration));
+                    return Err(ParseError::at_line(
+                        line_no,
+                        ParseErrorKind::LateDeclaration,
+                    ));
                 }
-                parse_declaration(&mut program, rest)
-                    .map_err(|e| relocate(e, line_no))?;
+                parse_declaration(&mut program, rest).map_err(|e| relocate(e, line_no))?;
                 continue;
             }
             if mnemonic.eq_ignore_ascii_case("CBIT") {
@@ -130,9 +132,9 @@ fn parse_declaration(program: &mut Program, rest: &str) -> Result<(), ParseError
 }
 
 fn lookup(program: &Program, name: &str) -> Result<crate::ast::QubitId, ParseError> {
-    program.qubit_id(name).ok_or_else(|| {
-        ParseError::internal(ParseErrorKind::UndeclaredQubit(name.to_owned()))
-    })
+    program
+        .qubit_id(name)
+        .ok_or_else(|| ParseError::internal(ParseErrorKind::UndeclaredQubit(name.to_owned())))
 }
 
 #[cfg(test)]

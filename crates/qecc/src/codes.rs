@@ -256,12 +256,7 @@ mod tests {
             let mut sim = StabilizerSim::new(bench.code.num_qubits());
             sim.run(&bench.program).unwrap();
             for s in bench.code.stabilizers() {
-                assert_eq!(
-                    sim.stabilizes(s),
-                    Some(true),
-                    "{}: {s}",
-                    bench.name
-                );
+                assert_eq!(sim.stabilizes(s), Some(true), "{}: {s}", bench.name);
             }
         }
     }

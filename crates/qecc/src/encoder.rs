@@ -42,7 +42,10 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::Verification { generator } => {
-                write!(f, "synthesized encoder fails to stabilize generator {generator}")
+                write!(
+                    f,
+                    "synthesized encoder fails to stabilize generator {generator}"
+                )
             }
             EncodeError::TooManyQubits(n) => write!(f, "{n} qubits exceed the 64-qubit limit"),
         }
@@ -430,16 +433,16 @@ mod tests {
 
     #[test]
     fn five_qubit_code_encoder_verifies() {
-        let code = StabilizerCode::new(
-            "[[5,1,3]]",
-            ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"],
-        )
-        .unwrap();
+        let code = StabilizerCode::new("[[5,1,3]]", ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"]).unwrap();
         let program = verify_code_encoder(&code);
         assert_eq!(program.num_qubits(), 5);
         // One data qubit declared without an initial value.
         assert_eq!(
-            program.qubits().iter().filter(|d| d.initial().is_none()).count(),
+            program
+                .qubits()
+                .iter()
+                .filter(|d| d.initial().is_none())
+                .count(),
             1
         );
     }
@@ -493,11 +496,7 @@ mod tests {
     #[test]
     fn encoder_shape_matches_fig2() {
         // The paper's Fig. 2: n-k Hadamards + controlled-Pauli cascade.
-        let code = StabilizerCode::new(
-            "[[5,1,3]]",
-            ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"],
-        )
-        .unwrap();
+        let code = StabilizerCode::new("[[5,1,3]]", ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"]).unwrap();
         let program = encoding_circuit(&code).unwrap();
         let h = program
             .instructions()

@@ -221,7 +221,7 @@ mod tests {
         let g = search.candidates_for(1)[0].clone();
         let basis = search.code_basis(&g);
         assert_eq!(basis.len(), 2); // dim = (5-1)/2
-        // Each row is the previous one shifted.
+                                    // Each row is the previous one shifted.
         assert_eq!(basis[0][0], g.coeff(0));
         assert_eq!(basis[1][1], g.coeff(0));
     }

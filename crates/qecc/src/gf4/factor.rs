@@ -188,19 +188,31 @@ mod tests {
     fn coset_structure_matches_number_theory() {
         // n=7: ord_7(4)=3 -> factors of degree 1, 3, 3.
         let f = factor_xn_minus_1(7).unwrap();
-        let mut degs: Vec<usize> = f.factors().iter().map(|(p, _)| p.degree().unwrap()).collect();
+        let mut degs: Vec<usize> = f
+            .factors()
+            .iter()
+            .map(|(p, _)| p.degree().unwrap())
+            .collect();
         degs.sort_unstable();
         assert_eq!(degs, vec![1, 3, 3]);
 
         // n=9: cosets {0},{1,4,7},{2,8,5},{3},{6} -> degrees 1,1,1,3,3.
         let f = factor_xn_minus_1(9).unwrap();
-        let mut degs: Vec<usize> = f.factors().iter().map(|(p, _)| p.degree().unwrap()).collect();
+        let mut degs: Vec<usize> = f
+            .factors()
+            .iter()
+            .map(|(p, _)| p.degree().unwrap())
+            .collect();
         degs.sort_unstable();
         assert_eq!(degs, vec![1, 1, 1, 3, 3]);
 
         // n=23: ord_23(4)=11 -> degrees 1, 11, 11.
         let f = factor_xn_minus_1(23).unwrap();
-        let mut degs: Vec<usize> = f.factors().iter().map(|(p, _)| p.degree().unwrap()).collect();
+        let mut degs: Vec<usize> = f
+            .factors()
+            .iter()
+            .map(|(p, _)| p.degree().unwrap())
+            .collect();
         degs.sort_unstable();
         assert_eq!(degs, vec![1, 11, 11]);
     }

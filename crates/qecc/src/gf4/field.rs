@@ -34,17 +34,17 @@ impl Error for FieldError {}
 /// (even degrees contain GF(4) as a subfield). Bit `i` is the
 /// coefficient of `x^i`.
 const PRIMITIVE_POLYS: &[(u32, u64)] = &[
-    (2, 0b111),                          // x² + x + 1
-    (4, 0b1_0011),                       // x⁴ + x + 1
-    (6, 0b100_0011),                     // x⁶ + x + 1
-    (8, 0b1_0001_1101),                  // x⁸ + x⁴ + x³ + x² + 1
-    (10, 0b100_0000_1001),               // x¹⁰ + x³ + 1
-    (12, 0b1_0000_0101_0011),            // x¹² + x⁶ + x⁴ + x + 1
+    (2, 0b111),               // x² + x + 1
+    (4, 0b1_0011),            // x⁴ + x + 1
+    (6, 0b100_0011),          // x⁶ + x + 1
+    (8, 0b1_0001_1101),       // x⁸ + x⁴ + x³ + x² + 1
+    (10, 0b100_0000_1001),    // x¹⁰ + x³ + 1
+    (12, 0b1_0000_0101_0011), // x¹² + x⁶ + x⁴ + x + 1
     (14, (1 << 14) | (1 << 10) | (1 << 6) | (1 << 1) | 1),
     (16, (1 << 16) | (1 << 12) | (1 << 3) | (1 << 1) | 1),
-    (18, (1 << 18) | (1 << 7) | 1),      // x¹⁸ + x⁷ + 1
-    (20, (1 << 20) | (1 << 3) | 1),      // x²⁰ + x³ + 1
-    (22, (1 << 22) | (1 << 1) | 1),      // x²² + x + 1
+    (18, (1 << 18) | (1 << 7) | 1), // x¹⁸ + x⁷ + 1
+    (20, (1 << 20) | (1 << 3) | 1), // x²⁰ + x³ + 1
+    (22, (1 << 22) | (1 << 1) | 1), // x²² + x + 1
 ];
 
 /// The field GF(2^e) with a tabulated primitive modulus; elements are

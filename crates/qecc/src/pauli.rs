@@ -90,12 +90,11 @@ impl Pauli {
     pub fn from_masks(n: usize, x: u64, z: u64) -> Pauli {
         assert!((1..=64).contains(&n), "Pauli supports 1..=64 qubits");
         let valid = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-        assert!(x & !valid == 0 && z & !valid == 0, "mask exceeds {n} qubits");
-        Pauli {
-            n: n as u8,
-            x,
-            z,
-        }
+        assert!(
+            x & !valid == 0 && z & !valid == 0,
+            "mask exceeds {n} qubits"
+        );
+        Pauli { n: n as u8, x, z }
     }
 
     /// Number of qubits the operator acts on.

@@ -17,8 +17,7 @@ fn arb_poly(max_deg: usize) -> impl Strategy<Value = Poly> {
 
 fn arb_pauli(n: usize) -> impl Strategy<Value = Pauli> {
     let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-    (any::<u64>(), any::<u64>())
-        .prop_map(move |(x, z)| Pauli::from_masks(n, x & mask, z & mask))
+    (any::<u64>(), any::<u64>()).prop_map(move |(x, z)| Pauli::from_masks(n, x & mask, z & mask))
 }
 
 proptest! {

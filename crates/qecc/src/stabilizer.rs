@@ -117,10 +117,7 @@ impl StabilizerCode {
     /// # Errors
     ///
     /// Same conditions as [`StabilizerCode::new`].
-    pub fn from_paulis(
-        name: &str,
-        stabilizers: Vec<Pauli>,
-    ) -> Result<StabilizerCode, CodeError> {
+    pub fn from_paulis(name: &str, stabilizers: Vec<Pauli>) -> Result<StabilizerCode, CodeError> {
         let first = stabilizers.first().ok_or(CodeError::Empty)?;
         let n = first.num_qubits();
         for (i, s) in stabilizers.iter().enumerate() {

@@ -231,8 +231,11 @@ impl StabilizerSim {
         self.rows[self.n..]
             .iter()
             .map(|row| {
-                PhasedPauli::new(Pauli::from_masks(self.n, row.x, row.z))
-                    .times_i(if row.sign { 2 } else { 0 })
+                PhasedPauli::new(Pauli::from_masks(self.n, row.x, row.z)).times_i(if row.sign {
+                    2
+                } else {
+                    0
+                })
             })
             .collect()
     }
@@ -313,10 +316,7 @@ mod tests {
 
     #[test]
     fn ghz_state_stabilizers() {
-        let p = Program::parse(
-            "QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X b,c\n",
-        )
-        .unwrap();
+        let p = Program::parse("QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X b,c\n").unwrap();
         let mut sim = StabilizerSim::new(3);
         sim.run(&p).unwrap();
         assert_eq!(sim.stabilizes(&pauli("XXX")), Some(true));
@@ -356,10 +356,7 @@ mod tests {
     #[test]
     fn t_gate_is_unsupported() {
         let mut sim = StabilizerSim::new(1);
-        assert_eq!(
-            sim.apply(Gate::T, &[0]),
-            Err(UnsupportedGate(Gate::T))
-        );
+        assert_eq!(sim.apply(Gate::T, &[0]), Err(UnsupportedGate(Gate::T)));
     }
 
     #[test]

@@ -181,10 +181,18 @@ mod tests {
     #[test]
     fn durations_and_exit_offsets() {
         let steps = vec![
-            Step::Move { to: Coord::new(0, 1) },
-            Step::Move { to: Coord::new(0, 2) },
-            Step::Turn { at: Coord::new(0, 2) },
-            Step::Move { to: Coord::new(1, 2) },
+            Step::Move {
+                to: Coord::new(0, 1),
+            },
+            Step::Move {
+                to: Coord::new(0, 2),
+            },
+            Step::Turn {
+                at: Coord::new(0, 2),
+            },
+            Step::Move {
+                to: Coord::new(1, 2),
+            },
         ];
         let res = vec![(Resource::Segment(SegmentId(0)), 1)];
         let p = RoutePlan::from_steps(TrapId(0), TrapId(1), steps, res, 1, 10, 42);

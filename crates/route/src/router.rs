@@ -79,11 +79,18 @@ enum Prev {
     Unreached,
     /// Entered the graph from the source port via source-segment end
     /// `end`.
-    Start { end: usize },
+    Start {
+        end: usize,
+    },
     /// Turned at the same junction, coming from node `from`.
-    Turn { from: usize },
+    Turn {
+        from: usize,
+    },
     /// Traversed segment `seg` coming from node `from`.
-    Seg { from: usize, seg: SegmentId },
+    Seg {
+        from: usize,
+        seg: SegmentId,
+    },
 }
 
 /// Shortest-path router over a fabric topology.
@@ -242,9 +249,7 @@ impl<'a> Router<'a> {
                 let _ = (node, end);
                 Some(self.build_direct(from, to, cd))
             }
-            (_, Some((cv, node, end))) => {
-                Some(self.build_via(from, to, &prev, node, end, cv))
-            }
+            (_, Some((cv, node, end))) => Some(self.build_via(from, to, &prev, node, end, cv)),
         }
     }
 
@@ -266,12 +271,7 @@ impl<'a> Router<'a> {
         self.history[seg.index()]
     }
 
-    fn segment_weight(
-        &self,
-        state: &ResourceState,
-        seg: SegmentId,
-        moves: u32,
-    ) -> Option<u64> {
+    fn segment_weight(&self, state: &ResourceState, seg: SegmentId, moves: u32) -> Option<u64> {
         let n = state.usage(Resource::Segment(seg));
         if n >= self.config.channel_capacity {
             return None;

@@ -305,10 +305,7 @@ C-Z q4,q0
         let roots: Vec<_> = g.roots().collect();
         // H q0, H q1, H q2, H q4 and C-X q3,q2? No: C-X q3,q2 depends on
         // H q2. q3 has no prior op, but q2 does.
-        assert_eq!(
-            roots,
-            vec![InstrId(0), InstrId(1), InstrId(2), InstrId(3)]
-        );
+        assert_eq!(roots, vec![InstrId(0), InstrId(1), InstrId(2), InstrId(3)]);
     }
 
     #[test]
@@ -383,8 +380,7 @@ C-Z q4,q0
         // a fans out to two ops that reconverge: a,b,c distinct qubits.
         //   H a ; CX a,b ; CX a,c ; CX b,c
         let p =
-            Program::parse("QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X a,c\nC-X b,c\n")
-                .unwrap();
+            Program::parse("QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X a,c\nC-X b,c\n").unwrap();
         let g = Qidg::new(&p, &TechParams::date2012());
         // H a reaches {1,2,3}: count 3 (3 reachable, not 4 via two paths).
         assert_eq!(g.dependent_count()[0], 3);
@@ -525,10 +521,7 @@ mod large_graph_tests {
             let pr = g.priorities(&PriorityWeights::default());
             for id in g.topo_order() {
                 for s in g.succs(id) {
-                    assert!(
-                        pr[id.index()] > pr[s.index()],
-                        "seed {seed}: {id} vs {s}"
-                    );
+                    assert!(pr[id.index()] > pr[s.index()], "seed {seed}: {id} vs {s}");
                 }
             }
         }

@@ -113,9 +113,6 @@ mod tests {
     #[test]
     fn issue_order_sorts_by_start_then_id() {
         let s = Schedule::new(vec![5, 0, 5], vec![1, 1, 1]);
-        assert_eq!(
-            s.issue_order(),
-            vec![InstrId(1), InstrId(0), InstrId(2)]
-        );
+        assert_eq!(s.issue_order(), vec![InstrId(1), InstrId(0), InstrId(2)]);
     }
 }

@@ -75,20 +75,14 @@ impl<'a> Mapper<'a> {
         placement.check(self.fabric, program.num_qubits())?;
         let qidg = Qidg::new(program, &self.tech);
         let order_key: Vec<f64> = match self.policy.order {
-            IssueOrder::PriorityList(w) => {
-                qidg.priorities(&w).iter().map(|p| -p).collect()
-            }
+            IssueOrder::PriorityList(w) => qidg.priorities(&w).iter().map(|p| -p).collect(),
             IssueOrder::Alap => {
                 let alap = qidg.alap();
-                qidg.topo_order()
-                    .map(|id| alap.start(id) as f64)
-                    .collect()
+                qidg.topo_order().map(|id| alap.start(id) as f64).collect()
             }
             IssueOrder::Asap => {
                 let asap = qidg.asap();
-                qidg.topo_order()
-                    .map(|id| asap.start(id) as f64)
-                    .collect()
+                qidg.topo_order().map(|id| asap.start(id) as f64).collect()
             }
         };
         let sim = Sim::new(self, &qidg, placement, order_key);
@@ -260,12 +254,7 @@ impl<'m, 'a> Sim<'m, 'a> {
                 remaining: self.qidg.len() - self.finished,
             });
         }
-        let latency = self
-            .stats
-            .iter()
-            .map(|s| s.finish)
-            .max()
-            .unwrap_or(0);
+        let latency = self.stats.iter().map(|s| s.finish).max().unwrap_or(0);
         let final_placement = Placement::new(self.qubit_trap.clone())
             .expect("occupancy bookkeeping caps traps at two qubits");
         let trace = self.trace.take().map(Trace::new);
@@ -304,9 +293,7 @@ impl<'m, 'a> Sim<'m, 'a> {
                 // Under the storage model, the visiting source qubit now
                 // shuttles back to its home trap.
                 if self.mapper.policy.movement == MovementPolicy::ReturnToHome {
-                    if let Operands::Two { control, .. } =
-                        self.qidg.instruction(id).operands
-                    {
+                    if let Operands::Two { control, .. } = self.qidg.instruction(id).operands {
                         let here = self.gate_trap[id.index()];
                         if self.home_trap[control.index()] != here {
                             self.in_transit[control.index()] = true;
@@ -330,11 +317,8 @@ impl<'m, 'a> Sim<'m, 'a> {
     /// other instructions).
     fn issue_phase(&mut self) {
         loop {
-            let mut candidates: Vec<BusyItem> = self
-                .ready
-                .drain(..)
-                .map(BusyItem::Unissued)
-                .collect();
+            let mut candidates: Vec<BusyItem> =
+                self.ready.drain(..).map(BusyItem::Unissued).collect();
             if self.resources_changed && !self.busy.is_empty() {
                 candidates.append(&mut self.busy);
             }
@@ -438,9 +422,8 @@ impl<'m, 'a> Sim<'m, 'a> {
                             let occ = &self.trap_occupancy;
                             match self
                                 .topo
-                                .nearest_trap(self.topo.trap(tt).coord(), |t| {
-                                    occ[t.index()] == 0
-                                }) {
+                                .nearest_trap(self.topo.trap(tt).coord(), |t| occ[t.index()] == 0)
+                            {
                                 Some(t) => t,
                                 None => return false,
                             }
@@ -481,8 +464,7 @@ impl<'m, 'a> Sim<'m, 'a> {
                 // Commit.
                 self.stats[id.index()].issued_at = self.time;
                 self.gate_trap[id.index()] = meeting;
-                self.arrivals_needed[id.index()] =
-                    (routed.len() + blocked.len()) as u8;
+                self.arrivals_needed[id.index()] = (routed.len() + blocked.len()) as u8;
                 self.arrivals_done[id.index()] = 0;
                 for (q, plan) in routed {
                     self.commit_leg(id, q, plan, meeting);
@@ -571,12 +553,7 @@ impl<'m, 'a> Sim<'m, 'a> {
     /// Issues a two-qubit gate under the storage (return-to-home) model:
     /// the source visits the destination's home trap; the return trip is
     /// scheduled when the gate completes.
-    fn try_issue_return_to_home(
-        &mut self,
-        id: InstrId,
-        control: QubitId,
-        target: QubitId,
-    ) -> bool {
+    fn try_issue_return_to_home(&mut self, id: InstrId, control: QubitId, target: QubitId) -> bool {
         let src_home = self.home_trap[control.index()];
         let dst_home = self.home_trap[target.index()];
         debug_assert_eq!(self.qubit_trap[control.index()], src_home);
@@ -963,20 +940,13 @@ C-Z q4,q0
         // with capacity-1 channels: the second must wait for resources.
         let f = Fabric::quale_45x85();
         let tech = TechParams::date2012().without_multiplexing();
-        let p = Program::parse(
-            "QUBIT a\nQUBIT b\nQUBIT c\nQUBIT d\nC-X a,b\nC-X c,d\n",
-        )
-        .unwrap();
+        let p = Program::parse("QUBIT a\nQUBIT b\nQUBIT c\nQUBIT d\nC-X a,b\nC-X c,d\n").unwrap();
         let mut policy = MapperPolicy::qspr(&tech);
         policy.router.channel_capacity = 1;
         policy.router.junction_capacity = 1;
         let placement = Placement::center(&f, 4);
         let out = Mapper::new(&f, tech, policy).map(&p, &placement).unwrap();
-        let total_wait: Time = out
-            .instr_stats()
-            .iter()
-            .map(|s| s.congestion_wait())
-            .sum();
+        let total_wait: Time = out.instr_stats().iter().map(|s| s.congestion_wait()).sum();
         // Both gates contend for the center channels; at least one waits
         // or detours (cannot assert which, but latency must exceed the
         // single-gate case).
@@ -1000,10 +970,8 @@ mod policy_behavior_tests {
         // home, so the final placement equals the initial one.
         let f = fabric();
         let tech = TechParams::date2012();
-        let p = Program::parse(
-            "QUBIT a,0\nQUBIT b,0\nQUBIT c,0\nC-X a,b\nC-X b,c\nC-X c,a\n",
-        )
-        .unwrap();
+        let p =
+            Program::parse("QUBIT a,0\nQUBIT b,0\nQUBIT c,0\nC-X a,b\nC-X b,c\nC-X c,a\n").unwrap();
         let placement = Placement::center(&f, 3);
         let out = Mapper::new(&f, tech, MapperPolicy::quale(&tech))
             .map(&p, &placement)
@@ -1034,8 +1002,7 @@ mod policy_behavior_tests {
         // must be strictly slower than the stay-in-place policy.
         let f = fabric();
         let tech = TechParams::date2012();
-        let p =
-            Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\nC-Z a,b\n").unwrap();
+        let p = Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\nC-Z a,b\n").unwrap();
         let placement = Placement::center(&f, 2);
         let stay = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
             .map(&p, &placement)
@@ -1109,9 +1076,7 @@ mod policy_behavior_tests {
                 .unwrap();
             let mut single = MapperPolicy::qspr(&tech);
             single.movement = MovementPolicy::SourceToDestination;
-            let forced = Mapper::new(&f, tech, single)
-                .map(&p, &placement)
-                .unwrap();
+            let forced = Mapper::new(&f, tech, single).map(&p, &placement).unwrap();
             assert!(
                 flexible.latency() <= forced.latency(),
                 "{gates:?}: {} vs {}",
@@ -1125,10 +1090,7 @@ mod policy_behavior_tests {
     fn strict_order_never_beats_dynamic_order() {
         let f = fabric();
         let tech = TechParams::date2012();
-        let p = qspr_qasm::random_program(
-            &qspr_qasm::RandomProgramConfig::new(8, 40),
-            7,
-        );
+        let p = qspr_qasm::random_program(&qspr_qasm::RandomProgramConfig::new(8, 40), 7);
         let placement = Placement::center(&f, 8);
         let dynamic = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
             .map(&p, &placement)

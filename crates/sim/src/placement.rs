@@ -109,11 +109,7 @@ impl Placement {
     }
 
     /// Validates this placement against a fabric and program size.
-    pub(crate) fn check(
-        &self,
-        fabric: &Fabric,
-        program_qubits: usize,
-    ) -> Result<(), MapError> {
+    pub(crate) fn check(&self, fabric: &Fabric, program_qubits: usize) -> Result<(), MapError> {
         if self.traps.len() != program_qubits {
             return Err(MapError::QubitCountMismatch {
                 placement: self.traps.len(),
@@ -147,8 +143,7 @@ mod tests {
     fn trap_pairs_are_allowed_but_triples_rejected() {
         // Two qubits per trap is fine (trap capacity).
         assert!(Placement::new(vec![TrapId(1), TrapId(1)]).is_ok());
-        let err =
-            Placement::new(vec![TrapId(1), TrapId(1), TrapId(1)]).unwrap_err();
+        let err = Placement::new(vec![TrapId(1), TrapId(1), TrapId(1)]).unwrap_err();
         assert_eq!(err, MapError::DuplicateTrap(TrapId(1)));
     }
 

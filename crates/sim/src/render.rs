@@ -63,12 +63,7 @@ pub fn qubit_positions_at(
 /// Qubits print as `0`–`9` then `a`–`z`; two co-located qubits print as
 /// `@`. All other cells keep their fabric glyphs (`T`, `-`, `|`, `+`,
 /// `.`).
-pub fn render_at(
-    fabric: &Fabric,
-    placement: &Placement,
-    trace: &Trace,
-    t: Time,
-) -> String {
+pub fn render_at(fabric: &Fabric, placement: &Placement, trace: &Trace, t: Time) -> String {
     let positions = qubit_positions_at(fabric, placement, trace, t);
     let mut art: Vec<Vec<char>> = fabric
         .to_ascii()
@@ -148,8 +143,7 @@ mod tests {
     fn mapped() -> (Fabric, Program, Placement, MappingOutcome) {
         let fabric = Fabric::quale_45x85();
         let tech = TechParams::date2012();
-        let program =
-            Program::parse("QUBIT a,0\nQUBIT b,0\nH a\nC-X a,b\n").unwrap();
+        let program = Program::parse("QUBIT a,0\nQUBIT b,0\nH a\nC-X a,b\n").unwrap();
         let placement = Placement::center(&fabric, 2);
         let outcome = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech))
             .record_trace(true)
@@ -165,13 +159,9 @@ mod tests {
         let topo = fabric.topology();
         let at0 = qubit_positions_at(&fabric, &placement, trace, 0);
         for (q, c) in at0.iter().enumerate() {
-            assert_eq!(
-                *c,
-                topo.trap(placement.trap_of(QubitId(q as u32))).coord()
-            );
+            assert_eq!(*c, topo.trap(placement.trap_of(QubitId(q as u32))).coord());
         }
-        let at_end =
-            qubit_positions_at(&fabric, &placement, trace, trace.end_time());
+        let at_end = qubit_positions_at(&fabric, &placement, trace, trace.end_time());
         for (q, c) in at_end.iter().enumerate() {
             let final_trap = outcome.final_placement().trap_of(QubitId(q as u32));
             assert_eq!(*c, topo.trap(final_trap).coord());

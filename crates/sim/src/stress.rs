@@ -25,8 +25,7 @@ T.|.T
 fn two_qubits_on_a_tiny_cross() {
     let f = Fabric::from_ascii(TINY_CROSS).unwrap();
     let tech = TechParams::date2012();
-    let p = Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\nC-Z a,b\nH a\nC-Y b,a\n")
-        .unwrap();
+    let p = Program::parse("QUBIT a,0\nQUBIT b,0\nC-X a,b\nC-Z a,b\nH a\nC-Y b,a\n").unwrap();
     let placement = Placement::center(&f, 2);
     let out = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
         .record_trace(true)
@@ -61,10 +60,8 @@ fn capacity_one_on_the_tiny_cross_still_completes() {
     let mut policy = MapperPolicy::qspr(&tech);
     policy.router.channel_capacity = 1;
     policy.router.junction_capacity = 1;
-    let p = Program::parse(
-        "QUBIT a,0\nQUBIT b,0\nQUBIT c,0\n C-X a,b\nC-X b,c\nC-X c,a\n",
-    )
-    .unwrap();
+    let p =
+        Program::parse("QUBIT a,0\nQUBIT b,0\nQUBIT c,0\n C-X a,b\nC-X b,c\nC-X c,a\n").unwrap();
     let placement = Placement::center(&f, 3);
     let out = Mapper::new(&f, tech, policy)
         .record_trace(true)
@@ -77,10 +74,7 @@ fn capacity_one_on_the_tiny_cross_still_completes() {
 fn quale_storage_model_survives_the_tiny_cross() {
     let f = Fabric::from_ascii(TINY_CROSS).unwrap();
     let tech = TechParams::date2012();
-    let p = Program::parse(
-        "QUBIT a,0\nQUBIT b,0\nQUBIT c,0\nC-X a,b\nC-X b,c\nC-X a,c\n",
-    )
-    .unwrap();
+    let p = Program::parse("QUBIT a,0\nQUBIT b,0\nQUBIT c,0\nC-X a,b\nC-X b,c\nC-X a,c\n").unwrap();
     let placement = Placement::center(&f, 3);
     let out = Mapper::new(&f, tech, MapperPolicy::quale(&tech))
         .record_trace(true)
@@ -104,14 +98,10 @@ fn overfull_fabric_stalls_cleanly_instead_of_deadlocking() {
     let f = Fabric::from_ascii(two_traps).unwrap();
     assert_eq!(f.topology().traps().len(), 2);
     let tech = TechParams::date2012();
-    let p = Program::parse(
-        "QUBIT a,0\nQUBIT b,0\nQUBIT c,0\nQUBIT d,0\nC-X a,c\n",
-    )
-    .unwrap();
+    let p = Program::parse("QUBIT a,0\nQUBIT b,0\nQUBIT c,0\nQUBIT d,0\nC-X a,c\n").unwrap();
     // a,b share trap 0; c,d share trap 1.
     let traps = f.topology().traps_by_distance(f.center());
-    let placement =
-        Placement::new(vec![traps[0], traps[0], traps[1], traps[1]]).unwrap();
+    let placement = Placement::new(vec![traps[0], traps[0], traps[1], traps[1]]).unwrap();
     let err = Mapper::new(&f, tech, MapperPolicy::qspr(&tech))
         .map(&p, &placement)
         .unwrap_err();
@@ -122,7 +112,9 @@ fn overfull_fabric_stalls_cleanly_instead_of_deadlocking() {
 fn long_random_programs_on_a_small_fabric() {
     // A single-tile fabric with eight traps, hammered by 200-gate random
     // programs under every policy.
-    let f = qspr_fabric::RegularFabricSpec::new(9, 9, 4).build().unwrap();
+    let f = qspr_fabric::RegularFabricSpec::new(9, 9, 4)
+        .build()
+        .unwrap();
     let tech = TechParams::date2012();
     for (seed, policy) in [
         (1u64, MapperPolicy::qspr(&tech)),

@@ -309,12 +309,7 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let e = entry(
-            3,
-            MicroCommand::GateEnd {
-                instr: InstrId(2),
-            },
-        );
+        let e = entry(3, MicroCommand::GateEnd { instr: InstrId(2) });
         assert!(e.to_string().contains("gate-"));
     }
 }

@@ -152,10 +152,7 @@ pub fn validate_trace(
                 let Some(started) = open_gates.remove(&instr) else {
                     return Err(TraceError::UnmatchedGate { index });
                 };
-                let expected = gate_delay(
-                    program.instructions()[instr.index()].gate,
-                    tech,
-                );
+                let expected = gate_delay(program.instructions()[instr.index()].gate, tech);
                 if entry.time - started != expected {
                     return Err(TraceError::BadGateTiming { index, expected });
                 }
@@ -254,8 +251,7 @@ C-Z q4,q0
                 to: far,
             },
         }]);
-        let err =
-            validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
+        let err = validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
         assert!(matches!(err, TraceError::BrokenMove { .. }));
     }
 
@@ -275,8 +271,7 @@ C-Z q4,q0
                 q1: None,
             },
         }]);
-        let err =
-            validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
+        let err = validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
         assert_eq!(err, TraceError::GateOutsideTrap { index: 0 });
     }
 
@@ -306,8 +301,7 @@ C-Z q4,q0
                 command: MicroCommand::GateEnd { instr: InstrId(0) },
             },
         ]);
-        let err =
-            validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
+        let err = validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
         assert_eq!(
             err,
             TraceError::BadGateTiming {
@@ -327,8 +321,7 @@ C-Z q4,q0
             time: 0,
             command: MicroCommand::GateEnd { instr: InstrId(0) },
         }]);
-        let err =
-            validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
+        let err = validate_trace(&fabric, &program, &placement, &trace, &tech).unwrap_err();
         assert_eq!(err, TraceError::UnmatchedGate { index: 0 });
     }
 }

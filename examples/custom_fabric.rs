@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 +---+---+
 ";
     let fabric = Fabric::from_ascii(art)?;
-    println!("custom fabric ({}x{}):\n{fabric}", fabric.rows(), fabric.cols());
+    println!(
+        "custom fabric ({}x{}):\n{fabric}",
+        fabric.rows(),
+        fabric.cols()
+    );
     let topo = fabric.topology();
     println!(
         "topology: {} traps, {} junctions, {} channel segments",
@@ -35,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          H a\nC-X a,b\nC-X c,d\nC-Z b,c\n",
     )?;
     let placement = Placement::center(&fabric, program.num_qubits());
-    let outcome = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech))
-        .map(&program, &placement)?;
+    let outcome =
+        Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech)).map(&program, &placement)?;
     println!(
         "mapped: latency {}µs ({} moves, {} turns)",
         outcome.latency(),

@@ -1,11 +1,12 @@
 //! Placer comparison on one circuit: plain center placement vs Monte
 //! Carlo vs MVFB at equal placement-run budgets (the paper's Table 1
-//! methodology).
+//! methodology) — every engine driven through the same `dyn Placer`
+//! seam a custom placer would use.
 //!
 //! Run with: `cargo run --release --example placer_battle [m]`
 
 use qspr_fabric::{Fabric, TechParams};
-use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer};
+use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer, Placer};
 use qspr_qecc::codes::benchmark_suite;
 use qspr_sim::{Mapper, MapperPolicy, Placement};
 
@@ -22,22 +23,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .find(|b| b.name == "[[9,1,3]]")
         .expect("suite contains the 9-qubit code");
-    println!("placing {} ({} gates), m={m}\n", bench.name, bench.program.instructions().len());
+    println!(
+        "placing {} ({} gates), m={m}\n",
+        bench.name,
+        bench.program.instructions().len()
+    );
 
     // 1. Deterministic center placement (QUALE's placer).
     let center = Placement::center(&fabric, bench.program.num_qubits());
     let center_latency = mapper.map(&bench.program, &center)?.latency();
     println!("center placement      : {center_latency:>6}µs (1 run)");
 
-    // 2. MVFB with m seeds.
-    let mvfb = MvfbPlacer::new(MvfbConfig::new(m, 2012)).place(&mapper, &bench.program)?;
+    // 2. MVFB with m seeds, through the trait object seam.
+    let mvfb_engine = MvfbPlacer::new(MvfbConfig::new(m, 2012));
+    let mvfb = (&mvfb_engine as &dyn Placer).place(&mapper, &bench.program)?;
     println!(
         "MVFB (m={m:<3})          : {:>6}µs ({} runs, {:?}, best pass {:?})",
         mvfb.latency, mvfb.runs, mvfb.cpu, mvfb.direction
     );
 
-    // 3. Monte Carlo with the same total number of placement runs.
-    let mc = MonteCarloPlacer::new(mvfb.runs, 2012).place(&mapper, &bench.program)?;
+    // 3. Monte Carlo with the same total number of placement runs —
+    //    swapping engines is just picking another `dyn Placer`.
+    let mc_engine = MonteCarloPlacer::new(mvfb.runs, 2012);
+    let mc = (&mc_engine as &dyn Placer).place(&mapper, &bench.program)?;
     println!(
         "Monte Carlo ({} runs) : {:>6}µs ({:?})",
         mc.runs, mc.latency, mc.cpu

@@ -1,9 +1,9 @@
 //! Quickstart: parse a QASM circuit, map it onto the 45×85 ion-trap
-//! fabric with QSPR, and inspect the result.
+//! fabric with the QSPR `Flow`, and inspect the result.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use qspr::{QsprConfig, QsprTool};
+use qspr::{Flow, FlowPolicy};
 use qspr_fabric::Fabric;
 use qspr_qasm::Program;
 
@@ -38,15 +38,15 @@ C-Z q3,q0
         fabric.topology().junctions().len()
     );
 
-    // Map with the full QSPR flow (MVFB placement, m=4 for speed).
-    let mut config = QsprConfig::fast();
-    config.record_trace = true;
-    let tool = QsprTool::new(&fabric, config);
-    let result = tool.map(&program)?;
+    // Map with the full QSPR flow (MVFB placement, m=4 for speed). The
+    // flow owns the fabric, so it could just as well move to a worker
+    // thread or live in a service.
+    let flow = Flow::on(fabric).seeds(4).record_trace(true);
+    let result = flow.run(&program)?;
 
     println!("\nQSPR mapping:");
     println!("  latency          {}µs", result.latency);
-    println!("  ideal baseline   {}µs", tool.ideal_latency(&program));
+    println!("  ideal baseline   {}µs", flow.ideal_latency(&program));
     println!("  placement runs   {}", result.runs);
     println!("  total moves      {}", result.outcome.totals().moves);
     println!("  total turns      {}", result.outcome.totals().turns);
@@ -59,12 +59,12 @@ C-Z q3,q0
     }
     println!("  ... ({} commands total)", trace.len());
 
-    // Compare with the QUALE baseline.
-    let quale = tool.map_quale(&program)?;
+    // Compare with the QUALE baseline: same flow, one builder call.
+    let quale = flow.clone().policy(FlowPolicy::Quale).run(&program)?;
     println!(
         "\nQUALE baseline: {}µs  ->  QSPR improves by {:.1}%",
-        quale.latency(),
-        100.0 * (quale.latency() as f64 - result.latency as f64) / quale.latency() as f64
+        quale.latency,
+        100.0 * (quale.latency as f64 - result.latency as f64) / quale.latency as f64
     );
     Ok(())
 }

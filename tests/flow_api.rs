@@ -1,0 +1,176 @@
+//! Integration tests of the service-grade `Flow` API: ownership and
+//! thread-safety guarantees, placer pluggability through the `dyn
+//! Placer` seam, parity with the deprecated `QsprTool` facade, and the
+//! stable JSON report schema.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use qspr::{BatchJob, BatchMapper, Flow, QsprError, ToJson};
+use qspr_fabric::Fabric;
+use qspr_place::{MvfbConfig, MvfbPlacer, PassDirection, Placer, PlacerSolution};
+use qspr_qasm::Program;
+use qspr_qecc::codes::{benchmark_suite, fig3_program};
+use qspr_sim::{MapError, Mapper, Placement};
+
+/// Compile-time contract: the flow (and the batch front end built on
+/// it) must be `Send + Sync + 'static` so they can serve from thread
+/// pools and async tasks.
+#[test]
+fn flow_api_is_send_sync_static() {
+    fn assert_service_grade<T: Send + Sync + 'static>() {}
+    assert_service_grade::<Flow>();
+    assert_service_grade::<BatchMapper>();
+    assert_service_grade::<QsprError>();
+}
+
+#[test]
+fn owned_flow_moves_into_worker_threads() {
+    // The whole point of dropping the lifetime parameter: a Flow can be
+    // cloned into plain `thread::spawn` closures, no scoped threads or
+    // fabric references needed.
+    let fabric = Arc::new(Fabric::quale_45x85());
+    let flow = Flow::on(Arc::clone(&fabric)).seeds(2);
+    let program = fig3_program();
+
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let flow = flow.clone();
+            let program = program.clone();
+            thread::spawn(move || flow.run(&program).expect("maps").latency)
+        })
+        .collect();
+    let latencies: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(latencies.windows(2).all(|w| w[0] == w[1]), "{latencies:?}");
+}
+
+/// A third-party placer: deterministic center placement, one run.
+struct CenterPlacer;
+
+impl Placer for CenterPlacer {
+    fn name(&self) -> &str {
+        "center"
+    }
+
+    fn place(&self, mapper: &Mapper<'_>, program: &Program) -> Result<PlacerSolution, MapError> {
+        let placement = Placement::center(mapper.fabric(), program.num_qubits());
+        let outcome = mapper.map(program, &placement)?;
+        Ok(PlacerSolution {
+            latency: outcome.latency(),
+            direction: PassDirection::Forward,
+            initial_placement: placement,
+            runs: 1,
+            cpu: Duration::ZERO,
+        })
+    }
+}
+
+#[test]
+fn third_party_placers_plug_into_the_flow() {
+    let flow = Flow::on(Fabric::quale_45x85()).placer(CenterPlacer);
+    let program = fig3_program();
+    let result = flow.run(&program).expect("maps");
+    assert_eq!(result.placer, "center");
+    assert_eq!(result.runs, 1);
+    assert_eq!(result.direction, PassDirection::Forward);
+    assert!(result.latency >= flow.ideal_latency(&program));
+}
+
+#[test]
+fn built_in_engines_agree_through_the_dyn_seam() {
+    // Latency through the `dyn Placer` seam must equal latency through
+    // a direct, statically-dispatched call — the seam adds indirection,
+    // not behavior.
+    let fabric = Fabric::quale_45x85();
+    let tech = *Flow::on(fabric.clone()).tech_params();
+    let mapper = Mapper::new(&fabric, tech, qspr_sim::MapperPolicy::qspr(&tech));
+    let program = fig3_program();
+
+    let static_call = MvfbPlacer::new(MvfbConfig::new(3, 42))
+        .place(&mapper, &program)
+        .expect("places");
+    let engine: Box<dyn Placer> = Box::new(MvfbPlacer::new(MvfbConfig::new(3, 42)));
+    let dynamic_call = engine.place(&mapper, &program).expect("places");
+    assert_eq!(static_call.latency, dynamic_call.latency);
+    assert_eq!(static_call.runs, dynamic_call.runs);
+    assert_eq!(
+        static_call.initial_placement,
+        dynamic_call.initial_placement
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shim_matches_flow_on_a_benchmark() {
+    use qspr::{QsprConfig, QsprTool};
+
+    let fabric = Fabric::quale_45x85();
+    let bench = benchmark_suite().swap_remove(0);
+    let tool = QsprTool::new(&fabric, QsprConfig::fast());
+    let flow = Flow::on(fabric.clone()).seeds(4);
+
+    let old_row = tool.compare(&bench.name, &bench.program).expect("maps");
+    let new_row = flow.compare(&bench.name, &bench.program).expect("maps");
+    assert_eq!(old_row, new_row);
+
+    // cpu fields are wall-clock; compare the deterministic columns.
+    let old_placers = tool
+        .compare_placers(&bench.name, &bench.program)
+        .expect("places");
+    let new_placers = flow
+        .compare_placers(&bench.name, &bench.program)
+        .expect("places");
+    assert_eq!(old_placers.m, new_placers.m);
+    assert_eq!(old_placers.runs, new_placers.runs);
+    assert_eq!(old_placers.mvfb_latency, new_placers.mvfb_latency);
+    assert_eq!(old_placers.mc_latency, new_placers.mc_latency);
+}
+
+#[test]
+fn flow_errors_carry_their_layer() {
+    // Mapping failure (zero placement runs stalls).
+    let flow = Flow::on(Fabric::quale_45x85()).seeds(0);
+    let err = flow.run(&fig3_program()).unwrap_err();
+    assert!(matches!(err, QsprError::Map(MapError::Stalled { .. })));
+
+    // Parse failure converts via `?` into the same enum.
+    let parse_err: QsprError = Program::parse("FROB q\n").unwrap_err().into();
+    assert!(matches!(parse_err, QsprError::Parse(_)));
+
+    // Batch failure names the circuit and nests the flow error.
+    let err = BatchMapper::new(flow)
+        .threads(2)
+        .run(&[BatchJob::new("doomed", fig3_program())])
+        .unwrap_err();
+    assert_eq!(err.circuit, "doomed");
+    assert!(matches!(err.source, QsprError::Map(_)));
+    let unified: QsprError = err.into();
+    assert!(unified.to_string().starts_with("doomed: "));
+}
+
+#[test]
+fn report_json_is_stable_across_the_api() {
+    // Every report type serializes; spot-check the end-to-end path the
+    // CLI's `--format json` uses.
+    let flow = Flow::on(Fabric::quale_45x85()).seeds(2);
+    let bench = benchmark_suite().swap_remove(0);
+
+    let row = flow.compare(&bench.name, &bench.program).expect("maps");
+    let json = row.to_json();
+    assert!(json.starts_with(&format!(r#"{{"circuit":"{}","baseline_us":"#, bench.name)));
+
+    let placer_row = flow
+        .compare_placers(&bench.name, &bench.program)
+        .expect("places");
+    assert!(placer_row.to_json().contains(r#""mvfb_wins":"#));
+
+    let report = BatchMapper::new(flow)
+        .threads(2)
+        .run(&[BatchJob::new(bench.name.clone(), bench.program.clone())])
+        .expect("maps");
+    let json = report.to_json();
+    assert!(json.starts_with(r#"{"items":[{"circuit":"#));
+    assert!(json.ends_with("}"));
+    assert!(json.contains(r#""mean_improvement_pct":"#));
+}

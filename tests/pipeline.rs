@@ -1,21 +1,20 @@
 //! End-to-end integration tests across all crates: the full benchmark
 //! suite mapped under every policy, with trace validation.
 
-use qspr::{QsprConfig, QsprTool};
+use qspr::{Flow, FlowPolicy};
 use qspr_fabric::{Fabric, TechParams};
 use qspr_qecc::codes::{benchmark_suite, fig3_program};
 use qspr_sim::{validate_trace, Mapper, MapperPolicy, Placement};
 
-fn fast_tool(fabric: &Fabric) -> QsprTool<'_> {
-    QsprTool::new(fabric, QsprConfig::fast())
+fn fast_flow() -> Flow {
+    Flow::on(Fabric::quale_45x85()).seeds(4)
 }
 
 #[test]
 fn full_suite_respects_table2_shape() {
-    let fabric = Fabric::quale_45x85();
-    let tool = fast_tool(&fabric);
+    let flow = fast_flow();
     for bench in benchmark_suite() {
-        let row = tool
+        let row = flow
             .compare(&bench.name, &bench.program)
             .expect("benchmarks map cleanly");
         assert!(
@@ -37,11 +36,10 @@ fn full_suite_respects_table2_shape() {
 
 #[test]
 fn qpos_sits_between_ideal_and_its_own_upper_bound() {
-    let fabric = Fabric::quale_45x85();
-    let tool = fast_tool(&fabric);
+    let flow = fast_flow().policy(FlowPolicy::Qpos);
     for bench in benchmark_suite().into_iter().take(3) {
-        let qpos = tool.map_qpos(&bench.program).expect("maps");
-        assert!(qpos.latency() >= tool.ideal_latency(&bench.program));
+        let qpos = flow.run(&bench.program).expect("maps");
+        assert!(qpos.latency >= flow.ideal_latency(&bench.program));
     }
 }
 
@@ -76,11 +74,10 @@ fn all_policies_produce_valid_traces_on_all_benchmarks() {
 fn mapping_latency_is_deterministic_across_processes_shape() {
     // Deterministic within a process; the fixed seeds make it
     // reproducible across runs and machines too.
-    let fabric = Fabric::quale_45x85();
-    let tool = fast_tool(&fabric);
+    let flow = fast_flow();
     let program = fig3_program();
-    let a = tool.map(&program).expect("maps");
-    let b = tool.map(&program).expect("maps");
+    let a = flow.run(&program).expect("maps");
+    let b = flow.run(&program).expect("maps");
     assert_eq!(a.latency, b.latency);
     assert_eq!(a.runs, b.runs);
     assert_eq!(a.initial_placement, b.initial_placement);
@@ -134,11 +131,14 @@ fn quale_overhead_grows_with_circuit_size() {
     // The paper's second observation on Table 2: T_routing+T_congestion
     // weighs more on larger circuits. Compare the smallest and the
     // largest benchmark under QUALE.
-    let fabric = Fabric::quale_45x85();
-    let tool = fast_tool(&fabric);
+    let flow = fast_flow();
     let suite = benchmark_suite();
-    let small = tool.compare(&suite[0].name, &suite[0].program).expect("maps");
-    let large = tool.compare(&suite[4].name, &suite[4].program).expect("maps");
+    let small = flow
+        .compare(&suite[0].name, &suite[0].program)
+        .expect("maps");
+    let large = flow
+        .compare(&suite[4].name, &suite[4].program)
+        .expect("maps");
     assert!(
         large.quale_overhead() > small.quale_overhead(),
         "QUALE overhead: small {} vs large {}",
@@ -154,7 +154,6 @@ fn batch_mapping_is_deterministic_across_thread_counts() {
     use qspr::{BatchJob, BatchMapper};
     use qspr_qasm::{random_program, RandomProgramConfig};
 
-    let fabric = Fabric::quale_45x85();
     let mut jobs: Vec<BatchJob> = (0..4)
         .map(|i| {
             BatchJob::new(
@@ -165,7 +164,7 @@ fn batch_mapping_is_deterministic_across_thread_counts() {
         .collect();
     jobs.push(BatchJob::from(benchmark_suite().swap_remove(0)));
 
-    let mapper = BatchMapper::new(&fabric, QsprConfig::fast());
+    let mapper = BatchMapper::new(fast_flow());
     let serial = mapper.clone().threads(1).run(&jobs).expect("maps");
     let parallel = mapper.threads(8).run(&jobs).expect("maps");
 
@@ -175,7 +174,11 @@ fn batch_mapping_is_deterministic_across_thread_counts() {
         .zip(serial.items.iter().zip(parallel.items.iter()))
     {
         assert_eq!(s.name, job.name, "input order preserved");
-        assert_eq!(s.row, p.row, "{}: thread count changed the result", job.name);
+        assert_eq!(
+            s.row, p.row,
+            "{}: thread count changed the result",
+            job.name
+        );
     }
 }
 
@@ -183,8 +186,7 @@ fn batch_mapping_is_deterministic_across_thread_counts() {
 fn batch_mapping_of_an_empty_suite_is_empty() {
     use qspr::BatchMapper;
 
-    let fabric = Fabric::quale_45x85();
-    let report = BatchMapper::new(&fabric, QsprConfig::fast())
+    let report = BatchMapper::new(fast_flow())
         .threads(4)
         .run(&[])
         .expect("empty batch is fine");

@@ -75,7 +75,9 @@ fn distance_7_codes_reject_all_weight_4_errors() {
     // A deeper prefix of the distance check than the unit tests run
     // (weight ≤ 4; the full weight-6 scan lives in the ignored tests).
     assert!(codes::nineteen_one_seven().min_distance_up_to(4).is_none());
-    assert!(codes::twenty_three_one_seven().min_distance_up_to(4).is_none());
+    assert!(codes::twenty_three_one_seven()
+        .min_distance_up_to(4)
+        .is_none());
 }
 
 #[test]

@@ -72,12 +72,7 @@ impl Bencher {
     }
 }
 
-fn run_one(
-    name: &str,
-    filter: Option<&str>,
-    samples: usize,
-    f: impl FnOnce(&mut Bencher),
-) {
+fn run_one(name: &str, filter: Option<&str>, samples: usize, f: impl FnOnce(&mut Bencher)) {
     if let Some(needle) = filter {
         if !name.contains(needle) {
             return;
@@ -177,11 +172,7 @@ impl Criterion {
     }
 
     /// Benchmarks a standalone closure.
-    pub fn bench_function<R: FnOnce(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        routine: R,
-    ) -> &mut Self {
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, name: &str, routine: R) -> &mut Self {
         run_one(name, self.filter.as_deref(), self.default_samples, routine);
         self
     }
@@ -224,7 +215,10 @@ mod tests {
 
     #[test]
     fn ids_format_like_criterion() {
-        assert_eq!(BenchmarkId::new("qspr", "[[5,1,3]]").to_string(), "qspr/[[5,1,3]]");
+        assert_eq!(
+            BenchmarkId::new("qspr", "[[5,1,3]]").to_string(),
+            "qspr/[[5,1,3]]"
+        );
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
     }
 

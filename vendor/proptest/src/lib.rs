@@ -250,7 +250,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -270,8 +270,7 @@ pub mod collection {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let len =
-                rand::Rng::gen_range(rng, self.size.lo..=self.size.hi_inclusive);
+            let len = rand::Rng::gen_range(rng, self.size.lo..=self.size.hi_inclusive);
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
     }
@@ -337,9 +336,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::core::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
-            );
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
         }
     };
 }
