@@ -1,0 +1,102 @@
+//! Compares the routing engines (greedy vs negotiated congestion)
+//! across the QECC benchmark suite, in the paper's standard
+//! capacity-2 configuration and in a harsher capacity-1 one.
+//!
+//! Both engines map from the same deterministic center placement under
+//! the same policy, so the delta isolates the routing subsystem. Shape
+//! checks (empirical, pinned on this fixed suite — the engine's
+//! structural never-worse guarantee is per epoch, not per program):
+//! the negotiated engine must never lose on any suite circuit in
+//! either configuration, and must strictly win on at least one
+//! *congested* case (a mapping whose negotiation actually fired).
+//!
+//! Usage: `cargo run -p qspr-bench --bin routers --release [--quick]`
+
+use qspr::{Flow, RouterKind};
+use qspr_bench::{quick_mode, Workbench};
+use qspr_fabric::TechParams;
+use qspr_sim::{MapperPolicy, MappingOutcome, Placement};
+
+fn map(
+    flow: &Flow,
+    kind: RouterKind,
+    program: &qspr_qasm::Program,
+    policy: MapperPolicy,
+) -> MappingOutcome {
+    let placement = Placement::center(flow.fabric(), program.num_qubits());
+    flow.clone()
+        .router(kind)
+        .map_with(program, policy, &placement)
+        .expect("benchmarks map cleanly")
+}
+
+fn main() {
+    let quick = quick_mode();
+    let wb = if quick {
+        Workbench::quick(3)
+    } else {
+        Workbench::load()
+    };
+    let flow = Flow::on(wb.fabric);
+
+    let configs: [(&str, TechParams); 2] = [
+        ("standard (capacity-2 channels)", TechParams::date2012()),
+        (
+            "congested (capacity-1 channels)",
+            TechParams::date2012().without_multiplexing(),
+        ),
+    ];
+
+    let mut congested_wins = 0usize;
+    for (label, tech) in configs {
+        println!("Routing engines — {label}, center placement");
+        println!(
+            "{:<12} {:>10} {:>13} {:>8} {:>8} | negotiated: iters, ripped, peak",
+            "circuit", "greedy µs", "negotiated µs", "delta", "delta %"
+        );
+        let flow = flow.clone().tech(tech);
+        let policy = MapperPolicy::qspr(&tech);
+        for bench in &wb.benchmarks {
+            let greedy = map(&flow, RouterKind::Greedy, &bench.program, policy);
+            let negotiated = map(&flow, RouterKind::Negotiated, &bench.program, policy);
+            let (g, n) = (greedy.latency(), negotiated.latency());
+            let delta = g as i64 - n as i64;
+            let stats = negotiated.routing_stats();
+            println!(
+                "{:<12} {:>10} {:>13} {:>8} {:>7.2}% | {} iters, {} ripped, peak {}",
+                bench.name,
+                g,
+                n,
+                delta,
+                100.0 * delta as f64 / g as f64,
+                stats.iterations,
+                stats.ripped,
+                stats.max_pressure,
+            );
+            assert!(
+                n <= g,
+                "{} ({label}): negotiated ({n}) must not lose to greedy ({g})",
+                bench.name
+            );
+            // A congested case: the negotiation had real conflicts to
+            // resolve (rip-up iterations fired).
+            if n < g && stats.iterations > 0 {
+                congested_wins += 1;
+            }
+        }
+        println!();
+    }
+    if quick {
+        // The quick suite keeps only the three small circuits, which
+        // map congestion-free; the strict-win check needs the big ones.
+        println!("Shape checks passed (quick): negotiated <= greedy everywhere.");
+        return;
+    }
+    assert!(
+        congested_wins >= 1,
+        "negotiated routing must strictly beat greedy on at least one congested circuit"
+    );
+    println!(
+        "Shape checks passed: negotiated <= greedy everywhere, {congested_wins} strict win(s) under congestion."
+    );
+}

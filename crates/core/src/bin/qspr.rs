@@ -1,24 +1,25 @@
 //! `qspr` — command-line front end for the QSPR mapper.
 //!
 //! ```text
-//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F] [--format FMT]
-//! qspr compare <file.qasm> [--m N] [--fabric F] [--format FMT]
-//! qspr suite [--m N] [--fabric F] [--format FMT]
-//! qspr batch [files...] [--suite] [--m N] [--threads T] [--fabric F] [--format FMT]
+//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--fabric F] [--format FMT]
+//! qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
+//! qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
+//! qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
 //! qspr fabric [--fabric F]
 //! qspr encode <CODE>
 //! qspr version
 //! ```
 //!
 //! `--fabric` takes either `quale45x85` (default) or a path to an ASCII
-//! fabric file; `--format` is `text` (default) or `json` (stable
-//! machine-readable schema); `CODE` is one of `5,1,3`, `7,1,3`,
-//! `9,1,3`, `14,8,3`, `19,1,7`, `23,1,7`.
+//! fabric file; `--router` is `greedy` (default) or `negotiated`
+//! (PathFinder-style rip-up-and-reroute); `--format` is `text`
+//! (default) or `json` (stable machine-readable schema); `CODE` is one
+//! of `5,1,3`, `7,1,3`, `9,1,3`, `14,8,3`, `19,1,7`, `23,1,7`.
 
 use std::process::ExitCode;
 
 use qspr::json::JsonArray;
-use qspr::{BatchJob, BatchMapper, Flow, FlowPolicy, QsprError, ToJson};
+use qspr::{BatchJob, BatchMapper, Flow, FlowPolicy, QsprError, RouterKind, ToJson};
 use qspr_fabric::Fabric;
 use qspr_qasm::Program;
 use qspr_qecc::codes;
@@ -38,10 +39,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  qspr map <file.qasm> [--policy qspr|quale|qpos] [--m N] [--trace] [--fabric F] [--format FMT]
-  qspr compare <file.qasm> [--m N] [--fabric F] [--format FMT]
-  qspr suite [--m N] [--fabric F] [--format FMT]
-  qspr batch [files...] [--suite] [--m N] [--threads T] [--fabric F] [--format FMT]
+  qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--fabric F] [--format FMT]
+  qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
+  qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
+  qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
   qspr fabric [--fabric F]
   qspr encode <CODE>          (5,1,3 | 7,1,3 | 9,1,3 | 14,8,3 | 19,1,7 | 23,1,7)
   qspr version
@@ -49,6 +50,7 @@ usage:
 options:
   --fabric F    quale45x85 (default) or a path to an ASCII fabric file
   --policy P    mapper policy for `map` (default qspr)
+  --router R    routing engine: greedy (default) or negotiated
   --m N         MVFB seed count (default 25)
   --threads T   worker threads for `batch` (default: all CPUs)
   --format FMT  output format: text (default) or json
@@ -73,7 +75,14 @@ struct Cli {
 
 impl Cli {
     fn parse(args: &[String]) -> Result<Cli, QsprError> {
-        const VALUE_FLAGS: [&str; 5] = ["--fabric", "--policy", "--m", "--threads", "--format"];
+        const VALUE_FLAGS: [&str; 6] = [
+            "--fabric",
+            "--policy",
+            "--router",
+            "--m",
+            "--threads",
+            "--format",
+        ];
         const SWITCHES: [&str; 2] = ["--trace", "--suite"];
         let mut positional = Vec::new();
         let mut options: Vec<(String, Option<String>)> = Vec::new();
@@ -137,6 +146,13 @@ impl Cli {
         }
     }
 
+    fn router(&self) -> Result<RouterKind, QsprError> {
+        match self.value("--router") {
+            None => Ok(RouterKind::Greedy),
+            Some(v) => v.parse().map_err(|e| QsprError::usage(format!("{e}"))),
+        }
+    }
+
     fn format(&self) -> Result<OutputFormat, QsprError> {
         match self.value("--format") {
             None | Some("text") => Ok(OutputFormat::Text),
@@ -157,9 +173,12 @@ impl Cli {
         }
     }
 
-    /// A flow on the selected fabric with the selected seed count.
+    /// A flow on the selected fabric with the selected seed count and
+    /// routing engine.
     fn flow(&self) -> Result<Flow, QsprError> {
-        Ok(Flow::on(self.fabric()?).seeds(self.m()?))
+        Ok(Flow::on(self.fabric()?)
+            .seeds(self.m()?)
+            .router(self.router()?))
     }
 }
 
@@ -219,6 +238,7 @@ fn cmd_map(cli: &Cli) -> Result<(), QsprError> {
                 }
                 other => println!("policy          {other}"),
             }
+            println!("router          {}", result.router);
             println!("latency         {}µs", result.latency);
             println!("ideal baseline  {}µs", flow.ideal_latency(&program));
             println!("placement runs  {}", result.runs);
@@ -230,6 +250,11 @@ fn cmd_map(cli: &Cli) -> Result<(), QsprError> {
             println!(
                 "congestion wait {}µs total",
                 result.outcome.totals().congestion_wait
+            );
+            let routing = result.outcome.routing_stats();
+            println!(
+                "routing epochs  {} ({} rip iterations, {} ripped routes, peak pressure {})",
+                routing.epochs, routing.iterations, routing.ripped, routing.max_pressure
             );
             if let Some(trace) = &result.forward_trace {
                 println!("\ntrace ({} commands):", trace.len());
@@ -439,6 +464,50 @@ mod tests {
     fn default_m_is_25() {
         let cli = Cli::parse(&[]).unwrap();
         assert_eq!(cli.m().unwrap(), 25);
+    }
+
+    #[test]
+    fn router_flag_parses_and_validates() {
+        assert_eq!(
+            Cli::parse(&[]).unwrap().router().unwrap(),
+            RouterKind::Greedy
+        );
+        assert_eq!(
+            Cli::parse(&strings(&["--router", "greedy"]))
+                .unwrap()
+                .router()
+                .unwrap(),
+            RouterKind::Greedy
+        );
+        assert_eq!(
+            Cli::parse(&strings(&["--router", "negotiated"]))
+                .unwrap()
+                .router()
+                .unwrap(),
+            RouterKind::Negotiated
+        );
+        // A bad value is a usage error (exit 1 + usage text).
+        let err = Cli::parse(&strings(&["--router", "fancy"]))
+            .unwrap()
+            .router()
+            .unwrap_err();
+        assert!(matches!(err, QsprError::Usage(_)));
+        assert!(err.to_string().contains("unknown router \"fancy\""));
+        // A missing value is caught by the parser.
+        let err = Cli::parse(&strings(&["--router"])).unwrap_err();
+        assert_eq!(err.to_string(), "flag --router needs a value");
+        // Duplicates are rejected like every other value flag.
+        assert!(Cli::parse(&strings(&["--router", "greedy", "--router", "negotiated"])).is_err());
+    }
+
+    #[test]
+    fn router_flag_feeds_the_flow() {
+        let cli = Cli::parse(&strings(&["--router", "negotiated"])).unwrap();
+        assert_eq!(cli.flow().unwrap().router_name(), "negotiated");
+        assert_eq!(
+            Cli::parse(&[]).unwrap().flow().unwrap().router_name(),
+            "greedy"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 use qspr_fabric::{Fabric, TechParams, Time};
 use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer, PassDirection, Placer, PlacerSolution};
 use qspr_qasm::Program;
+use qspr_route::{RouterFactory, RouterKind, RoutingStats};
 use qspr_sched::Qidg;
 use qspr_sim::{Mapper, MapperPolicy, MappingOutcome, Placement, Trace};
 
@@ -116,6 +117,7 @@ pub struct Flow {
     policy: FlowPolicy,
     mvfb: MvfbConfig,
     placer: Option<Arc<dyn Placer + Send + Sync>>,
+    router: Arc<dyn RouterFactory + Send + Sync>,
     record_trace: bool,
 }
 
@@ -133,6 +135,7 @@ impl Flow {
             policy: FlowPolicy::Qspr,
             mvfb: MvfbConfig::new(100, 0xD57E_2012),
             placer: None,
+            router: Arc::new(RouterKind::Greedy),
             record_trace: false,
         }
     }
@@ -154,6 +157,15 @@ impl Flow {
     /// specify their own (center) placement.
     pub fn placer(mut self, placer: impl Placer + Send + Sync + 'static) -> Flow {
         self.placer = Some(Arc::new(placer));
+        self
+    }
+
+    /// Selects the batch-routing engine: a [`RouterKind`] for the
+    /// built-in greedy/negotiated engines, or any custom
+    /// [`RouterFactory`]. Applies to every policy this flow runs
+    /// (including the QUALE/QPOS baselines of [`Flow::compare`]).
+    pub fn router(mut self, router: impl RouterFactory + Send + Sync + 'static) -> Flow {
+        self.router = Arc::new(router);
         self
     }
 
@@ -208,8 +220,13 @@ impl Flow {
         }
     }
 
+    /// The name of the active routing engine.
+    pub fn router_name(&self) -> &str {
+        self.router.name()
+    }
+
     fn mapper(&self, policy: MapperPolicy) -> Mapper<'_> {
-        Mapper::new(&self.fabric, self.tech, policy)
+        Mapper::new(&self.fabric, self.tech, policy).router(Arc::clone(&self.router))
     }
 
     /// Runs the flow on `program`.
@@ -285,6 +302,7 @@ impl Flow {
                 FlowPolicy::Qspr => self.placer_name().to_owned(),
                 FlowPolicy::Quale | FlowPolicy::Qpos => "center".to_owned(),
             },
+            router: self.router_name().to_owned(),
             latency,
             direction: solution.direction,
             initial_placement: solution.initial_placement,
@@ -373,6 +391,7 @@ impl fmt::Debug for Flow {
             )
             .field("policy", &self.policy)
             .field("placer", &self.placer_name())
+            .field("router", &self.router_name())
             .field("mvfb", &self.mvfb)
             .field("record_trace", &self.record_trace)
             .finish()
@@ -386,6 +405,8 @@ pub struct FlowResult {
     pub policy: FlowPolicy,
     /// Name of the placement engine used (`"mvfb"` unless swapped).
     pub placer: String,
+    /// Name of the routing engine used (`"greedy"` unless swapped).
+    pub router: String,
     /// Best mapped execution latency (µs).
     pub latency: Time,
     /// Direction of the winning placement pass.
@@ -411,6 +432,7 @@ impl FlowResult {
         FlowSummary {
             policy: self.policy,
             placer: self.placer.clone(),
+            router: self.router.clone(),
             latency: self.latency,
             direction: self.direction,
             runs: self.runs,
@@ -418,6 +440,7 @@ impl FlowResult {
             moves: totals.moves,
             turns: totals.turns,
             congestion_wait: totals.congestion_wait,
+            routing: self.outcome.routing_stats(),
             trace_commands: self.forward_trace.as_ref().map(|t| t.len()),
         }
     }
@@ -430,6 +453,8 @@ pub struct FlowSummary {
     pub policy: FlowPolicy,
     /// Name of the placement engine used.
     pub placer: String,
+    /// Name of the routing engine used.
+    pub router: String,
     /// Best mapped execution latency (µs).
     pub latency: Time,
     /// Direction of the winning placement pass.
@@ -444,22 +469,34 @@ pub struct FlowSummary {
     pub turns: u64,
     /// Total congestion wait (µs) across instructions.
     pub congestion_wait: Time,
+    /// Routing-engine congestion stats of the winning mapping.
+    pub routing: RoutingStats,
     /// Command count of the recorded trace, when one was recorded.
     pub trace_commands: Option<usize>,
 }
 
 impl ToJson for FlowSummary {
+    /// Stable JSON schema, pinned by the golden test in [`crate::json`]:
+    /// `{"policy","placer","router","latency_us","direction","runs",
+    /// "cpu_ms","moves","turns","congestion_wait_us","epochs",
+    /// "rip_iterations","ripped_routes","max_segment_pressure"
+    /// [,"trace_commands"]}`.
     fn to_json(&self) -> String {
         let mut obj = JsonObject::new()
             .string("policy", self.policy.as_str())
             .string("placer", &self.placer)
+            .string("router", &self.router)
             .number("latency_us", self.latency)
             .string("direction", self.direction.as_str())
             .number("runs", self.runs as u64)
             .number("cpu_ms", self.cpu_ms)
             .number("moves", self.moves)
             .number("turns", self.turns)
-            .number("congestion_wait_us", self.congestion_wait);
+            .number("congestion_wait_us", self.congestion_wait)
+            .number("epochs", self.routing.epochs)
+            .number("rip_iterations", self.routing.iterations)
+            .number("ripped_routes", self.routing.ripped)
+            .number("max_segment_pressure", u64::from(self.routing.max_pressure));
         if let Some(n) = self.trace_commands {
             obj = obj.number("trace_commands", n as u64);
         }
@@ -611,9 +648,34 @@ C-Z q4,q0
         let flow = fast_flow().record_trace(true);
         let summary = flow.run(&program()).unwrap().summary();
         let json = summary.to_json();
-        assert!(json.starts_with(r#"{"policy":"qspr","placer":"mvfb","latency_us":"#));
+        assert!(
+            json.starts_with(r#"{"policy":"qspr","placer":"mvfb","router":"greedy","latency_us":"#)
+        );
         assert!(json.contains(&format!(r#""direction":"{}""#, summary.direction.as_str())));
+        assert!(json.contains(r#""epochs":"#));
+        assert!(json.contains(r#""max_segment_pressure":"#));
         assert!(json.contains(r#""trace_commands":"#));
+    }
+
+    #[test]
+    fn router_builder_selects_engines() {
+        use qspr_route::RouterKind;
+
+        let flow = fast_flow();
+        assert_eq!(flow.router_name(), "greedy");
+        let negotiated = flow.clone().router(RouterKind::Negotiated);
+        assert_eq!(negotiated.router_name(), "negotiated");
+
+        let program = program();
+        let greedy_result = flow.run(&program).unwrap();
+        let negotiated_result = negotiated.run(&program).unwrap();
+        assert_eq!(greedy_result.router, "greedy");
+        assert_eq!(negotiated_result.router, "negotiated");
+        // Epochs are counted for both engines; rip-up only for the
+        // negotiated one.
+        assert!(greedy_result.outcome.routing_stats().epochs > 0);
+        assert_eq!(greedy_result.outcome.routing_stats().iterations, 0);
+        assert!(negotiated_result.outcome.routing_stats().epochs > 0);
     }
 
     #[test]

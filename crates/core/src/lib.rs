@@ -15,6 +15,11 @@
 //! * [`FlowPolicy`] — QSPR or the paper's **QUALE**/**QPOS** baselines,
 //!   selected with one builder call; the **ideal** lower bound
 //!   (`T_routing = T_congestion = 0`) is [`Flow::ideal_latency`];
+//! * [`RouterKind`] — the batch-routing engine behind the mapper:
+//!   `Greedy` (sequential first-answer routing) or `Negotiated`
+//!   (PathFinder-style rip-up-and-reroute), selected with
+//!   [`Flow::router`]; per-run congestion stats land in
+//!   [`FlowSummary`];
 //! * [`QsprError`] — the workspace-wide error enum wrapping parse,
 //!   fabric, mapping, batch and I/O failures;
 //! * [`BatchMapper`] — the same flow over a whole suite of circuits on
@@ -45,21 +50,10 @@
 //!
 //! # Migrating from `QsprTool`
 //!
-//! [`QsprTool`] (deprecated) borrowed its fabric and hardcoded the MVFB
-//! placer. The replacement is mechanical:
-//!
-//! | old | new |
-//! |---|---|
-//! | `QsprTool::new(&fabric, QsprConfig::paper())` | `Flow::on(fabric)` |
-//! | `QsprTool::new(&fabric, QsprConfig::fast())` | `Flow::on(fabric).seeds(4)` |
-//! | `config.record_trace = true` | `.record_trace(true)` |
-//! | `tool.map(&p)?` | `flow.run(&p)?` |
-//! | `tool.map_quale(&p)?` | `flow.clone().policy(FlowPolicy::Quale).run(&p)?.outcome` |
-//! | `tool.map_qpos(&p)?` | `flow.clone().policy(FlowPolicy::Qpos).run(&p)?.outcome` |
-//! | `tool.compare(name, &p)?` | `flow.compare(name, &p)?` |
-//! | `tool.compare_placers(name, &p)?` | `flow.compare_placers(name, &p)?` |
-//! | `BatchMapper::new(&fabric, config)` | `BatchMapper::new(flow)` |
-//! | `Result<_, MapError>` | `Result<_, QsprError>` (wraps `MapError`) |
+//! The deprecated `QsprTool` facade was removed after its one-release
+//! grace period; [`Flow`] is the only front door. The call-by-call
+//! migration table lives in the README's "Migrating from `QsprTool`"
+//! section.
 
 mod ablation;
 mod batch;
@@ -68,7 +62,6 @@ mod flow;
 pub mod json;
 mod noise;
 mod report;
-mod tool;
 
 pub use ablation::ablation_policies;
 pub use batch::{BatchError, BatchItem, BatchJob, BatchMapper, BatchReport};
@@ -77,9 +70,8 @@ pub use flow::{Flow, FlowPolicy, FlowResult, FlowSummary};
 pub use json::ToJson;
 pub use noise::NoiseModel;
 pub use report::{ComparisonRow, PlacerComparisonRow};
-#[allow(deprecated)]
-pub use tool::QsprTool;
-pub use tool::{QsprConfig, QsprResult};
+// The routing-engine seam, re-exported for `Flow::router` callers.
+pub use qspr_route::{RouterFactory, RouterKind, RoutingEngine, RoutingStats};
 
 // Re-export the layered API so downstream users need only one dependency.
 pub use qspr_fabric as fabric;

@@ -16,7 +16,13 @@
 //!   the simulator charges the cost the router ignored;
 //! * an optional PathFinder-style *history* term (`history_cost`)
 //!   penalizes repeatedly used channels, standing in for QUALE's
-//!   negotiated-congestion router.
+//!   negotiated-congestion router;
+//! * the [`engine`] module lifts single-path queries to *batch* routing:
+//!   an object-safe [`RoutingEngine`] seam with a [`GreedyRouter`]
+//!   (sequential first-answer routing) and a [`NegotiatedRouter`]
+//!   (full PathFinder rip-up-and-reroute over every mover of a
+//!   scheduling epoch), selected via [`RouterKind`] or injected through
+//!   [`RouterFactory`].
 //!
 //! Routes are returned as cell-level [`RoutePlan`]s: a list of
 //! [`Step`]s (`Move`/`Turn`) plus the [`Resource`]s (segments, junctions)
@@ -44,6 +50,7 @@
 //! );
 //! ```
 
+pub mod engine;
 mod plan;
 // Test-only: keeps `proptest` a dev-dependency and the module out of
 // release builds entirely (the file's inner `#![cfg(test)]` alone would
@@ -53,6 +60,10 @@ mod proptests;
 mod resource;
 mod router;
 
+pub use engine::{
+    EpochStats, GreedyRouter, NegotiatedRouter, NegotiationConfig, ParseRouterKindError,
+    RouteRequest, RouterFactory, RouterKind, RoutingEngine, RoutingStats,
+};
 pub use plan::{ResourceUse, RoutePlan, Step};
 pub use resource::{Resource, ResourceState};
 pub use router::{Router, RouterConfig};

@@ -6,6 +6,8 @@ use proptest::prelude::*;
 
 use qspr_fabric::{Fabric, TechParams, TrapId};
 
+use crate::engine::{RouteRequest, RouterKind};
+use crate::plan::Step;
 use crate::resource::ResourceState;
 use crate::router::{Router, RouterConfig};
 
@@ -79,6 +81,96 @@ proptest! {
         }
         if let Some(under_load) = router.route(&loaded, from, to) {
             prop_assert!(under_load.est_cost() >= base.est_cost());
+        }
+    }
+
+    /// Epoch invariant, both engines: the joint batch answer respects
+    /// the channel/junction capacities at overlapping times. Every plan
+    /// of an epoch starts at once and holds each booked resource from
+    /// t = 0 until its exit offset, so two plans overlap on a resource
+    /// exactly when both book it — the per-resource plan count must
+    /// stay within capacity. Under capacity 1 this is the ISSUE's "no
+    /// two committed plans occupy the same segment at overlapping
+    /// times".
+    #[test]
+    fn batch_answers_respect_capacity_at_overlapping_times(
+        pairs in proptest::collection::vec((0usize..900, 0usize..900), 2..7),
+        seed_cap in 0u8..2,
+    ) {
+        let fabric = Fabric::quale_45x85();
+        let topo = fabric.topology();
+        let tech = TechParams::date2012();
+        let config = RouterConfig {
+            channel_capacity: 1 + seed_cap,
+            junction_capacity: 1 + seed_cap,
+            ..RouterConfig::qspr(&tech)
+        };
+        let n = topo.traps().len();
+        let requests: Vec<RouteRequest> = pairs
+            .iter()
+            .map(|&(a, b)| RouteRequest::new(TrapId((a % n) as u32), TrapId((b % n) as u32)))
+            .filter(|r| r.from != r.to)
+            .collect();
+        prop_assume!(!requests.is_empty());
+        for kind in [RouterKind::Greedy, RouterKind::Negotiated] {
+            let mut engine = kind.build(topo, config);
+            let state = ResourceState::new(topo);
+            let (plans, _epoch) = engine.route_batch(&state, &requests);
+            // Count overlapping occupancy per resource across the epoch.
+            let mut occupancy = ResourceState::new(topo);
+            for plan in plans.iter().flatten() {
+                for usage in plan.resources() {
+                    occupancy.book(usage.resource);
+                    let cap = match usage.resource {
+                        crate::Resource::Segment(_) => config.channel_capacity,
+                        crate::Resource::Junction(_) => config.junction_capacity,
+                    };
+                    prop_assert!(
+                        occupancy.usage(usage.resource) <= cap,
+                        "{kind}: {} over capacity {cap} in one epoch",
+                        usage.resource
+                    );
+                }
+            }
+        }
+    }
+
+    /// Plan invariant, both engines: `RoutePlan::duration` equals the
+    /// sum of its steps' durations (each `Move` costs `t_move`, each
+    /// `Turn` costs `t_turn`).
+    #[test]
+    fn plan_duration_is_the_sum_of_step_durations(
+        pairs in proptest::collection::vec((0usize..900, 0usize..900), 1..6),
+    ) {
+        let fabric = Fabric::quale_45x85();
+        let topo = fabric.topology();
+        let tech = TechParams::date2012();
+        let config = RouterConfig::qspr(&tech);
+        let n = topo.traps().len();
+        let requests: Vec<RouteRequest> = pairs
+            .iter()
+            .map(|&(a, b)| RouteRequest::new(TrapId((a % n) as u32), TrapId((b % n) as u32)))
+            .collect();
+        for kind in [RouterKind::Greedy, RouterKind::Negotiated] {
+            let mut engine = kind.build(topo, config);
+            let state = ResourceState::new(topo);
+            let (plans, _epoch) = engine.route_batch(&state, &requests);
+            for plan in plans.iter().flatten() {
+                let stepped: u64 = plan
+                    .steps()
+                    .iter()
+                    .map(|s| match s {
+                        Step::Move { .. } => config.t_move,
+                        Step::Turn { .. } => config.t_turn,
+                    })
+                    .sum();
+                prop_assert_eq!(plan.duration(), stepped, "{} plan", kind);
+                prop_assert_eq!(
+                    plan.duration(),
+                    u64::from(plan.moves()) * config.t_move
+                        + u64::from(plan.turns()) * config.t_turn
+                );
+            }
         }
     }
 

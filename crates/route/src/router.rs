@@ -73,6 +73,33 @@ impl RouterConfig {
 
 const INF: u64 = u64::MAX;
 
+/// Extra congestion context layered over a [`ResourceState`] for one
+/// routing query, used by the negotiated-congestion engine
+/// ([`crate::NegotiatedRouter`]): batch-internal bookings that are not
+/// yet committed to the shared state, PathFinder present/history
+/// penalty terms, and a *soft* mode in which over-capacity resources
+/// become expensive instead of impassable (the rip-up-and-reroute
+/// iterations need to see *how* contended a resource is, not just that
+/// it is full).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Overlay<'o> {
+    /// Per-segment usage added on top of the shared state.
+    pub extra_segments: &'o [u8],
+    /// Per-junction usage added on top of the shared state.
+    pub extra_junctions: &'o [u8],
+    /// When set, over-capacity resources cost a penalty per unit of
+    /// overuse instead of blocking the path outright.
+    pub soft: bool,
+    /// Cost charged per unit of present overuse (soft mode only).
+    pub pres_weight: u64,
+    /// Per-segment history counters maintained by the engine across
+    /// negotiation rounds (separate from the router's own
+    /// `history_cost` table).
+    pub history: &'o [u32],
+    /// Cost charged per unit of history on a segment.
+    pub hist_weight: u64,
+}
+
 /// How a Dijkstra node was reached, for path reconstruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Prev {
@@ -121,11 +148,28 @@ impl<'a> Router<'a> {
         &self.config
     }
 
+    /// The topology this router operates on.
+    pub fn topology(&self) -> &'a Topology {
+        self.topology
+    }
+
     /// Finds the cheapest route from trap `from` to trap `to` under the
     /// current bookings in `state`, or `None` when every path is blocked
     /// by full channels/junctions (the instruction then waits in the busy
     /// queue).
     pub fn route(&self, state: &ResourceState, from: TrapId, to: TrapId) -> Option<RoutePlan> {
+        self.route_with(state, from, to, None)
+    }
+
+    /// [`Router::route`] with an optional congestion [`Overlay`] (the
+    /// negotiated-congestion engine's window into the search).
+    pub(crate) fn route_with(
+        &self,
+        state: &ResourceState,
+        from: TrapId,
+        to: TrapId,
+        overlay: Option<&Overlay<'_>>,
+    ) -> Option<RoutePlan> {
         if from == to {
             return Some(RoutePlan::stationary(from));
         }
@@ -138,7 +182,7 @@ impl<'a> Router<'a> {
         let mut best_direct: Option<u64> = None;
         if pf.segment == pt.segment {
             let moves = u32::from(pf.offset.abs_diff(pt.offset));
-            if let Some(w) = self.segment_weight(state, pf.segment, moves) {
+            if let Some(w) = self.segment_weight(state, pf.segment, moves, overlay) {
                 best_direct = Some(2 * t_move + w);
             }
         }
@@ -154,15 +198,15 @@ impl<'a> Router<'a> {
             let SegmentEnd::Junction(j) = src_seg.ends()[end] else {
                 continue;
             };
-            if !self.junction_open(state, j) {
+            let Some(toll) = self.junction_toll(state, j, overlay) else {
                 continue;
-            }
+            };
             let moves = src_seg.moves_to_end(pf.offset, end);
-            let Some(w) = self.segment_weight(state, pf.segment, moves) else {
+            let Some(w) = self.segment_weight(state, pf.segment, moves, overlay) else {
                 continue;
             };
             let node = node_id(j, src_seg.orientation());
-            let cost = t_move + w;
+            let cost = (t_move + w).saturating_add(toll);
             if cost < dist[node] {
                 dist[node] = cost;
                 prev[node] = Prev::Start { end };
@@ -201,15 +245,18 @@ impl<'a> Router<'a> {
                 let SegmentEnd::Junction(j2) = seg.ends()[1 - my_end] else {
                     continue;
                 };
-                if j2 == j || !self.junction_open(state, j2) {
+                if j2 == j {
                     continue;
                 }
+                let Some(toll2) = self.junction_toll(state, j2, overlay) else {
+                    continue;
+                };
                 let moves = u32::from(seg.len()) + 1;
-                let Some(w) = self.segment_weight(state, seg_id, moves) else {
+                let Some(w) = self.segment_weight(state, seg_id, moves, overlay) else {
                     continue;
                 };
                 let next = node_id(j2, orient);
-                let next_cost = cost.saturating_add(w);
+                let next_cost = cost.saturating_add(w).saturating_add(toll2);
                 if next_cost < dist[next] {
                     dist[next] = next_cost;
                     prev[next] = Prev::Seg {
@@ -233,7 +280,7 @@ impl<'a> Router<'a> {
                 continue;
             }
             let moves = dst_seg.moves_to_end(pt.offset, end);
-            let Some(w) = self.segment_weight(state, pt.segment, moves) else {
+            let Some(w) = self.segment_weight(state, pt.segment, moves, overlay) else {
                 continue;
             };
             let cost = dist[node].saturating_add(w).saturating_add(t_move);
@@ -271,20 +318,71 @@ impl<'a> Router<'a> {
         self.history[seg.index()]
     }
 
-    fn segment_weight(&self, state: &ResourceState, seg: SegmentId, moves: u32) -> Option<u64> {
-        let n = state.usage(Resource::Segment(seg));
-        if n >= self.config.channel_capacity {
+    fn segment_weight(
+        &self,
+        state: &ResourceState,
+        seg: SegmentId,
+        moves: u32,
+        overlay: Option<&Overlay<'_>>,
+    ) -> Option<u64> {
+        let mut n = state.usage(Resource::Segment(seg));
+        if let Some(ov) = overlay {
+            n = n.saturating_add(ov.extra_segments[seg.index()]);
+        }
+        let cap = self.config.channel_capacity;
+        let soft = overlay.is_some_and(|ov| ov.soft);
+        if n >= cap && !soft {
             return None;
         }
-        let mut w = u64::from(n + 1) * u64::from(moves) * self.config.t_move;
+        // Hard mode keeps the paper's Eq. 2 congestion-spreading weight.
+        // Soft (negotiation) mode is latency-true PathFinder instead:
+        // sharing below capacity is physically free in this fabric
+        // model, so the base cost is plain travel time and only
+        // *overuse* is priced.
+        let mut w = if soft {
+            u64::from(moves) * self.config.t_move
+        } else {
+            u64::from(n + 1) * u64::from(moves) * self.config.t_move
+        };
+        if n >= cap {
+            let overuse = u64::from(n + 1 - cap);
+            let ov = overlay.expect("soft mode implies an overlay");
+            w = w.saturating_add(overuse.saturating_mul(ov.pres_weight));
+        }
         if self.config.history_cost {
             w += u64::from(self.history[seg.index()]) * self.config.t_move;
+        }
+        if let Some(ov) = overlay {
+            let h = u64::from(ov.history[seg.index()]);
+            w = w.saturating_add(h.saturating_mul(ov.hist_weight));
         }
         Some(w)
     }
 
-    fn junction_open(&self, state: &ResourceState, j: qspr_fabric::JunctionId) -> bool {
-        state.usage(Resource::Junction(j)) < self.config.junction_capacity
+    /// The extra cost of passing through junction `j`: `Some(0)` when it
+    /// has spare capacity, `None` when full (hard mode), or a present-
+    /// congestion penalty when full in soft mode.
+    fn junction_toll(
+        &self,
+        state: &ResourceState,
+        j: qspr_fabric::JunctionId,
+        overlay: Option<&Overlay<'_>>,
+    ) -> Option<u64> {
+        let mut n = state.usage(Resource::Junction(j));
+        if let Some(ov) = overlay {
+            n = n.saturating_add(ov.extra_junctions[j.index()]);
+        }
+        let cap = self.config.junction_capacity;
+        if n < cap {
+            return Some(0);
+        }
+        match overlay {
+            Some(ov) if ov.soft => {
+                let overuse = u64::from(n + 1 - cap);
+                Some(overuse.saturating_mul(ov.pres_weight))
+            }
+            _ => None,
+        }
     }
 
     /// Builds the plan for a same-segment route.

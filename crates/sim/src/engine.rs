@@ -2,10 +2,15 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
 
 use qspr_fabric::{Coord, Fabric, TechParams, Time, Topology, TrapId};
 use qspr_qasm::{Operands, Program, QubitId};
-use qspr_route::{Resource, ResourceState, RoutePlan, Router, Step};
+use qspr_route::{
+    Resource, ResourceState, RoutePlan, RouteRequest, RouterFactory, RouterKind, RoutingEngine,
+    Step,
+};
 use qspr_sched::{InstrId, Qidg};
 
 use crate::error::MapError;
@@ -18,11 +23,12 @@ use crate::trace::{MicroCommand, Trace, TraceEntry};
 ///
 /// The mapper is reusable: each call to [`Mapper::map`] runs an
 /// independent simulation. See the crate docs for an end-to-end example.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Mapper<'a> {
     fabric: &'a Fabric,
     tech: TechParams,
     policy: MapperPolicy,
+    router: Arc<dyn RouterFactory + Send + Sync>,
     record_trace: bool,
 }
 
@@ -33,8 +39,22 @@ impl<'a> Mapper<'a> {
             fabric,
             tech,
             policy,
+            router: Arc::new(RouterKind::Greedy),
             record_trace: false,
         }
+    }
+
+    /// Selects the batch-routing engine (a [`RouterKind`] for the
+    /// built-in greedy/negotiated engines, or any custom
+    /// [`RouterFactory`]). Defaults to [`RouterKind::Greedy`].
+    pub fn router(mut self, router: impl RouterFactory + Send + Sync + 'static) -> Mapper<'a> {
+        self.router = Arc::new(router);
+        self
+    }
+
+    /// The name of the active routing engine.
+    pub fn router_name(&self) -> &str {
+        self.router.name()
     }
 
     /// Enables or disables micro-command trace recording (off by default;
@@ -90,6 +110,20 @@ impl<'a> Mapper<'a> {
     }
 }
 
+impl fmt::Debug for Mapper<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mapper")
+            .field(
+                "fabric",
+                &format_args!("{}x{}", self.fabric.rows(), self.fabric.cols()),
+            )
+            .field("policy", &self.policy)
+            .field("router", &self.router.name())
+            .field("record_trace", &self.record_trace)
+            .finish()
+    }
+}
+
 /// A scheduled simulator event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Event {
@@ -135,12 +169,35 @@ impl BusyItem {
     }
 }
 
+/// What a routed leg serves: an instruction operand (fires `Arrived`)
+/// or a storage-model shuttle home (fires `ReturnedHome`).
+#[derive(Debug, Clone, Copy)]
+enum LegOwner {
+    Instr(InstrId),
+    Return(QubitId),
+}
+
+/// A leg committed during the current scheduling epoch whose
+/// finalization (events, stats, trace) waits until the epoch's full
+/// mover set is known, so a refining engine can still swap its plan.
+#[derive(Debug, Clone)]
+struct EpochLeg {
+    qubit: QubitId,
+    plan: RoutePlan,
+    owner: LegOwner,
+}
+
 struct Sim<'m, 'a> {
     mapper: &'m Mapper<'a>,
     topo: &'a Topology,
     qidg: &'m Qidg,
     order_key: Vec<f64>,
-    router: Router<'a>,
+    engine: Box<dyn RoutingEngine + 'a>,
+    /// Engine implements epoch refinement: buffer legs per issue phase
+    /// and let it rip up and re-route the joint set before events are
+    /// scheduled.
+    defer_epoch: bool,
+    epoch_legs: Vec<EpochLeg>,
     resources: ResourceState,
     /// Per-trap count of physically present plus reserved qubits.
     trap_occupancy: Vec<u8>,
@@ -203,8 +260,11 @@ impl<'m, 'a> Sim<'m, 'a> {
             .topo_order()
             .filter(|id| pending[id.index()] == 0)
             .collect();
+        let engine = mapper.router.build(topo, mapper.policy.router);
         Sim {
-            router: Router::new(topo, mapper.policy.router),
+            defer_epoch: engine.refines(),
+            epoch_legs: Vec::new(),
+            engine,
             resources: ResourceState::new(topo),
             mapper,
             topo,
@@ -258,11 +318,13 @@ impl<'m, 'a> Sim<'m, 'a> {
         let final_placement = Placement::new(self.qubit_trap.clone())
             .expect("occupancy bookkeeping caps traps at two qubits");
         let trace = self.trace.take().map(Trace::new);
+        let routing = self.engine.stats();
         Ok(MappingOutcome::new(
             latency,
             self.stats,
             final_placement,
             trace,
+            routing,
         ))
     }
 
@@ -364,6 +426,85 @@ impl<'m, 'a> Sim<'m, 'a> {
                 break;
             }
         }
+        self.finalize_epoch();
+    }
+
+    /// Ends the current scheduling epoch: a refining engine gets one
+    /// shot at rip-up-and-reroute over every leg committed this phase,
+    /// then each leg's events, stats and trace are realized.
+    fn finalize_epoch(&mut self) {
+        if self.epoch_legs.is_empty() {
+            return;
+        }
+        let mut legs = std::mem::take(&mut self.epoch_legs);
+        if legs.len() >= 2 {
+            // Rip the epoch's bookings out, offer the joint set to the
+            // engine, and book whatever survives (the incumbents when
+            // the engine declines).
+            for leg in &legs {
+                for usage in leg.plan.resources() {
+                    self.resources.release(usage.resource);
+                }
+            }
+            let incumbents: Vec<RoutePlan> = legs.iter().map(|l| l.plan.clone()).collect();
+            if let Some(better) = self.engine.refine_epoch(&self.resources, &incumbents) {
+                debug_assert_eq!(better.len(), legs.len());
+                for (leg, plan) in legs.iter_mut().zip(better) {
+                    debug_assert_eq!(leg.plan.from_trap(), plan.from_trap());
+                    debug_assert_eq!(leg.plan.to_trap(), plan.to_trap());
+                    leg.plan = plan;
+                }
+                // The adopted set books different resources; blocked
+                // work may be routable now.
+                self.resources_changed = true;
+            }
+            for leg in &legs {
+                for usage in leg.plan.resources() {
+                    self.resources.book(usage.resource);
+                }
+            }
+        }
+        for leg in legs {
+            self.finalize_leg(leg.qubit, &leg.plan, leg.owner);
+        }
+    }
+
+    /// Realizes one committed leg: instruction stats, release/arrival
+    /// events, and the motion trace.
+    fn finalize_leg(&mut self, qubit: QubitId, plan: &RoutePlan, owner: LegOwner) {
+        // History terms must see the plan that actually executes, which
+        // for refining engines is only fixed at finalization time.
+        self.engine.note_booked(plan);
+        if let LegOwner::Instr(id) = owner {
+            self.stats[id.index()].moves += plan.moves();
+            self.stats[id.index()].turns += plan.turns();
+        }
+        for usage in plan.resources() {
+            self.schedule(
+                self.time + usage.exit_offset,
+                EventKind::Release(usage.resource),
+            );
+        }
+        match owner {
+            LegOwner::Instr(id) => {
+                self.schedule(self.time + plan.duration(), EventKind::Arrived(id))
+            }
+            LegOwner::Return(q) => {
+                self.schedule(self.time + plan.duration(), EventKind::ReturnedHome(q))
+            }
+        }
+        self.record_motion(qubit, plan);
+    }
+
+    /// Commits one routed mover: finalized immediately under a
+    /// non-refining engine (the historical behavior), or buffered until
+    /// the end of the epoch otherwise.
+    fn commit_motion(&mut self, qubit: QubitId, plan: RoutePlan, owner: LegOwner) {
+        if self.defer_epoch {
+            self.epoch_legs.push(EpochLeg { qubit, plan, owner });
+        } else {
+            self.finalize_leg(qubit, &plan, owner);
+        }
     }
 
     /// Attempts to issue one instruction; returns `false` when blocked.
@@ -431,21 +572,30 @@ impl<'m, 'a> Sim<'m, 'a> {
                     }
                 };
 
-                // Route the movers one after another so the second sees
-                // the first's bookings. A mover whose route is blocked
-                // becomes a *pending second leg*: it keeps its seat in the
-                // source trap (plus a reservation at the meeting trap) and
-                // is routed later, when channels free up. This staging is
-                // what keeps capacity-1 configurations live: two qubits
-                // can never share the meeting trap's port segment at once.
+                // Route the epoch's movers as one batch through the
+                // engine: the greedy engine reproduces the historical
+                // one-after-another behavior, the negotiated engine
+                // rips up and re-routes the joint answer. A mover whose
+                // route is blocked becomes a *pending second leg*: it
+                // keeps its seat in the source trap (plus a reservation
+                // at the meeting trap) and is routed later, when
+                // channels free up. This staging is what keeps
+                // capacity-1 configurations live: two qubits can never
+                // share the meeting trap's port segment at once.
+                let movers: Vec<(QubitId, TrapId)> = [(control, tc), (target, tt)]
+                    .into_iter()
+                    // SourceToDestination target stays put.
+                    .filter(|&(_, from)| from != meeting)
+                    .collect();
+                let requests: Vec<RouteRequest> = movers
+                    .iter()
+                    .map(|&(_, from)| RouteRequest::new(from, meeting))
+                    .collect();
+                let plans = self.route_with_epoch(&requests);
                 let mut routed: Vec<(QubitId, RoutePlan)> = Vec::with_capacity(2);
                 let mut blocked: Vec<QubitId> = Vec::new();
-                let movers: &[(QubitId, TrapId)] = &[(control, tc), (target, tt)];
-                for &(q, from) in movers {
-                    if from == meeting {
-                        continue; // SourceToDestination target stays put.
-                    }
-                    match self.router.route(&self.resources, from, meeting) {
+                for (&(q, _), plan) in movers.iter().zip(plans) {
+                    match plan {
                         Some(plan) => {
                             for usage in plan.resources() {
                                 self.resources.book(usage.resource);
@@ -519,7 +669,7 @@ impl<'m, 'a> Sim<'m, 'a> {
             let mut booked: Vec<RoutePlan> = Vec::new();
             let mut worst: Option<Time> = Some(0);
             for from in movers.iter().flatten() {
-                match self.router.route(&self.resources, *from, *meeting) {
+                match self.engine.route_one(&self.resources, *from, *meeting) {
                     Some(plan) => {
                         for usage in plan.resources() {
                             self.resources.book(usage.resource);
@@ -562,13 +712,12 @@ impl<'m, 'a> Sim<'m, 'a> {
         if self.trap_occupancy[dst_home.index()] >= 2 {
             return false;
         }
-        let Some(plan) = self.router.route(&self.resources, src_home, dst_home) else {
+        let Some(plan) = self.route_single(src_home, dst_home) else {
             return false;
         };
         for usage in plan.resources() {
             self.resources.book(usage.resource);
         }
-        self.router.note_booked(&plan);
         self.stats[id.index()].issued_at = self.time;
         self.gate_trap[id.index()] = dst_home;
         self.arrivals_needed[id.index()] = 1;
@@ -577,43 +726,83 @@ impl<'m, 'a> Sim<'m, 'a> {
         self.trap_occupancy[dst_home.index()] += 1;
         self.qubit_trap[control.index()] = dst_home;
         self.phys_trap[control.index()] = dst_home;
-        self.stats[id.index()].moves += plan.moves();
-        self.stats[id.index()].turns += plan.turns();
-        for usage in plan.resources() {
-            self.schedule(
-                self.time + usage.exit_offset,
-                EventKind::Release(usage.resource),
-            );
-        }
-        self.schedule(self.time + plan.duration(), EventKind::Arrived(id));
-        self.record_motion(control, &plan);
+        self.commit_motion(control, plan, LegOwner::Instr(id));
         self.resources_changed = true;
         true
+    }
+
+    /// Routes one mover through the engine as a single-request epoch.
+    fn route_single(&mut self, from: TrapId, to: TrapId) -> Option<RoutePlan> {
+        let mut plans = self.route_with_epoch(&[RouteRequest::new(from, to)]);
+        plans.pop().flatten()
+    }
+
+    /// Routes `requests` through the engine. When some movers come back
+    /// blocked and the engine refines epochs, the epoch's still
+    /// uncommitted legs are ripped up and negotiated *jointly* with the
+    /// new movers — rerouting an earlier leg can clear the channel a
+    /// blocked mover needs, letting it issue this epoch instead of
+    /// waiting out the congestion. The epoch legs always stay fully
+    /// routed; the joint answer is only adopted when it strictly
+    /// unblocks movers.
+    fn route_with_epoch(&mut self, requests: &[RouteRequest]) -> Vec<Option<RoutePlan>> {
+        let (plans, _epoch) = self.engine.route_batch(&self.resources, requests);
+        if !self.defer_epoch || self.epoch_legs.is_empty() || plans.iter().all(Option::is_some) {
+            return plans;
+        }
+        // Rip the epoch's tentative bookings and renegotiate everything
+        // together.
+        for leg in &self.epoch_legs {
+            for usage in leg.plan.resources() {
+                self.resources.release(usage.resource);
+            }
+        }
+        let joint: Vec<RouteRequest> = self
+            .epoch_legs
+            .iter()
+            .map(|l| RouteRequest::new(l.plan.from_trap(), l.plan.to_trap()))
+            .chain(requests.iter().copied())
+            .collect();
+        let (mut joint_plans, _epoch) = self.engine.route_batch(&self.resources, &joint);
+        let new_plans = joint_plans.split_off(self.epoch_legs.len());
+        let legs_stay_routed = joint_plans.iter().all(Option::is_some);
+        let unblocked = new_plans.iter().flatten().count() > plans.iter().flatten().count();
+        if legs_stay_routed && unblocked {
+            for (leg, plan) in self.epoch_legs.iter_mut().zip(joint_plans) {
+                leg.plan = plan.expect("checked: all legs routed");
+            }
+            for leg in &self.epoch_legs {
+                for usage in leg.plan.resources() {
+                    self.resources.book(usage.resource);
+                }
+            }
+            new_plans
+        } else {
+            // Keep the incumbents; the movers stay blocked for now.
+            for leg in &self.epoch_legs {
+                for usage in leg.plan.resources() {
+                    self.resources.book(usage.resource);
+                }
+            }
+            plans
+        }
     }
 
     /// Routes a finished visitor back to its home trap.
     fn try_return_leg(&mut self, q: QubitId) -> bool {
         let from = self.return_from[q.index()].expect("return leg is pending");
         let home = self.home_trap[q.index()];
-        let Some(plan) = self.router.route(&self.resources, from, home) else {
+        let Some(plan) = self.route_single(from, home) else {
             return false;
         };
         for usage in plan.resources() {
             self.resources.book(usage.resource);
         }
-        self.router.note_booked(&plan);
         self.return_from[q.index()] = None;
         self.trap_occupancy[from.index()] -= 1;
         self.qubit_trap[q.index()] = home;
         self.phys_trap[q.index()] = home;
-        for usage in plan.resources() {
-            self.schedule(
-                self.time + usage.exit_offset,
-                EventKind::Release(usage.resource),
-            );
-        }
-        self.schedule(self.time + plan.duration(), EventKind::ReturnedHome(q));
-        self.record_motion(q, &plan);
+        self.commit_motion(q, plan, LegOwner::Return(q));
         self.resources_changed = true;
         true
     }
@@ -623,7 +812,7 @@ impl<'m, 'a> Sim<'m, 'a> {
         let q = self.second_leg[id.index()].expect("second leg is pending");
         let from = self.phys_trap[q.index()];
         let meeting = self.gate_trap[id.index()];
-        match self.router.route(&self.resources, from, meeting) {
+        match self.route_single(from, meeting) {
             Some(plan) => {
                 for usage in plan.resources() {
                     self.resources.book(usage.resource);
@@ -632,18 +821,8 @@ impl<'m, 'a> Sim<'m, 'a> {
                 // the source seat frees now.
                 self.trap_occupancy[from.index()] -= 1;
                 self.second_leg[id.index()] = None;
-                self.router.note_booked(&plan);
                 self.phys_trap[q.index()] = meeting;
-                self.stats[id.index()].moves += plan.moves();
-                self.stats[id.index()].turns += plan.turns();
-                for usage in plan.resources() {
-                    self.schedule(
-                        self.time + usage.exit_offset,
-                        EventKind::Release(usage.resource),
-                    );
-                }
-                self.schedule(self.time + plan.duration(), EventKind::Arrived(id));
-                self.record_motion(q, &plan);
+                self.commit_motion(q, plan, LegOwner::Instr(id));
                 self.resources_changed = true;
                 true
             }
@@ -654,21 +833,11 @@ impl<'m, 'a> Sim<'m, 'a> {
     /// Books the events, occupancy transfer and trace output of one
     /// routed mover.
     fn commit_leg(&mut self, id: InstrId, q: QubitId, plan: RoutePlan, meeting: TrapId) {
-        self.router.note_booked(&plan);
         self.trap_occupancy[self.qubit_trap[q.index()].index()] -= 1;
         self.trap_occupancy[meeting.index()] += 1;
         self.qubit_trap[q.index()] = meeting;
         self.phys_trap[q.index()] = meeting;
-        self.stats[id.index()].moves += plan.moves();
-        self.stats[id.index()].turns += plan.turns();
-        for usage in plan.resources() {
-            self.schedule(
-                self.time + usage.exit_offset,
-                EventKind::Release(usage.resource),
-            );
-        }
-        self.schedule(self.time + plan.duration(), EventKind::Arrived(id));
-        self.record_motion(q, &plan);
+        self.commit_motion(q, plan, LegOwner::Instr(id));
     }
 
     fn begin_gate(&mut self, id: InstrId) {

@@ -58,9 +58,12 @@ mod validate;
 
 pub use engine::Mapper;
 pub use error::{MapError, TraceError};
+// The routing-engine seam, re-exported so mapper callers can select
+// engines without a direct `qspr_route` dependency.
 pub use outcome::{InstrStats, MappingOutcome, Totals};
 pub use placement::Placement;
 pub use policy::{IssueOrder, MapperPolicy, MovementPolicy};
+pub use qspr_route::{RouterFactory, RouterKind, RoutingEngine, RoutingStats};
 pub use render::{qubit_positions_at, render_at, render_gantt};
 pub use trace::{MicroCommand, Trace, TraceEntry};
 pub use validate::validate_trace;

@@ -1,6 +1,7 @@
 //! Results of mapping a program onto a fabric.
 
 use qspr_fabric::Time;
+use qspr_route::RoutingStats;
 use qspr_sched::InstrId;
 
 use crate::placement::Placement;
@@ -64,6 +65,7 @@ pub struct MappingOutcome {
     final_placement: Placement,
     trace: Option<Trace>,
     totals: Totals,
+    routing: RoutingStats,
 }
 
 impl MappingOutcome {
@@ -72,6 +74,7 @@ impl MappingOutcome {
         stats: Vec<InstrStats>,
         final_placement: Placement,
         trace: Option<Trace>,
+        routing: RoutingStats,
     ) -> MappingOutcome {
         let totals = stats.iter().fold(Totals::default(), |mut acc, s| {
             acc.moves += u64::from(s.moves);
@@ -86,6 +89,7 @@ impl MappingOutcome {
             final_placement,
             trace,
             totals,
+            routing,
         }
     }
 
@@ -122,6 +126,12 @@ impl MappingOutcome {
     pub fn totals(&self) -> Totals {
         self.totals
     }
+
+    /// Congestion statistics reported by the routing engine (epochs,
+    /// rip-up iterations, ripped routes, peak segment pressure).
+    pub fn routing_stats(&self) -> RoutingStats {
+        self.routing
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +160,7 @@ mod tests {
             },
         ];
         let placement = Placement::new(vec![TrapId(0), TrapId(1)]).unwrap();
-        let o = MappingOutcome::new(130, stats, placement, None);
+        let o = MappingOutcome::new(130, stats, placement, None, RoutingStats::default());
         assert_eq!(o.totals().moves, 12);
         assert_eq!(o.totals().turns, 3);
         assert_eq!(o.totals().congestion_wait, 5);
