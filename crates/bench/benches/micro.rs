@@ -1,5 +1,6 @@
 //! Criterion micro-benches of the substrates: parsing, fabric
-//! construction, routing, scheduling analysis, and encoder synthesis.
+//! construction, routing (single query, batch, negotiation),
+//! scheduling analysis, and encoder synthesis.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -7,8 +8,36 @@ use qspr_fabric::{Coord, Fabric, TechParams};
 use qspr_qasm::Program;
 use qspr_qecc::codes;
 use qspr_qecc::encoder::encoding_circuit;
-use qspr_route::{ResourceState, Router, RouterConfig};
+use qspr_route::{ResourceState, RouteRequest, Router, RouterConfig, RouterKind};
 use qspr_sched::Qidg;
+
+/// Books a fabric-wide spread of routes so the routing benches below
+/// run against a realistically loaded `ResourceState` (the mapper's
+/// steady state), not a quiet fabric.
+fn loaded_state(router: &Router<'_>, load: usize) -> ResourceState {
+    let topo = router.topology();
+    let mut state = ResourceState::new(topo);
+    let order = topo.traps_by_distance(Coord::new(22, 42));
+    let n = order.len();
+    for i in 0..load {
+        let (a, b) = (order[(i * 83) % n], order[(i * 83 + 40) % n]);
+        if let Some(plan) = router.route(&state, a, b) {
+            for usage in plan.resources() {
+                state.book(usage.resource);
+            }
+        }
+    }
+    state
+}
+
+/// Mid-distance mover pairs around the center, the shape of a
+/// scheduling epoch's batch.
+fn epoch_requests(topo: &qspr_fabric::Topology, n: usize) -> Vec<RouteRequest> {
+    let order = topo.traps_by_distance(Coord::new(22, 42));
+    (0..n)
+        .map(|i| RouteRequest::new(order[2 * i], order[2 * i + 51]))
+        .collect()
+}
 
 fn bench_micro(c: &mut Criterion) {
     let tech = TechParams::date2012();
@@ -27,6 +56,44 @@ fn bench_micro(c: &mut Criterion) {
     let (from, to) = (order[0], *order.last().expect("traps exist"));
     c.bench_function("route_corner_to_corner", |b| {
         b.iter(|| router.route(&state, from, to).expect("routable"))
+    });
+
+    // The mapper's actual hot query: a mid-distance route on a loaded
+    // fabric (every simulated instruction issues one or more of these).
+    let loaded = loaded_state(&router, 10);
+    let center_order = topo.traps_by_distance(Coord::new(22, 42));
+    let (mid_from, mid_to) = (0..center_order.len() - 23)
+        .map(|i| (center_order[i], center_order[i + 23]))
+        .find(|&(a, b)| router.route(&loaded, a, b).is_some())
+        .expect("some mid-distance pair routes under load");
+    c.bench_function("route_one", |b| {
+        b.iter(|| router.route(&loaded, mid_from, mid_to).expect("routable"))
+    });
+
+    // One epoch's mover batch through the greedy engine.
+    let requests = epoch_requests(topo, 6);
+    let mut greedy = RouterKind::Greedy.build(topo, RouterConfig::qspr(&tech));
+    c.bench_function("route_batch", |b| {
+        b.iter(|| greedy.route_batch(&loaded, &requests))
+    });
+
+    // A full negotiation epoch under capacity-1 contention: soft-price
+    // routing, conflict scans and rip-up-and-reroute iterations. A
+    // fresh engine per iteration keeps the workload steady-state —
+    // reusing one would let its cross-epoch PathFinder history grow
+    // and drift the measured work (construction cost is negligible
+    // against the ~ms epoch).
+    let contended = RouterConfig {
+        channel_capacity: 1,
+        junction_capacity: 1,
+        ..RouterConfig::qspr(&tech)
+    };
+    let quiet = ResourceState::new(topo);
+    c.bench_function("negotiate", |b| {
+        b.iter(|| {
+            let mut negotiated = RouterKind::Negotiated.build(topo, contended);
+            negotiated.route_batch(&quiet, &requests)
+        })
     });
 
     let golay = codes::twenty_three_one_seven();

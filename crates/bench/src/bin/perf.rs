@@ -1,0 +1,120 @@
+//! Routing-performance trajectory: maps the QECC benchmark suite with
+//! both routing engines, recording per-circuit wall-clock mapping time
+//! alongside latency and congestion stats, and writes the lot to
+//! `BENCH_route.json` so successive PRs can compare hot-path speed on
+//! identical workloads.
+//!
+//! Every run uses the deterministic center placement (no placer
+//! search), so the wall time isolates the scheduling + routing +
+//! simulation hot path and the latencies double as a byte-identity
+//! check across router rewrites.
+//!
+//! Usage: `cargo run -p qspr-bench --bin perf --release [--quick]
+//! [--out <path>]`
+//!
+//! Output schema (one object):
+//!
+//! * `fabric`, `quick` — workload provenance;
+//! * `engines[]` — per engine (`greedy`, `negotiated`):
+//!   * `suite_wall_ms` — total wall-clock of mapping the whole suite;
+//!   * `results[]` — per circuit: `latency_us`, `wall_us`, and the
+//!     engine's cumulative `epochs` / `rip_iterations` /
+//!     `ripped_routes` / `max_segment_pressure`.
+
+use std::time::Instant;
+
+use qspr::json::{JsonArray, JsonObject};
+use qspr::{Flow, RouterKind};
+use qspr_bench::{quick_mode, Workbench};
+use qspr_fabric::TechParams;
+use qspr_sim::{MapperPolicy, Placement};
+
+fn out_path() -> String {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(v) = args.next() {
+                return v;
+            }
+        }
+    }
+    "BENCH_route.json".to_owned()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let wb = if quick {
+        Workbench::quick(3)
+    } else {
+        Workbench::load()
+    };
+    let tech = TechParams::date2012();
+    let flow = Flow::on(wb.fabric).tech(tech);
+    let policy = MapperPolicy::qspr(&tech);
+
+    let mut engines = JsonArray::new();
+    println!(
+        "Routing perf — center placement, {} circuits",
+        wb.benchmarks.len()
+    );
+    for kind in [RouterKind::Greedy, RouterKind::Negotiated] {
+        let flow = flow.clone().router(kind);
+        let mut results = JsonArray::new();
+        let suite_start = Instant::now();
+        let mut suite_wall_us = 0u64;
+        println!(
+            "{:<12} {:>11} {:>10} | {kind}: epochs, iters, ripped, peak",
+            "circuit", "latency µs", "wall µs"
+        );
+        for bench in &wb.benchmarks {
+            let placement = Placement::center(flow.fabric(), bench.program.num_qubits());
+            let t0 = Instant::now();
+            let outcome = flow
+                .map_with(&bench.program, policy, &placement)
+                .expect("benchmarks map cleanly");
+            let wall_us = t0.elapsed().as_micros() as u64;
+            suite_wall_us += wall_us;
+            let stats = outcome.routing_stats();
+            println!(
+                "{:<12} {:>11} {:>10} | {} epochs, {} iters, {} ripped, peak {}",
+                bench.name,
+                outcome.latency(),
+                wall_us,
+                stats.epochs,
+                stats.iterations,
+                stats.ripped,
+                stats.max_pressure,
+            );
+            results.push_raw(
+                &JsonObject::new()
+                    .string("circuit", &bench.name)
+                    .number("latency_us", outcome.latency())
+                    .number("wall_us", wall_us)
+                    .number("epochs", stats.epochs)
+                    .number("rip_iterations", stats.iterations)
+                    .number("ripped_routes", stats.ripped)
+                    .number("max_segment_pressure", u64::from(stats.max_pressure))
+                    .build(),
+            );
+        }
+        let suite_wall_ms = suite_start.elapsed().as_millis() as u64;
+        println!("{kind} suite wall: {suite_wall_ms} ms\n");
+        engines.push_raw(
+            &JsonObject::new()
+                .string("router", kind.as_str())
+                .number("suite_wall_ms", suite_wall_ms)
+                .number("suite_wall_us", suite_wall_us)
+                .raw("results", &results.build())
+                .build(),
+        );
+    }
+
+    let report = JsonObject::new()
+        .string("fabric", "quale_45x85")
+        .boolean("quick", quick)
+        .raw("engines", &engines.build())
+        .build();
+    let path = out_path();
+    std::fs::write(&path, format!("{report}\n")).expect("writable output path");
+    println!("wrote {path}");
+}

@@ -40,6 +40,7 @@ mod error;
 mod grid;
 mod pmd;
 mod regular;
+mod search;
 mod stats;
 mod topology;
 
@@ -48,6 +49,7 @@ pub use error::FabricError;
 pub use grid::Fabric;
 pub use pmd::{TechParams, Time};
 pub use regular::RegularFabricSpec;
+pub use search::{SearchEdge, SearchGraph};
 pub use stats::FabricStats;
 pub use topology::{
     Direction, Junction, JunctionId, Port, Segment, SegmentEnd, SegmentId, Topology, Trap, TrapId,

@@ -1,0 +1,216 @@
+//! Precomputed routing-search graph over a topology.
+//!
+//! Path search (qspr-route's Dijkstra) runs over *(junction,
+//! orientation)* nodes: a junction is split into a horizontal and a
+//! vertical node so turn delays become an edge weight. The naive
+//! formulation re-derives each node's outgoing edges on every heap pop —
+//! scanning the junction's incident segments, filtering by orientation,
+//! and looking up which end attaches where. Routing is the innermost
+//! loop of the whole mapper, so [`Topology`](crate::Topology) instead
+//! precomputes this [`SearchGraph`] once at construction: a CSR-style
+//! flat edge list per node, each edge carrying the segment, the far
+//! junction, the far node and the move count. A search then touches
+//! nothing but two flat arrays.
+//!
+//! # Examples
+//!
+//! ```
+//! use qspr_fabric::{Fabric, Orientation, SearchGraph};
+//!
+//! let fabric = Fabric::quale_45x85();
+//! let graph = fabric.topology().search_graph();
+//! assert_eq!(graph.num_nodes(), fabric.topology().junctions().len() * 2);
+//! for node in 0..graph.num_nodes() {
+//!     for edge in graph.edges(node) {
+//!         let (j, orientation) = SearchGraph::parts(node);
+//!         assert_ne!(edge.to_junction, j, "no self loops");
+//!         let seg = fabric.topology().segment(edge.segment);
+//!         assert_eq!(seg.orientation(), orientation);
+//!         assert_eq!(edge.moves, u32::from(seg.len()) + 1);
+//!     }
+//! }
+//! ```
+
+use crate::cell::Orientation;
+use crate::topology::{Junction, JunctionId, Segment, SegmentId};
+
+/// One outgoing edge of a search-graph node: traversing `segment` from
+/// the node's junction to `to_junction`, staying in the node's
+/// orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchEdge {
+    /// The channel segment this edge traverses.
+    pub segment: SegmentId,
+    /// The junction at the far end of the segment.
+    pub to_junction: JunctionId,
+    /// Dense node index of `(to_junction, same orientation)`.
+    pub to_node: u32,
+    /// Moves to cross the segment junction-to-junction (`len + 1`).
+    pub moves: u32,
+}
+
+/// CSR adjacency of the `(junction, orientation)` search nodes.
+///
+/// Node `2·j` is junction `j` travelling horizontally, node `2·j + 1`
+/// vertically; the perpendicular *turn* partner of a node is therefore
+/// [`SearchGraph::turn_of`] — `node ^ 1`, no lookup needed. Edges only
+/// connect junction-attached segment ends; dead ends and trap ports are
+/// handled by the router's source/target legs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchGraph {
+    /// `edge_start[n]..edge_start[n + 1]` indexes `edges` for node `n`.
+    edge_start: Vec<u32>,
+    edges: Vec<SearchEdge>,
+}
+
+impl SearchGraph {
+    /// Dense index of the `(junction, orientation)` node.
+    pub fn node(j: JunctionId, orientation: Orientation) -> usize {
+        j.index() * 2
+            + match orientation {
+                Orientation::Horizontal => 0,
+                Orientation::Vertical => 1,
+            }
+    }
+
+    /// Inverse of [`SearchGraph::node`].
+    pub fn parts(node: usize) -> (JunctionId, Orientation) {
+        let orientation = if node % 2 == 0 {
+            Orientation::Horizontal
+        } else {
+            Orientation::Vertical
+        };
+        (JunctionId((node / 2) as u32), orientation)
+    }
+
+    /// The perpendicular node at the same junction (the turn edge's
+    /// target).
+    pub fn turn_of(node: usize) -> usize {
+        node ^ 1
+    }
+
+    /// Number of search nodes (`2 ×` junction count).
+    pub fn num_nodes(&self) -> usize {
+        self.edge_start.len() - 1
+    }
+
+    /// The outgoing edges of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= num_nodes()`.
+    pub fn edges(&self, node: usize) -> &[SearchEdge] {
+        let start = self.edge_start[node] as usize;
+        let end = self.edge_start[node + 1] as usize;
+        &self.edges[start..end]
+    }
+
+    /// Builds the graph from a topology's segments and junctions.
+    /// Edge order within a node follows the junction's incident-segment
+    /// order (N, S, W, E), mirroring the on-the-fly scan it replaces.
+    pub(crate) fn build(segments: &[Segment], junctions: &[Junction]) -> SearchGraph {
+        let n_nodes = junctions.len() * 2;
+        let mut edge_start = Vec::with_capacity(n_nodes + 1);
+        let mut edges = Vec::new();
+        edge_start.push(0);
+        for (ji, junction) in junctions.iter().enumerate() {
+            let j = JunctionId(ji as u32);
+            for orientation in [Orientation::Horizontal, Orientation::Vertical] {
+                for (_, seg_id) in junction.incident_segments() {
+                    let seg = &segments[seg_id.index()];
+                    if seg.orientation() != orientation {
+                        continue;
+                    }
+                    let Some(my_end) = seg.end_attached_to(j) else {
+                        continue;
+                    };
+                    let Some(j2) = seg.ends()[1 - my_end].junction() else {
+                        continue;
+                    };
+                    if j2 == j {
+                        continue;
+                    }
+                    edges.push(SearchEdge {
+                        segment: seg_id,
+                        to_junction: j2,
+                        to_node: SearchGraph::node(j2, orientation) as u32,
+                        moves: u32::from(seg.len()) + 1,
+                    });
+                }
+                edge_start.push(edges.len() as u32);
+            }
+        }
+        SearchGraph { edge_start, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Fabric;
+
+    #[test]
+    fn node_indexing_round_trips() {
+        for j in [0u32, 1, 7, 400] {
+            for o in [Orientation::Horizontal, Orientation::Vertical] {
+                let n = SearchGraph::node(JunctionId(j), o);
+                assert_eq!(SearchGraph::parts(n), (JunctionId(j), o));
+                let (tj, to) = SearchGraph::parts(SearchGraph::turn_of(n));
+                assert_eq!(tj, JunctionId(j));
+                assert_eq!(to, o.perpendicular());
+            }
+        }
+    }
+
+    #[test]
+    fn graph_matches_incidence_scan() {
+        // Every edge the old per-pop scan would produce appears, in the
+        // same order, and nothing else.
+        let fabric = Fabric::quale_45x85();
+        let topo = fabric.topology();
+        let graph = topo.search_graph();
+        assert_eq!(graph.num_nodes(), topo.junctions().len() * 2);
+        for (ji, junction) in topo.junctions().iter().enumerate() {
+            let j = JunctionId(ji as u32);
+            for orientation in [Orientation::Horizontal, Orientation::Vertical] {
+                let expected: Vec<SearchEdge> = junction
+                    .incident_segments()
+                    .filter_map(|(_, seg_id)| {
+                        let seg = topo.segment(seg_id);
+                        if seg.orientation() != orientation {
+                            return None;
+                        }
+                        let my_end = seg.end_attached_to(j)?;
+                        let j2 = seg.ends()[1 - my_end].junction()?;
+                        (j2 != j).then(|| SearchEdge {
+                            segment: seg_id,
+                            to_junction: j2,
+                            to_node: SearchGraph::node(j2, orientation) as u32,
+                            moves: u32::from(seg.len()) + 1,
+                        })
+                    })
+                    .collect();
+                assert_eq!(graph.edges(SearchGraph::node(j, orientation)), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_end_stubs_produce_no_edges() {
+        // The 5x5 cross: four stub segments, each with one dead end, so
+        // no junction-to-junction edge exists anywhere.
+        let f = Fabric::from_ascii(
+            "..|..\n\
+             T.|..\n\
+             --+--\n\
+             ..|.T\n\
+             ..|..\n",
+        )
+        .unwrap();
+        let graph = f.topology().search_graph();
+        assert_eq!(graph.num_nodes(), 2);
+        for node in 0..graph.num_nodes() {
+            assert!(graph.edges(node).is_empty());
+        }
+    }
+}

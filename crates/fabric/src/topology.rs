@@ -5,6 +5,7 @@ use std::fmt;
 
 use crate::cell::{Cell, Coord, Orientation};
 use crate::error::FabricError;
+use crate::search::SearchGraph;
 
 /// Identifier of a channel [`Segment`] within a [`Topology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -257,6 +258,7 @@ pub struct Topology {
     junction_at: Vec<Option<JunctionId>>,
     trap_at: Vec<Option<TrapId>>,
     channel_at: Vec<Option<(SegmentId, u16)>>,
+    search: SearchGraph,
 }
 
 impl Topology {
@@ -320,6 +322,12 @@ impl Topology {
     /// The segment and offset of the channel cell at `coord`, if any.
     pub fn channel_at(&self, coord: Coord) -> Option<(SegmentId, u16)> {
         self.cell_index(coord).and_then(|i| self.channel_at[i])
+    }
+
+    /// The precomputed `(junction, orientation)` search graph routers
+    /// run shortest-path queries over (see [`SearchGraph`]).
+    pub fn search_graph(&self) -> &SearchGraph {
+        &self.search
     }
 
     /// The trap nearest to `to` (Manhattan metric) among those for which
@@ -490,6 +498,7 @@ impl Topology {
             return Err(FabricError::NoTraps);
         }
 
+        let search = SearchGraph::build(&segments, &junctions);
         Ok(Topology {
             rows,
             cols,
@@ -499,6 +508,7 @@ impl Topology {
             junction_at,
             trap_at,
             channel_at,
+            search,
         })
     }
 }

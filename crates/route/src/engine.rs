@@ -415,8 +415,21 @@ pub struct NegotiatedRouter<'a> {
     extra_junctions: Vec<u8>,
     /// Resources the current epoch's tentative routes ever touched —
     /// the only places a conflict can appear, so the conflict scan
-    /// skips the rest of the fabric.
-    touched: std::collections::BTreeSet<Resource>,
+    /// skips the rest of the fabric. Deduplicated through the
+    /// generation-stamped membership arrays below, and drained at the
+    /// next epoch start to reset `extra_*` in O(touched) instead of
+    /// O(fabric).
+    touched: Vec<Resource>,
+    seg_touched: Vec<u32>,
+    junc_touched: Vec<u32>,
+    touch_gen: u32,
+    /// Per-iteration conflict marks: a resource is conflicted in the
+    /// current rip-up round iff its stamp equals `conflict_gen`, giving
+    /// the rip scan O(1) membership tests instead of a linear search
+    /// through the conflict list.
+    seg_conflict: Vec<u32>,
+    junc_conflict: Vec<u32>,
+    conflict_gen: u32,
     scratch: ResourceState,
     stats: RoutingStats,
 }
@@ -425,13 +438,21 @@ impl<'a> NegotiatedRouter<'a> {
     /// Creates a negotiated engine over `topology` with default
     /// negotiation knobs.
     pub fn new(topology: &'a Topology, config: RouterConfig) -> NegotiatedRouter<'a> {
+        let n_seg = topology.segments().len();
+        let n_junc = topology.junctions().len();
         NegotiatedRouter {
             router: Router::new(topology, config),
             negotiation: NegotiationConfig::default(),
-            history: vec![0; topology.segments().len()],
-            extra_segments: vec![0; topology.segments().len()],
-            extra_junctions: vec![0; topology.junctions().len()],
-            touched: std::collections::BTreeSet::new(),
+            history: vec![0; n_seg],
+            extra_segments: vec![0; n_seg],
+            extra_junctions: vec![0; n_junc],
+            touched: Vec::new(),
+            seg_touched: vec![0; n_seg],
+            junc_touched: vec![0; n_junc],
+            touch_gen: 0,
+            seg_conflict: vec![0; n_seg],
+            junc_conflict: vec![0; n_junc],
+            conflict_gen: 0,
             scratch: ResourceState::new(topology),
             stats: RoutingStats::default(),
         }
@@ -443,42 +464,73 @@ impl<'a> NegotiatedRouter<'a> {
         self
     }
 
-    fn book_extra(
-        extra_seg: &mut [u8],
-        extra_junc: &mut [u8],
-        touched: &mut std::collections::BTreeSet<Resource>,
-        plan: &RoutePlan,
-    ) {
+    /// Resets the epoch-local batch bookings by undoing only what the
+    /// previous epoch touched.
+    fn begin_epoch(&mut self) {
+        for r in self.touched.drain(..) {
+            match r {
+                Resource::Segment(s) => self.extra_segments[s.index()] = 0,
+                Resource::Junction(j) => self.extra_junctions[j.index()] = 0,
+            }
+        }
+        self.touch_gen = self.touch_gen.wrapping_add(1);
+        if self.touch_gen == 0 {
+            // Generation 0 is skipped, so a 0 stamp is never current.
+            self.seg_touched.fill(0);
+            self.junc_touched.fill(0);
+            self.touch_gen = 1;
+        }
+    }
+
+    fn book_extra(&mut self, plan: &RoutePlan) {
         for u in plan.resources() {
-            touched.insert(u.resource);
-            match u.resource {
-                Resource::Segment(s) => extra_seg[s.index()] += 1,
-                Resource::Junction(j) => extra_junc[j.index()] += 1,
+            let stamp = match u.resource {
+                Resource::Segment(s) => {
+                    self.extra_segments[s.index()] += 1;
+                    &mut self.seg_touched[s.index()]
+                }
+                Resource::Junction(j) => {
+                    self.extra_junctions[j.index()] += 1;
+                    &mut self.junc_touched[j.index()]
+                }
+            };
+            if *stamp != self.touch_gen {
+                *stamp = self.touch_gen;
+                self.touched.push(u.resource);
             }
         }
     }
 
-    fn unbook_extra(extra_seg: &mut [u8], extra_junc: &mut [u8], plan: &RoutePlan) {
+    fn unbook_extra(&mut self, plan: &RoutePlan) {
         for u in plan.resources() {
             match u.resource {
-                Resource::Segment(s) => extra_seg[s.index()] -= 1,
-                Resource::Junction(j) => extra_junc[j.index()] -= 1,
+                Resource::Segment(s) => self.extra_segments[s.index()] -= 1,
+                Resource::Junction(j) => self.extra_junctions[j.index()] -= 1,
             }
         }
     }
 
-    /// Every resource whose shared + batch usage exceeds its capacity;
-    /// also records the peak segment pressure into `epoch`. Only the
-    /// resources this epoch's routes touched are scanned (an untouched
-    /// resource has no batch bookings and the shared state is feasible
-    /// by construction, so it cannot be over capacity).
-    fn conflicts(&self, state: &ResourceState, epoch: &mut EpochStats) -> Vec<Resource> {
+    /// Scans the touched resources for over-capacity ones, stamping
+    /// each with the fresh conflict generation (and bumping its
+    /// PathFinder history when it is a segment); also records the peak
+    /// segment pressure into `epoch`. Returns the number of conflicts.
+    /// An untouched resource has no batch bookings and the shared state
+    /// is feasible by construction, so it cannot be over capacity.
+    fn mark_conflicts(&mut self, state: &ResourceState, epoch: &mut EpochStats) -> usize {
         let cfg = self.router.config();
-        let mut over = Vec::new();
+        let (channel_cap, junction_cap) = (cfg.channel_capacity, cfg.junction_capacity);
+        self.conflict_gen = self.conflict_gen.wrapping_add(1);
+        if self.conflict_gen == 0 {
+            // Generation 0 is skipped, so a 0 stamp is never current.
+            self.seg_conflict.fill(0);
+            self.junc_conflict.fill(0);
+            self.conflict_gen = 1;
+        }
+        let mut conflicts = 0;
         for &resource in &self.touched {
             let (extra, cap) = match resource {
-                Resource::Segment(s) => (self.extra_segments[s.index()], cfg.channel_capacity),
-                Resource::Junction(j) => (self.extra_junctions[j.index()], cfg.junction_capacity),
+                Resource::Segment(s) => (self.extra_segments[s.index()], channel_cap),
+                Resource::Junction(j) => (self.extra_junctions[j.index()], junction_cap),
             };
             let n = state.usage(resource).saturating_add(extra);
             if extra > 0 {
@@ -487,23 +539,39 @@ impl<'a> NegotiatedRouter<'a> {
                 }
             }
             if n > cap {
-                over.push(resource);
+                conflicts += 1;
+                match resource {
+                    Resource::Segment(s) => {
+                        self.seg_conflict[s.index()] = self.conflict_gen;
+                        self.history[s.index()] += 1;
+                    }
+                    Resource::Junction(j) => self.junc_conflict[j.index()] = self.conflict_gen,
+                }
             }
         }
-        over
+        conflicts
     }
 
-    /// The negotiation proper: soft-capacity routing plus
-    /// rip-up-and-reroute, then a hard-capacity commit pass.
+    /// Whether `resource` was marked conflicted by the latest
+    /// [`NegotiatedRouter::mark_conflicts`] scan.
+    fn is_conflicted(&self, resource: Resource) -> bool {
+        match resource {
+            Resource::Segment(s) => self.seg_conflict[s.index()] == self.conflict_gen,
+            Resource::Junction(j) => self.junc_conflict[j.index()] == self.conflict_gen,
+        }
+    }
+
+    /// The negotiation proper: soft-capacity routing plus incremental
+    /// rip-up-and-reroute (each round re-routes only the movers
+    /// touching a conflicted resource), then a hard-capacity commit
+    /// pass.
     fn negotiate(
         &mut self,
         state: &ResourceState,
         requests: &[RouteRequest],
         epoch: &mut EpochStats,
     ) -> Vec<Option<RoutePlan>> {
-        self.extra_segments.fill(0);
-        self.extra_junctions.fill(0);
-        self.touched.clear();
+        self.begin_epoch();
         let mut pres = self.negotiation.pres_weight;
 
         // Round 0: everyone routes, seeing the movers before them and
@@ -522,41 +590,29 @@ impl<'a> NegotiatedRouter<'a> {
                 .router
                 .route_with(state, req.from, req.to, Some(&overlay));
             if let Some(p) = &plan {
-                Self::book_extra(
-                    &mut self.extra_segments,
-                    &mut self.extra_junctions,
-                    &mut self.touched,
-                    p,
-                );
+                self.book_extra(p);
             }
             plans.push(plan);
         }
 
         // Negotiation rounds: rip up whatever crosses an over-used
-        // resource and let it find a less contended path.
+        // resource and let it find a less contended path; everyone else
+        // keeps their route untouched.
         for _ in 0..self.negotiation.max_iterations {
-            let conflicted = self.conflicts(state, epoch);
-            if conflicted.is_empty() {
+            if self.mark_conflicts(state, epoch) == 0 {
                 break;
             }
             epoch.iterations += 1;
-            for r in &conflicted {
-                if let Resource::Segment(s) = r {
-                    self.history[s.index()] += 1;
-                }
-            }
             pres = pres.saturating_mul(self.negotiation.pres_growth);
             for slot in plans.iter_mut() {
-                let crosses = slot.as_ref().is_some_and(|p| {
-                    p.resources()
-                        .iter()
-                        .any(|u| conflicted.contains(&u.resource))
-                });
+                let crosses = slot
+                    .as_ref()
+                    .is_some_and(|p| p.resources().iter().any(|u| self.is_conflicted(u.resource)));
                 if !crosses {
                     continue;
                 }
                 let ripped = slot.take().expect("crosses implies a plan");
-                Self::unbook_extra(&mut self.extra_segments, &mut self.extra_junctions, &ripped);
+                self.unbook_extra(&ripped);
                 epoch.ripped += 1;
                 let overlay = Overlay {
                     extra_segments: &self.extra_segments,
@@ -573,12 +629,7 @@ impl<'a> NegotiatedRouter<'a> {
                     Some(&overlay),
                 );
                 if let Some(p) = &plan {
-                    Self::book_extra(
-                        &mut self.extra_segments,
-                        &mut self.extra_junctions,
-                        &mut self.touched,
-                        p,
-                    );
+                    self.book_extra(p);
                 }
                 *slot = plan;
             }

@@ -28,6 +28,35 @@
 //! [`Step`]s (`Move`/`Turn`) plus the [`Resource`]s (segments, junctions)
 //! the qubit books, each with the relative time at which it is released.
 //!
+//! # Performance
+//!
+//! Routing is the innermost loop of the whole mapper, so the search is
+//! engineered to be allocation-free and goal-directed:
+//!
+//! * the graph — one node per *(junction, orientation)*, edges per
+//!   same-orientation junction-to-junction segment — is precomputed
+//!   once as a CSR adjacency on the topology
+//!   ([`qspr_fabric::SearchGraph`]), replacing the per-pop incidence
+//!   scan, orientation filter and end lookups;
+//! * each [`Router`] owns a *scratch arena*: distance/predecessor
+//!   arrays and the frontier heap, reused across queries and
+//!   invalidated in O(1) by a generation stamp (a slot whose stamp is
+//!   stale reads as unreached), so a `route` call performs no heap
+//!   allocation and no O(nodes) clearing;
+//! * the Dijkstra run is *goal-directed*: it terminates as soon as the
+//!   target segment's entry junctions have final distances, or the
+//!   frontier provably cannot beat the best same-segment (direct)
+//!   candidate, and full goal junctions / full source or target
+//!   segments short-circuit the search entirely. All exits are chosen
+//!   so the returned plan is byte-identical to a run-to-exhaustion
+//!   search (property-tested against the naive reference).
+//!
+//! [`NegotiatedRouter`] keeps the same discipline across rip-up
+//! iterations: epoch bookings, touched-resource sets and conflict
+//! marks all live in generation-stamped arrays, and each iteration
+//! re-routes only the movers that actually cross a conflicted
+//! resource.
+//!
 //! # Examples
 //!
 //! ```

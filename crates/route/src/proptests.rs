@@ -174,6 +174,87 @@ proptest! {
         }
     }
 
+    /// Search equivalence: the arena-backed, goal-directed search must
+    /// return plans byte-identical to the seed's fresh, run-to-
+    /// exhaustion naive Dijkstra (`Router::route_naive`) — across
+    /// random regular fabrics, random booked load, random trap pairs,
+    /// and both hard mode and the negotiation's soft overlay mode.
+    /// Identity of the whole `RoutePlan` subsumes the durations and
+    /// resource usage the ISSUE asks for.
+    #[test]
+    fn arena_search_equals_naive_dijkstra(
+        rows in 5u16..18,
+        cols in 5u16..18,
+        pitch in 2u16..5,
+        load in proptest::collection::vec((0usize..64, 0usize..64), 0..6),
+        pairs in proptest::collection::vec((0usize..64, 0usize..64), 1..8),
+        caps in 1u8..3,
+        soft_flag in 0u8..2,
+    ) {
+        let soft = soft_flag == 1;
+        let Ok(fabric) = qspr_fabric::RegularFabricSpec::new(rows, cols, pitch).build() else {
+            // Degenerate spec (too small for a tile); nothing to test.
+            return Ok(());
+        };
+        let topo = fabric.topology();
+        let tech = TechParams::date2012();
+        let config = RouterConfig {
+            channel_capacity: caps,
+            junction_capacity: caps,
+            ..RouterConfig::qspr(&tech)
+        };
+        let router = Router::new(topo, config);
+        let n = topo.traps().len();
+
+        // Random booked load (routes committed under hard capacities).
+        let mut state = ResourceState::new(topo);
+        for (a, b) in load {
+            let (from, to) = (TrapId((a % n) as u32), TrapId((b % n) as u32));
+            if from == to {
+                continue;
+            }
+            if let Some(plan) = router.route(&state, from, to) {
+                for usage in plan.resources() {
+                    state.book(usage.resource);
+                }
+            }
+        }
+
+        let history = vec![3u32; topo.segments().len()];
+        let extra_segments = vec![0u8; topo.segments().len()];
+        let extra_junctions = vec![0u8; topo.junctions().len()];
+        let overlay = soft.then_some(crate::router::Overlay {
+            extra_segments: &extra_segments,
+            extra_junctions: &extra_junctions,
+            soft: true,
+            pres_weight: 16,
+            history: &history,
+            hist_weight: 1,
+        });
+
+        for (a, b) in pairs {
+            let (from, to) = (TrapId((a % n) as u32), TrapId((b % n) as u32));
+            let fast = router.route_with(&state, from, to, overlay.as_ref());
+            let naive = router.route_naive(&state, from, to, overlay.as_ref());
+            prop_assert_eq!(&fast, &naive, "from {} to {} (soft={})", from, to, soft);
+            if let Some(plan) = &fast {
+                prop_assert_eq!(plan.from_trap(), from);
+                prop_assert_eq!(plan.to_trap(), to);
+            }
+            // Both engines answer single-route probes through the same
+            // search; they must agree with the naive reference too.
+            for kind in [RouterKind::Greedy, RouterKind::Negotiated] {
+                let engine = kind.build(topo, config);
+                let via_engine = engine.route_one(&state, from, to);
+                prop_assert_eq!(
+                    &via_engine,
+                    &router.route_naive(&state, from, to, None),
+                    "{} route_one from {} to {}", kind, from, to
+                );
+            }
+        }
+    }
+
     /// Routing is symmetric in travel time on a quiet fabric (paths may
     /// differ, but the physical duration must match: the graph is
     /// undirected and the cost model direction-free).

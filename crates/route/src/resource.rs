@@ -72,14 +72,22 @@ impl ResourceState {
 
     /// Records one more qubit on `resource`.
     ///
+    /// Saturates at `u8::MAX` rather than overflowing: capacities are
+    /// small (paper: 2), so 255 concurrent bookings already means a
+    /// pathological capacity configuration, and saturating keeps such
+    /// configs merely congested instead of panicking the simulator. A
+    /// debug assertion still flags the saturation for test builds.
+    ///
     /// # Panics
     ///
     /// Panics if the resource id is out of range.
     pub fn book(&mut self, resource: Resource) {
-        match resource {
-            Resource::Segment(s) => self.segments[s.index()] += 1,
-            Resource::Junction(j) => self.junctions[j.index()] += 1,
-        }
+        let slot = match resource {
+            Resource::Segment(s) => &mut self.segments[s.index()],
+            Resource::Junction(j) => &mut self.junctions[j.index()],
+        };
+        debug_assert!(*slot < u8::MAX, "booking counter saturated on {resource}");
+        *slot = slot.saturating_add(1);
     }
 
     /// Releases one booking of `resource`.

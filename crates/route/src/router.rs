@@ -1,10 +1,16 @@
 //! Congestion- and turn-aware shortest-path routing (paper §IV.B, Fig. 5).
+//!
+//! The search runs over the topology's precomputed
+//! [`SearchGraph`] and an allocation-free, generation-stamped
+//! [`SearchScratch`] arena, with goal-directed early termination — see
+//! the crate docs ("Performance") for the design.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use qspr_fabric::{
-    Orientation, Segment, SegmentEnd, SegmentId, TechParams, Time, Topology, TrapId,
+    SearchGraph, Segment, SegmentEnd, SegmentId, TechParams, Time, Topology, TrapId,
 };
 
 use crate::plan::{RoutePlan, Step};
@@ -120,6 +126,73 @@ enum Prev {
     },
 }
 
+/// Reusable search arena: per-node distance/predecessor slots plus the
+/// frontier heap, owned by the [`Router`] so a `route` call allocates
+/// nothing.
+///
+/// Slots are invalidated in O(1) per query by bumping a generation
+/// counter instead of refilling the arrays: a slot whose stamp differs
+/// from the current generation reads as unreached. Clearing therefore
+/// costs O(nodes touched by the *previous* query), not O(all nodes).
+#[derive(Debug, Clone)]
+struct SearchScratch {
+    /// Generation the slot arrays are valid for.
+    generation: u32,
+    /// Per-node generation stamp; a stale stamp means "unreached".
+    stamp: Vec<u32>,
+    dist: Vec<u64>,
+    prev: Vec<Prev>,
+    /// The Dijkstra frontier, kept allocated between queries.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl SearchScratch {
+    fn new(n_nodes: usize) -> SearchScratch {
+        SearchScratch {
+            generation: 0,
+            stamp: vec![0; n_nodes],
+            dist: vec![INF; n_nodes],
+            prev: vec![Prev::Unreached; n_nodes],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Starts a fresh query: every slot reads as unreached again.
+    fn begin(&mut self) {
+        self.heap.clear();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped after 2^32 queries: reset every stamp once.
+            // Generation 0 is skipped (the counter restarts at 1), so a
+            // 0 stamp can never read as current in any later era.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    fn dist(&self, node: usize) -> u64 {
+        if self.stamp[node] == self.generation {
+            self.dist[node]
+        } else {
+            INF
+        }
+    }
+
+    fn prev(&self, node: usize) -> Prev {
+        if self.stamp[node] == self.generation {
+            self.prev[node]
+        } else {
+            Prev::Unreached
+        }
+    }
+
+    fn set(&mut self, node: usize, dist: u64, prev: Prev) {
+        self.stamp[node] = self.generation;
+        self.dist[node] = dist;
+        self.prev[node] = prev;
+    }
+}
+
 /// Shortest-path router over a fabric topology.
 ///
 /// See the crate docs for the cost model. `route` is a pure query; commit
@@ -131,6 +204,11 @@ pub struct Router<'a> {
     topology: &'a Topology,
     config: RouterConfig,
     history: Vec<u32>,
+    /// Reusable search arena; `RefCell` because `route` is a pure query
+    /// (`&self`) yet needs somewhere to run Dijkstra without
+    /// allocating. Borrowed only for the duration of one search, never
+    /// across calls, so the runtime check can't fail.
+    scratch: RefCell<SearchScratch>,
 }
 
 impl<'a> Router<'a> {
@@ -140,6 +218,7 @@ impl<'a> Router<'a> {
             topology,
             config,
             history: vec![0; topology.segments().len()],
+            scratch: RefCell::new(SearchScratch::new(topology.search_graph().num_nodes())),
         }
     }
 
@@ -174,11 +253,182 @@ impl<'a> Router<'a> {
             return Some(RoutePlan::stationary(from));
         }
         let topo = self.topology;
+        let graph = topo.search_graph();
         let pf = topo.trap(from).port();
         let pt = topo.trap(to).port();
         let t_move = self.config.t_move;
 
         // Candidate: direct travel within a shared segment.
+        let mut best_direct: Option<u64> = None;
+        if pf.segment == pt.segment {
+            let moves = u32::from(pf.offset.abs_diff(pt.offset));
+            if let Some(w) = self.segment_weight(state, pf.segment, moves, overlay) {
+                best_direct = Some(2 * t_move + w);
+            }
+        }
+
+        // Every route must traverse the source and target segments;
+        // when either is full (hard mode only — soft weights never
+        // block), no route exists and the search is skipped outright.
+        // The seed search reached the same answer by exhausting the
+        // whole graph first.
+        if self.segment_weight(state, pf.segment, 0, overlay).is_none()
+            || self.segment_weight(state, pt.segment, 0, overlay).is_none()
+        {
+            return None;
+        }
+
+        // Goal nodes: the junction-attached ends of the target segment.
+        // Every via route enters through one of them, so the search can
+        // stop once their distances are final. A dead end contributes
+        // no goal; neither does a *full* end junction — every way into
+        // a junction's node pair is toll-checked, so a full junction's
+        // distance provably stays infinite and waiting for it would
+        // degenerate into graph exhaustion exactly when the fabric is
+        // congested. With no goals at all, no via route exists.
+        let dst_seg = topo.segment(pt.segment);
+        let goals: [Option<usize>; 2] = [0, 1].map(|end| {
+            dst_seg.ends()[end].junction().and_then(|j| {
+                self.junction_toll(state, j, overlay)
+                    .map(|_| SearchGraph::node(j, dst_seg.orientation()))
+            })
+        });
+        if goals.iter().all(Option::is_none) {
+            return best_direct.map(|c| self.build_direct(from, to, c));
+        }
+
+        // Goal-directed Dijkstra over the precomputed search graph,
+        // running in the reusable scratch arena (no allocation).
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        scratch.begin();
+
+        let src_seg = topo.segment(pf.segment);
+        for end in 0..2 {
+            let SegmentEnd::Junction(j) = src_seg.ends()[end] else {
+                continue;
+            };
+            let Some(toll) = self.junction_toll(state, j, overlay) else {
+                continue;
+            };
+            let moves = src_seg.moves_to_end(pf.offset, end);
+            let Some(w) = self.segment_weight(state, pf.segment, moves, overlay) else {
+                continue;
+            };
+            let node = SearchGraph::node(j, src_seg.orientation());
+            let cost = (t_move + w).saturating_add(toll);
+            if cost < scratch.dist(node) {
+                scratch.set(node, cost, Prev::Start { end });
+                scratch.heap.push(Reverse((cost, node)));
+            }
+        }
+
+        let turn_weight = if self.config.turn_aware {
+            self.config.t_turn
+        } else {
+            0
+        };
+        while let Some(Reverse((cost, node))) = scratch.heap.pop() {
+            if cost > scratch.dist(node) {
+                continue;
+            }
+            // Early exit 1: every reachable goal already has distance
+            // <= the frontier cost. Distances below the frontier can
+            // never improve again, so the goal distances are final and
+            // the via candidates below equal a run-to-exhaustion
+            // search's.
+            if goals.iter().flatten().all(|&g| scratch.dist(g) <= cost) {
+                break;
+            }
+            // Early exit 2: the frontier costs at least as much as the
+            // direct candidate. Unsettled goal distances are >= the
+            // frontier cost, so every remaining via candidate is >= the
+            // direct cost and loses the `cd <= cv` tie-break below.
+            if best_direct.is_some_and(|bd| cost >= bd) {
+                break;
+            }
+            // Turn edge within the junction.
+            let turn_node = SearchGraph::turn_of(node);
+            let turn_cost = cost.saturating_add(turn_weight);
+            if turn_cost < scratch.dist(turn_node) {
+                scratch.set(turn_node, turn_cost, Prev::Turn { from: node });
+                scratch.heap.push(Reverse((turn_cost, turn_node)));
+            }
+            // Precomputed segment edges along the current orientation.
+            for edge in graph.edges(node) {
+                let Some(toll2) = self.junction_toll(state, edge.to_junction, overlay) else {
+                    continue;
+                };
+                let Some(w) = self.segment_weight(state, edge.segment, edge.moves, overlay) else {
+                    continue;
+                };
+                let next = edge.to_node as usize;
+                let next_cost = cost.saturating_add(w).saturating_add(toll2);
+                if next_cost < scratch.dist(next) {
+                    scratch.set(
+                        next,
+                        next_cost,
+                        Prev::Seg {
+                            from: node,
+                            seg: edge.segment,
+                        },
+                    );
+                    scratch.heap.push(Reverse((next_cost, next)));
+                }
+            }
+        }
+
+        // Final candidates: enter the target segment from either end.
+        let mut best_via: Option<(u64, usize, usize)> = None; // (cost, node, entry end)
+        for (end, goal) in goals.iter().enumerate() {
+            let Some(node) = *goal else {
+                continue;
+            };
+            let d = scratch.dist(node);
+            if d == INF {
+                continue;
+            }
+            let moves = dst_seg.moves_to_end(pt.offset, end);
+            let Some(w) = self.segment_weight(state, pt.segment, moves, overlay) else {
+                continue;
+            };
+            let cost = d.saturating_add(w).saturating_add(t_move);
+            if best_via.map_or(true, |(c, _, _)| cost < c) {
+                best_via = Some((cost, node, end));
+            }
+        }
+
+        match (best_direct, best_via) {
+            (None, None) => None,
+            (Some(c), None) => Some(self.build_direct(from, to, c)),
+            (Some(cd), Some((cv, _, _))) if cd <= cv => Some(self.build_direct(from, to, cd)),
+            (_, Some((cv, node, end))) => {
+                Some(self.build_via(from, to, |n| scratch.prev(n), node, end, cv))
+            }
+        }
+    }
+
+    /// The seed implementation of [`Router::route_with`], kept verbatim
+    /// as the reference for the search-equivalence property tests: a
+    /// freshly allocated, run-to-exhaustion Dijkstra with the per-pop
+    /// incidence scan. The arena-backed, goal-directed search must
+    /// return byte-identical plans.
+    #[cfg(test)]
+    pub(crate) fn route_naive(
+        &self,
+        state: &ResourceState,
+        from: TrapId,
+        to: TrapId,
+        overlay: Option<&Overlay<'_>>,
+    ) -> Option<RoutePlan> {
+        if from == to {
+            return Some(RoutePlan::stationary(from));
+        }
+        let topo = self.topology;
+        let pf = topo.trap(from).port();
+        let pt = topo.trap(to).port();
+        let t_move = self.config.t_move;
+
         let mut best_direct: Option<u64> = None;
         if pf.segment == pt.segment {
             let moves = u32::from(pf.offset.abs_diff(pt.offset));
@@ -205,7 +455,7 @@ impl<'a> Router<'a> {
             let Some(w) = self.segment_weight(state, pf.segment, moves, overlay) else {
                 continue;
             };
-            let node = node_id(j, src_seg.orientation());
+            let node = SearchGraph::node(j, src_seg.orientation());
             let cost = (t_move + w).saturating_add(toll);
             if cost < dist[node] {
                 dist[node] = cost;
@@ -223,16 +473,14 @@ impl<'a> Router<'a> {
             if cost > dist[node] {
                 continue;
             }
-            let (j, orient) = node_parts(node);
-            // Turn edge within the junction.
-            let turn_node = node_id(j, orient.perpendicular());
+            let (j, orient) = SearchGraph::parts(node);
+            let turn_node = SearchGraph::node(j, orient.perpendicular());
             let turn_cost = cost.saturating_add(turn_weight);
             if turn_cost < dist[turn_node] {
                 dist[turn_node] = turn_cost;
                 prev[turn_node] = Prev::Turn { from: node };
                 heap.push(Reverse((turn_cost, turn_node)));
             }
-            // Segment edges leaving along the current orientation.
             let junction = topo.junction(j);
             for (_, seg_id) in junction.incident_segments() {
                 let seg = topo.segment(seg_id);
@@ -255,7 +503,7 @@ impl<'a> Router<'a> {
                 let Some(w) = self.segment_weight(state, seg_id, moves, overlay) else {
                     continue;
                 };
-                let next = node_id(j2, orient);
+                let next = SearchGraph::node(j2, orient);
                 let next_cost = cost.saturating_add(w).saturating_add(toll2);
                 if next_cost < dist[next] {
                     dist[next] = next_cost;
@@ -268,14 +516,13 @@ impl<'a> Router<'a> {
             }
         }
 
-        // Final candidates: enter the target segment from either end.
         let dst_seg = topo.segment(pt.segment);
-        let mut best_via: Option<(u64, usize, usize)> = None; // (cost, node, entry end)
+        let mut best_via: Option<(u64, usize, usize)> = None;
         for end in 0..2 {
             let SegmentEnd::Junction(j) = dst_seg.ends()[end] else {
                 continue;
             };
-            let node = node_id(j, dst_seg.orientation());
+            let node = SearchGraph::node(j, dst_seg.orientation());
             if dist[node] == INF {
                 continue;
             }
@@ -292,11 +539,10 @@ impl<'a> Router<'a> {
         match (best_direct, best_via) {
             (None, None) => None,
             (Some(c), None) => Some(self.build_direct(from, to, c)),
-            (Some(cd), Some((cv, node, end))) if cd <= cv => {
-                let _ = (node, end);
-                Some(self.build_direct(from, to, cd))
+            (Some(cd), Some((cv, _, _))) if cd <= cv => Some(self.build_direct(from, to, cd)),
+            (_, Some((cv, node, end))) => {
+                Some(self.build_via(from, to, |n| prev[n], node, end, cv))
             }
-            (_, Some((cv, node, end))) => Some(self.build_via(from, to, &prev, node, end, cv)),
         }
     }
 
@@ -409,12 +655,15 @@ impl<'a> Router<'a> {
     }
 
     /// Builds the plan for a junction-mediated route ending at `node`,
-    /// entering the target segment from its end `entry_end`.
+    /// entering the target segment from its end `entry_end`. The
+    /// predecessor relation is read through `prev_of` so both the
+    /// arena-backed and the naive reference search share one
+    /// reconstruction.
     fn build_via(
         &self,
         from: TrapId,
         to: TrapId,
-        prev: &[Prev],
+        prev_of: impl Fn(usize) -> Prev,
         node: usize,
         entry_end: usize,
         est_cost: u64,
@@ -427,7 +676,7 @@ impl<'a> Router<'a> {
         let mut hops = Vec::new();
         let mut cur = node;
         let start_end = loop {
-            match prev[cur] {
+            match prev_of(cur) {
                 Prev::Start { end } => break end,
                 Prev::Turn { from } => {
                     hops.push((cur, None));
@@ -449,7 +698,7 @@ impl<'a> Router<'a> {
         // Leg 0: source port to the first junction.
         let src_seg = topo.segment(pf.segment);
         let (first_node, _) = hops[0];
-        let (first_j, _) = node_parts(first_node);
+        let (first_j, _) = SearchGraph::parts(first_node);
         {
             let end_offset = segment_end_offset(src_seg, start_end);
             push_segment_moves(&mut steps, src_seg, pf.offset, end_offset);
@@ -464,8 +713,8 @@ impl<'a> Router<'a> {
         for window in hops.windows(2) {
             let (a, _) = window[0];
             let (b, via) = window[1];
-            let (ja, _) = node_parts(a);
-            let (jb, _) = node_parts(b);
+            let (ja, _) = SearchGraph::parts(a);
+            let (jb, _) = SearchGraph::parts(b);
             match via {
                 None => {
                     // Turn edge at the same junction.
@@ -534,23 +783,6 @@ impl<'a> Router<'a> {
             est_cost,
         )
     }
-}
-
-fn node_id(j: qspr_fabric::JunctionId, orient: Orientation) -> usize {
-    j.index() * 2
-        + match orient {
-            Orientation::Horizontal => 0,
-            Orientation::Vertical => 1,
-        }
-}
-
-fn node_parts(node: usize) -> (qspr_fabric::JunctionId, Orientation) {
-    let orient = if node % 2 == 0 {
-        Orientation::Horizontal
-    } else {
-        Orientation::Vertical
-    };
-    (qspr_fabric::JunctionId((node / 2) as u32), orient)
 }
 
 /// The offset of the segment cell adjacent to end `end`.

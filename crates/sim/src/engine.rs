@@ -177,16 +177,6 @@ enum LegOwner {
     Return(QubitId),
 }
 
-/// A leg committed during the current scheduling epoch whose
-/// finalization (events, stats, trace) waits until the epoch's full
-/// mover set is known, so a refining engine can still swap its plan.
-#[derive(Debug, Clone)]
-struct EpochLeg {
-    qubit: QubitId,
-    plan: RoutePlan,
-    owner: LegOwner,
-}
-
 struct Sim<'m, 'a> {
     mapper: &'m Mapper<'a>,
     topo: &'a Topology,
@@ -197,7 +187,17 @@ struct Sim<'m, 'a> {
     /// and let it rip up and re-route the joint set before events are
     /// scheduled.
     defer_epoch: bool,
-    epoch_legs: Vec<EpochLeg>,
+    /// Legs committed during the current scheduling epoch whose
+    /// finalization (events, stats, trace) waits until the epoch's
+    /// full mover set is known, so a refining engine can still swap
+    /// plans. Plans live in their own vector so the engine can see the
+    /// incumbents in place — no per-epoch cloning; `epoch_owners[i]`
+    /// describes `epoch_plans[i]`. Both buffers keep their capacity
+    /// across issue phases.
+    epoch_plans: Vec<RoutePlan>,
+    epoch_owners: Vec<(QubitId, LegOwner)>,
+    /// Reused issue-phase candidate list (drained every pass).
+    candidate_buf: Vec<BusyItem>,
     resources: ResourceState,
     /// Per-trap count of physically present plus reserved qubits.
     trap_occupancy: Vec<u8>,
@@ -263,7 +263,9 @@ impl<'m, 'a> Sim<'m, 'a> {
         let engine = mapper.router.build(topo, mapper.policy.router);
         Sim {
             defer_epoch: engine.refines(),
-            epoch_legs: Vec::new(),
+            epoch_plans: Vec::new(),
+            epoch_owners: Vec::new(),
+            candidate_buf: Vec::new(),
             engine,
             resources: ResourceState::new(topo),
             mapper,
@@ -379,12 +381,14 @@ impl<'m, 'a> Sim<'m, 'a> {
     /// other instructions).
     fn issue_phase(&mut self) {
         loop {
-            let mut candidates: Vec<BusyItem> =
-                self.ready.drain(..).map(BusyItem::Unissued).collect();
+            let mut candidates = std::mem::take(&mut self.candidate_buf);
+            debug_assert!(candidates.is_empty());
+            candidates.extend(self.ready.drain(..).map(BusyItem::Unissued));
             if self.resources_changed && !self.busy.is_empty() {
                 candidates.append(&mut self.busy);
             }
             if candidates.is_empty() {
+                self.candidate_buf = candidates;
                 break;
             }
             self.resources_changed = false;
@@ -402,7 +406,7 @@ impl<'m, 'a> Sim<'m, 'a> {
             let strict = self.mapper.policy.strict_order;
             let mut progressed = false;
             let mut head_blocked = false;
-            for item in candidates {
+            for item in candidates.drain(..) {
                 let issued = match item {
                     // Under strict extraction, a blocked instruction
                     // holds back every unissued instruction behind it;
@@ -422,6 +426,7 @@ impl<'m, 'a> Sim<'m, 'a> {
                     self.busy.push(item);
                 }
             }
+            self.candidate_buf = candidates;
             if !progressed {
                 break;
             }
@@ -433,40 +438,46 @@ impl<'m, 'a> Sim<'m, 'a> {
     /// shot at rip-up-and-reroute over every leg committed this phase,
     /// then each leg's events, stats and trace are realized.
     fn finalize_epoch(&mut self) {
-        if self.epoch_legs.is_empty() {
+        if self.epoch_plans.is_empty() {
             return;
         }
-        let mut legs = std::mem::take(&mut self.epoch_legs);
-        if legs.len() >= 2 {
+        let mut plans = std::mem::take(&mut self.epoch_plans);
+        let mut owners = std::mem::take(&mut self.epoch_owners);
+        if plans.len() >= 2 {
             // Rip the epoch's bookings out, offer the joint set to the
-            // engine, and book whatever survives (the incumbents when
-            // the engine declines).
-            for leg in &legs {
-                for usage in leg.plan.resources() {
+            // engine in place (no incumbent cloning), and book whatever
+            // survives (the incumbents when the engine declines).
+            for plan in &plans {
+                for usage in plan.resources() {
                     self.resources.release(usage.resource);
                 }
             }
-            let incumbents: Vec<RoutePlan> = legs.iter().map(|l| l.plan.clone()).collect();
-            if let Some(better) = self.engine.refine_epoch(&self.resources, &incumbents) {
-                debug_assert_eq!(better.len(), legs.len());
-                for (leg, plan) in legs.iter_mut().zip(better) {
-                    debug_assert_eq!(leg.plan.from_trap(), plan.from_trap());
-                    debug_assert_eq!(leg.plan.to_trap(), plan.to_trap());
-                    leg.plan = plan;
+            if let Some(better) = self.engine.refine_epoch(&self.resources, &plans) {
+                debug_assert_eq!(better.len(), plans.len());
+                for (incumbent, replacement) in plans.iter_mut().zip(better) {
+                    debug_assert_eq!(incumbent.from_trap(), replacement.from_trap());
+                    debug_assert_eq!(incumbent.to_trap(), replacement.to_trap());
+                    *incumbent = replacement;
                 }
                 // The adopted set books different resources; blocked
                 // work may be routable now.
                 self.resources_changed = true;
             }
-            for leg in &legs {
-                for usage in leg.plan.resources() {
+            for plan in &plans {
+                for usage in plan.resources() {
                     self.resources.book(usage.resource);
                 }
             }
         }
-        for leg in legs {
-            self.finalize_leg(leg.qubit, &leg.plan, leg.owner);
+        for (&(qubit, owner), plan) in owners.iter().zip(&plans) {
+            self.finalize_leg(qubit, plan, owner);
         }
+        // Hand the (now empty) buffers back so the next epoch reuses
+        // their capacity.
+        plans.clear();
+        owners.clear();
+        self.epoch_plans = plans;
+        self.epoch_owners = owners;
     }
 
     /// Realizes one committed leg: instruction stats, release/arrival
@@ -501,7 +512,8 @@ impl<'m, 'a> Sim<'m, 'a> {
     /// the end of the epoch otherwise.
     fn commit_motion(&mut self, qubit: QubitId, plan: RoutePlan, owner: LegOwner) {
         if self.defer_epoch {
-            self.epoch_legs.push(EpochLeg { qubit, plan, owner });
+            self.epoch_owners.push((qubit, owner));
+            self.epoch_plans.push(plan);
         } else {
             self.finalize_leg(qubit, &plan, owner);
         }
@@ -582,50 +594,50 @@ impl<'m, 'a> Sim<'m, 'a> {
                 // channels free up. This staging is what keeps
                 // capacity-1 configurations live: two qubits can never
                 // share the meeting trap's port segment at once.
-                let movers: Vec<(QubitId, TrapId)> = [(control, tc), (target, tt)]
-                    .into_iter()
+                // At most two movers: fixed-size stack batches, no
+                // per-instruction allocation.
+                let mut movers = [(control, tc); 2];
+                let mut requests = [RouteRequest::new(tc, meeting); 2];
+                let mut n_movers = 0;
+                for (q, from) in [(control, tc), (target, tt)] {
                     // SourceToDestination target stays put.
-                    .filter(|&(_, from)| from != meeting)
-                    .collect();
-                let requests: Vec<RouteRequest> = movers
-                    .iter()
-                    .map(|&(_, from)| RouteRequest::new(from, meeting))
-                    .collect();
-                let plans = self.route_with_epoch(&requests);
-                let mut routed: Vec<(QubitId, RoutePlan)> = Vec::with_capacity(2);
-                let mut blocked: Vec<QubitId> = Vec::new();
-                for (&(q, _), plan) in movers.iter().zip(plans) {
+                    if from != meeting {
+                        movers[n_movers] = (q, from);
+                        requests[n_movers] = RouteRequest::new(from, meeting);
+                        n_movers += 1;
+                    }
+                }
+                let plans = self.route_with_epoch(&requests[..n_movers]);
+                let routed = plans.iter().filter(|p| p.is_some()).count();
+                if routed == 0 {
+                    // Nothing committed; the whole instruction waits.
+                    return false;
+                }
+                debug_assert!(n_movers - routed <= 1, "at most two movers");
+
+                // Commit.
+                self.stats[id.index()].issued_at = self.time;
+                self.gate_trap[id.index()] = meeting;
+                self.arrivals_needed[id.index()] = n_movers as u8;
+                self.arrivals_done[id.index()] = 0;
+                for (&(q, _), plan) in movers[..n_movers].iter().zip(plans) {
                     match plan {
                         Some(plan) => {
                             for usage in plan.resources() {
                                 self.resources.book(usage.resource);
                             }
-                            routed.push((q, plan));
+                            self.commit_leg(id, q, plan, meeting);
                         }
-                        None => blocked.push(q),
+                        None => {
+                            // Reserve the meeting seat; the qubit
+                            // physically stays put (and keeps its
+                            // source-trap seat) until routable.
+                            self.trap_occupancy[meeting.index()] += 1;
+                            self.qubit_trap[q.index()] = meeting;
+                            self.second_leg[id.index()] = Some(q);
+                            self.busy.push(BusyItem::SecondLeg(id));
+                        }
                     }
-                }
-                if routed.is_empty() {
-                    // Nothing committed; the whole instruction waits.
-                    return false;
-                }
-                debug_assert!(blocked.len() <= 1, "at most two movers");
-
-                // Commit.
-                self.stats[id.index()].issued_at = self.time;
-                self.gate_trap[id.index()] = meeting;
-                self.arrivals_needed[id.index()] = (routed.len() + blocked.len()) as u8;
-                self.arrivals_done[id.index()] = 0;
-                for (q, plan) in routed {
-                    self.commit_leg(id, q, plan, meeting);
-                }
-                for q in blocked {
-                    // Reserve the meeting seat; the qubit physically stays
-                    // put (and keeps its source-trap seat) until routable.
-                    self.trap_occupancy[meeting.index()] += 1;
-                    self.qubit_trap[q.index()] = meeting;
-                    self.second_leg[id.index()] = Some(q);
-                    self.busy.push(BusyItem::SecondLeg(id));
                 }
                 // Freed source traps may unblock busy instructions.
                 self.resources_changed = true;
@@ -651,31 +663,37 @@ impl<'m, 'a> Sim<'m, 'a> {
         let occ = &self.trap_occupancy;
         let median_trap = self.topo.nearest_trap(median, |t| occ[t.index()] == 0);
 
-        let mut candidates: Vec<(TrapId, [Option<TrapId>; 2])> = Vec::with_capacity(3);
+        // At most three candidates with at most two movers each:
+        // fixed-size stack scratch, no allocation in this hot path.
+        let mut candidates = [(tc, [None, None]); 3];
+        let mut n_cand = 0;
         if let Some(m) = median_trap {
-            candidates.push((m, [Some(tc), Some(tt)]));
+            candidates[n_cand] = (m, [Some(tc), Some(tt)]);
+            n_cand += 1;
         }
         if self.trap_occupancy[tt.index()] <= 1 {
-            candidates.push((tt, [Some(tc), None]));
+            candidates[n_cand] = (tt, [Some(tc), None]);
+            n_cand += 1;
         }
         if self.trap_occupancy[tc.index()] <= 1 {
-            candidates.push((tc, [Some(tt), None]));
+            candidates[n_cand] = (tc, [Some(tt), None]);
+            n_cand += 1;
         }
 
         let mut best: Option<(Time, TrapId)> = None;
-        for (meeting, movers) in &candidates {
+        for &(meeting, movers) in &candidates[..n_cand] {
             // Route the movers sequentially with temporary bookings so
             // the second sees the first's load, then roll back.
-            let mut booked: Vec<RoutePlan> = Vec::new();
+            let mut booked: [Option<RoutePlan>; 2] = [None, None];
             let mut worst: Option<Time> = Some(0);
-            for from in movers.iter().flatten() {
-                match self.engine.route_one(&self.resources, *from, *meeting) {
+            for (slot, from) in booked.iter_mut().zip(movers.iter().flatten()) {
+                match self.engine.route_one(&self.resources, *from, meeting) {
                     Some(plan) => {
                         for usage in plan.resources() {
                             self.resources.book(usage.resource);
                         }
                         worst = worst.map(|w| w.max(plan.duration()));
-                        booked.push(plan);
+                        *slot = Some(plan);
                     }
                     None => {
                         worst = None;
@@ -683,14 +701,14 @@ impl<'m, 'a> Sim<'m, 'a> {
                     }
                 }
             }
-            for plan in &booked {
+            for plan in booked.iter().flatten() {
                 for usage in plan.resources() {
                     self.resources.release(usage.resource);
                 }
             }
             if let Some(w) = worst {
                 if best.map_or(true, |(bw, _)| w < bw) {
-                    best = Some((w, *meeting));
+                    best = Some((w, meeting));
                 }
             }
         }
@@ -747,44 +765,45 @@ impl<'m, 'a> Sim<'m, 'a> {
     /// unblocks movers.
     fn route_with_epoch(&mut self, requests: &[RouteRequest]) -> Vec<Option<RoutePlan>> {
         let (plans, _epoch) = self.engine.route_batch(&self.resources, requests);
-        if !self.defer_epoch || self.epoch_legs.is_empty() || plans.iter().all(Option::is_some) {
+        if !self.defer_epoch || self.epoch_plans.is_empty() || plans.iter().all(Option::is_some) {
             return plans;
         }
         // Rip the epoch's tentative bookings and renegotiate everything
         // together.
-        for leg in &self.epoch_legs {
-            for usage in leg.plan.resources() {
+        for plan in &self.epoch_plans {
+            for usage in plan.resources() {
                 self.resources.release(usage.resource);
             }
         }
         let joint: Vec<RouteRequest> = self
-            .epoch_legs
+            .epoch_plans
             .iter()
-            .map(|l| RouteRequest::new(l.plan.from_trap(), l.plan.to_trap()))
+            .map(|p| RouteRequest::new(p.from_trap(), p.to_trap()))
             .chain(requests.iter().copied())
             .collect();
         let (mut joint_plans, _epoch) = self.engine.route_batch(&self.resources, &joint);
-        let new_plans = joint_plans.split_off(self.epoch_legs.len());
+        let new_plans = joint_plans.split_off(self.epoch_plans.len());
         let legs_stay_routed = joint_plans.iter().all(Option::is_some);
         let unblocked = new_plans.iter().flatten().count() > plans.iter().flatten().count();
         if legs_stay_routed && unblocked {
-            for (leg, plan) in self.epoch_legs.iter_mut().zip(joint_plans) {
-                leg.plan = plan.expect("checked: all legs routed");
+            for (incumbent, plan) in self.epoch_plans.iter_mut().zip(joint_plans) {
+                *incumbent = plan.expect("checked: all legs routed");
             }
-            for leg in &self.epoch_legs {
-                for usage in leg.plan.resources() {
-                    self.resources.book(usage.resource);
-                }
-            }
+            self.book_epoch_plans();
             new_plans
         } else {
             // Keep the incumbents; the movers stay blocked for now.
-            for leg in &self.epoch_legs {
-                for usage in leg.plan.resources() {
-                    self.resources.book(usage.resource);
-                }
-            }
+            self.book_epoch_plans();
             plans
+        }
+    }
+
+    /// Re-books every buffered epoch plan's resources.
+    fn book_epoch_plans(&mut self) {
+        for plan in &self.epoch_plans {
+            for usage in plan.resources() {
+                self.resources.book(usage.resource);
+            }
         }
     }
 
