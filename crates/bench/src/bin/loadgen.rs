@@ -1,0 +1,344 @@
+//! Load generator and correctness oracle for `qspr serve`.
+//!
+//! Drives N concurrent connections against a running service and
+//! asserts that every response matches what the library (and therefore
+//! `qspr map --format json` / `qspr compare --format json`) produces
+//! locally for the same inputs:
+//!
+//! * `/map` responses must equal the local [`FlowSummary`] JSON
+//!   *modulo the `cpu_ms` field* (placement wall-clock — the one
+//!   non-deterministic byte in the schema), and repeated requests must
+//!   be **byte-identical** including `cpu_ms`, because the cache
+//!   replays the stored cold response;
+//! * `/compare` responses carry no clock and must be byte-identical to
+//!   the local [`ComparisonRow`] JSON, always;
+//! * `/stats` counters must add up (hits + misses = mapping requests,
+//!   hits > 0 once the workload repeats itself).
+//!
+//! Any violation prints the offending pair and exits non-zero — CI
+//! runs `loadgen --quick` against a freshly started server as the
+//! service smoke test.
+//!
+//! Usage: `cargo run -p qspr-bench --release --bin loadgen --
+//! --addr 127.0.0.1:7878 [--connections N] [--iters N] [--quick]
+//! [--shutdown]`
+//!
+//! [`FlowSummary`]: qspr::FlowSummary
+//! [`ComparisonRow`]: qspr::ComparisonRow
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qspr::json::{JsonObject, JsonValue, ToJson};
+use qspr::service::{http, normalize_cpu_ms};
+use qspr::{Flow, FlowPolicy, RouterKind};
+use qspr_bench::{parse_flag, quick_mode};
+use qspr_fabric::Fabric;
+use qspr_qasm::Program;
+use qspr_qecc::{codes, encoder};
+
+/// One request case: the `/map` (and `/compare`) body to send plus the
+/// locally computed expected responses.
+struct Case {
+    label: String,
+    map_body: String,
+    compare_body: String,
+    /// Expected `/map` body with `cpu_ms` normalized to 0.
+    expect_map: String,
+    /// Expected `/compare` body, exact.
+    expect_compare: String,
+}
+
+fn string_flag(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Builds the workload: every case carries its own expected bytes,
+/// computed through the same `Flow` code path the CLI uses.
+fn build_cases(quick: bool) -> Vec<Case> {
+    const BELL: &str = "QUBIT a\nQUBIT b\nH a\nC-X a,b\n";
+    const GHZ3: &str = "QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X b,c\n";
+    let five13 = encoder::encoding_circuit(&codes::five_one_three())
+        .expect("paper code encodes")
+        .to_qasm();
+    let mut specs: Vec<(String, String, FlowPolicy, RouterKind, usize)> = vec![
+        (
+            "bell-qspr-greedy".into(),
+            BELL.into(),
+            FlowPolicy::Qspr,
+            RouterKind::Greedy,
+            4,
+        ),
+        (
+            "ghz3-quale-greedy".into(),
+            GHZ3.into(),
+            FlowPolicy::Quale,
+            RouterKind::Greedy,
+            4,
+        ),
+        (
+            "five13-qspr-negotiated".into(),
+            five13.clone(),
+            FlowPolicy::Qspr,
+            RouterKind::Negotiated,
+            4,
+        ),
+    ];
+    if !quick {
+        let steane = encoder::encoding_circuit(&codes::steane())
+            .expect("paper code encodes")
+            .to_qasm();
+        specs.push((
+            "five13-qspr-greedy-m8".into(),
+            five13,
+            FlowPolicy::Qspr,
+            RouterKind::Greedy,
+            8,
+        ));
+        specs.push((
+            "steane-qspr-greedy".into(),
+            steane.clone(),
+            FlowPolicy::Qspr,
+            RouterKind::Greedy,
+            4,
+        ));
+        specs.push((
+            "steane-qpos-greedy".into(),
+            steane,
+            FlowPolicy::Qpos,
+            RouterKind::Greedy,
+            4,
+        ));
+    }
+
+    let fabric = Arc::new(Fabric::quale_45x85());
+    specs
+        .into_iter()
+        .map(|(label, text, policy, router, m)| {
+            let program = Program::parse(&text).expect("workload programs parse");
+            let flow = Flow::on(Arc::clone(&fabric))
+                .policy(policy)
+                .router(router)
+                .seeds(m);
+            let expect_map = normalize_cpu_ms(
+                &flow
+                    .run(&program)
+                    .expect("workload programs map")
+                    .summary()
+                    .to_json(),
+            );
+            // `/compare` always runs the comparison flow (no policy
+            // field), exactly like `qspr compare`.
+            let compare_flow = Flow::on(Arc::clone(&fabric)).router(router).seeds(m);
+            let expect_compare = compare_flow
+                .compare(&label, &program)
+                .expect("workload programs compare")
+                .to_json();
+            let map_body = JsonObject::new()
+                .string("program", &text)
+                .string("policy", policy.as_str())
+                .string("router", router.as_str())
+                .number("m", m as u64)
+                .build();
+            let compare_body = JsonObject::new()
+                .string("program", &text)
+                .string("name", &label)
+                .string("router", router.as_str())
+                .number("m", m as u64)
+                .build();
+            Case {
+                label,
+                map_body,
+                compare_body,
+                expect_map,
+                expect_compare,
+            }
+        })
+        .collect()
+}
+
+/// Waits for `/healthz` to answer (a freshly spawned server may still
+/// be binding when CI starts us).
+fn await_health(addr: &str) -> Result<(), String> {
+    for _ in 0..50 {
+        match http::call(addr, "GET", "/healthz", "") {
+            Ok(r) if r.status == 200 => return Ok(()),
+            _ => thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    Err(format!("service at {addr} did not become healthy"))
+}
+
+fn check(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    expect: &str,
+    exact: bool,
+    label: &str,
+) -> Result<(), String> {
+    let response = http::call(addr, method, path, body)
+        .map_err(|e| format!("{label}: {method} {path} failed: {e}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "{label}: {method} {path} -> {} {}",
+            response.status, response.body
+        ));
+    }
+    let actual = if exact {
+        response.body.clone()
+    } else {
+        normalize_cpu_ms(&response.body)
+    };
+    if actual != expect {
+        return Err(format!(
+            "{label}: {path} response differs from `qspr {} --format json`\n  expected: {expect}\n  actual:   {actual}",
+            if path == "/map" { "map" } else { "compare" },
+        ));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let addr = string_flag("--addr").ok_or("loadgen needs --addr host:port")?;
+    let quick = quick_mode();
+    let connections = parse_flag("--connections", 8);
+    let iters = parse_flag("--iters", if quick { 2 } else { 4 });
+    let shutdown = std::env::args().any(|a| a == "--shutdown");
+
+    await_health(&addr)?;
+    eprintln!("building expected responses locally (the oracle run)...");
+    let cases = Arc::new(build_cases(quick));
+    let total_per_thread = iters * cases.len() * 2;
+
+    eprintln!(
+        "driving {connections} connections x {iters} iters x {} cases...",
+        cases.len()
+    );
+    let started = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..connections {
+            let cases = Arc::clone(&cases);
+            let addr = addr.clone();
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                for i in 0..iters {
+                    // Stagger starting offsets so threads collide on
+                    // different cases (more cold/warm interleavings).
+                    for c in 0..cases.len() {
+                        let case = &cases[(c + t + i) % cases.len()];
+                        check(
+                            &addr,
+                            "POST",
+                            "/map",
+                            &case.map_body,
+                            &case.expect_map,
+                            false,
+                            &case.label,
+                        )?;
+                        check(
+                            &addr,
+                            "POST",
+                            "/compare",
+                            &case.compare_body,
+                            &case.expect_compare,
+                            true,
+                            &case.label,
+                        )?;
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            if let Err(e) = handle.join().expect("loadgen worker panicked") {
+                failures.push(e);
+            }
+        }
+    });
+    let wall = started.elapsed();
+    if !failures.is_empty() {
+        return Err(failures.join("\n"));
+    }
+    let requests = connections * total_per_thread;
+    eprintln!(
+        "{requests} concurrent requests ok in {wall:.2?} ({:.0} req/s)",
+        requests as f64 / wall.as_secs_f64()
+    );
+
+    // Sequential epilogue: with no concurrent cold-path races, the
+    // cached response must be byte-identical — cpu_ms included.
+    for case in cases.iter() {
+        let first = http::call(&addr, "POST", "/map", &case.map_body)
+            .map_err(|e| format!("{}: {e}", case.label))?;
+        let second = http::call(&addr, "POST", "/map", &case.map_body)
+            .map_err(|e| format!("{}: {e}", case.label))?;
+        if first != second {
+            return Err(format!(
+                "{}: cached /map response is not byte-identical\n  first:  {}\n  second: {}",
+                case.label, first.body, second.body
+            ));
+        }
+    }
+    eprintln!("cached responses byte-identical across repeats");
+
+    // The counters must add up.
+    let stats_body = http::call(&addr, "GET", "/stats", "")
+        .map_err(|e| format!("GET /stats failed: {e}"))?
+        .body;
+    let stats =
+        JsonValue::parse(&stats_body).map_err(|e| format!("/stats body unparseable: {e}"))?;
+    let field = |name: &str| -> Result<u64, String> {
+        stats
+            .get(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("/stats lacks {name:?}: {stats_body}"))
+    };
+    let (map_reqs, cmp_reqs) = (field("map_requests")?, field("compare_requests")?);
+    let (hits, misses) = (field("cache_hits")?, field("cache_misses")?);
+    if hits + misses != map_reqs + cmp_reqs {
+        return Err(format!(
+            "stats don't add up: {hits} hits + {misses} misses != {map_reqs} map + {cmp_reqs} compare\n  {stats_body}"
+        ));
+    }
+    if hits == 0 {
+        return Err(format!(
+            "a repeating workload produced zero cache hits\n  {stats_body}"
+        ));
+    }
+    eprintln!(
+        "stats consistent: {} requests, {hits} hits / {misses} misses, busy {}ms",
+        field("requests")?,
+        field("busy_us")? / 1000
+    );
+
+    if shutdown {
+        let bye = http::call(&addr, "POST", "/shutdown", "")
+            .map_err(|e| format!("POST /shutdown failed: {e}"))?;
+        if bye.status != 200 {
+            return Err(format!("shutdown refused: {} {}", bye.status, bye.body));
+        }
+        eprintln!("server asked to shut down");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: FAILED\n{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

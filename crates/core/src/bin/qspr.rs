@@ -5,6 +5,7 @@
 //! qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
 //! qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
 //! qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
+//! qspr serve [--addr A] [--threads T] [--cache N] [--fabric F]
 //! qspr fabric [--fabric F]
 //! qspr encode <CODE>
 //! qspr version
@@ -15,10 +16,17 @@
 //! (PathFinder-style rip-up-and-reroute); `--format` is `text`
 //! (default) or `json` (stable machine-readable schema); `CODE` is one
 //! of `5,1,3`, `7,1,3`, `9,1,3`, `14,8,3`, `19,1,7`, `23,1,7`.
+//!
+//! `qspr serve` runs the resident mapping service of `qspr::service`:
+//! `POST /map` and `POST /compare` with the same JSON schemas as
+//! `--format json`, `GET /healthz`, `GET /stats`, `POST /shutdown`,
+//! backed by an LRU result cache (`--cache N` entries, 0 disables).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use qspr::json::JsonArray;
+use qspr::service::{MapService, ServeConfig, Server};
 use qspr::{BatchJob, BatchMapper, Flow, FlowPolicy, QsprError, RouterKind, ToJson};
 use qspr_fabric::Fabric;
 use qspr_qasm::Program;
@@ -43,6 +51,7 @@ usage:
   qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
   qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
   qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
+  qspr serve [--addr A] [--threads T] [--cache N] [--fabric F]
   qspr fabric [--fabric F]
   qspr encode <CODE>          (5,1,3 | 7,1,3 | 9,1,3 | 14,8,3 | 19,1,7 | 23,1,7)
   qspr version
@@ -52,10 +61,12 @@ options:
   --policy P    mapper policy for `map` (default qspr)
   --router R    routing engine: greedy (default) or negotiated
   --m N         MVFB seed count (default 25)
-  --threads T   worker threads for `batch` (default: all CPUs)
+  --threads T   worker threads for `batch`/`serve` (default: all CPUs)
   --format FMT  output format: text (default) or json
   --suite       add the paper's six benchmark circuits to the batch
   --trace       print the micro-command trace after mapping
+  --addr A      serve: bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --cache N     serve: result-cache capacity in entries (default 128, 0 = off)
   --help, -h    print this help and exit";
 
 /// Output format selected with `--format`.
@@ -75,13 +86,15 @@ struct Cli {
 
 impl Cli {
     fn parse(args: &[String]) -> Result<Cli, QsprError> {
-        const VALUE_FLAGS: [&str; 6] = [
+        const VALUE_FLAGS: [&str; 8] = [
             "--fabric",
             "--policy",
             "--router",
             "--m",
             "--threads",
             "--format",
+            "--addr",
+            "--cache",
         ];
         const SWITCHES: [&str; 2] = ["--trace", "--suite"];
         let mut positional = Vec::new();
@@ -143,6 +156,15 @@ impl Cli {
                     "--threads expects a positive number, got {v:?}"
                 ))),
             },
+        }
+    }
+
+    fn cache(&self) -> Result<usize, QsprError> {
+        match self.value("--cache") {
+            None => Ok(128),
+            Some(v) => v.parse().map_err(|_| {
+                QsprError::usage(format!("--cache expects a number of entries, got {v:?}"))
+            }),
         }
     }
 
@@ -209,6 +231,7 @@ fn run(args: &[String]) -> Result<(), QsprError> {
         "compare" => cmd_compare(&cli),
         "suite" => cmd_suite(&cli),
         "batch" => cmd_batch(&cli),
+        "serve" => cmd_serve(&cli),
         "fabric" => cmd_fabric(&cli),
         "encode" => cmd_encode(&cli),
         other => Err(QsprError::usage(format!("unknown command {other:?}"))),
@@ -333,6 +356,44 @@ fn cmd_batch(cli: &Cli) -> Result<(), QsprError> {
             );
         }
     }
+    Ok(())
+}
+
+fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
+    let mut config = ServeConfig {
+        addr: cli.value("--addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        ..ServeConfig::default()
+    };
+    if let Some(threads) = cli.threads()? {
+        config.threads = threads;
+    }
+    let cache_capacity = cli.cache()?;
+    let service = Arc::new(MapService::new(cli.fabric()?, cache_capacity));
+    let server =
+        Server::bind(Arc::clone(&service), &config).map_err(|e| QsprError::io(&config.addr, e))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| QsprError::io(&config.addr, e))?;
+    // The bound address is the machine-readable part (CI greps it to
+    // discover the ephemeral port), so it goes first on its own line.
+    println!("listening on http://{addr}/");
+    println!(
+        "threads {} | cache {} entries | POST /map, POST /compare, GET /healthz, GET /stats, POST /shutdown",
+        config.threads, cache_capacity
+    );
+    server
+        .run()
+        .map_err(|e| QsprError::io(addr.to_string(), e))?;
+    let stats = service.stats();
+    println!(
+        "served {} requests ({} map, {} compare) | cache {} hits / {} misses | busy {}ms",
+        stats.requests,
+        stats.map_requests,
+        stats.compare_requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.busy_us / 1000,
+    );
     Ok(())
 }
 
@@ -524,6 +585,40 @@ mod tests {
             .unwrap()
             .threads()
             .is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse_and_validate() {
+        let cli = Cli::parse(&strings(&["--addr", "127.0.0.1:0", "--cache", "16"])).unwrap();
+        assert_eq!(cli.value("--addr"), Some("127.0.0.1:0"));
+        assert_eq!(cli.cache().unwrap(), 16);
+        // Defaults: no addr flag, 128 cache entries.
+        let cli = Cli::parse(&[]).unwrap();
+        assert_eq!(cli.value("--addr"), None);
+        assert_eq!(cli.cache().unwrap(), 128);
+        // Cache must be numeric; 0 (disabled) is allowed.
+        assert_eq!(
+            Cli::parse(&strings(&["--cache", "0"]))
+                .unwrap()
+                .cache()
+                .unwrap(),
+            0
+        );
+        let err = Cli::parse(&strings(&["--cache", "lots"]))
+            .unwrap()
+            .cache()
+            .unwrap_err();
+        assert!(err.to_string().contains("--cache expects"));
+        // Value-flag plumbing applies: duplicates and missing values.
+        assert!(Cli::parse(&strings(&["--addr", "a", "--addr", "b"])).is_err());
+        assert!(Cli::parse(&strings(&["--cache"])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_a_bad_bind_address() {
+        let cli = Cli::parse(&strings(&["--addr", "definitely:not:an:addr"])).unwrap();
+        let err = cmd_serve(&cli).unwrap_err();
+        assert!(matches!(err, QsprError::Io { .. }));
     }
 
     #[test]

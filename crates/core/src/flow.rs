@@ -229,6 +229,58 @@ impl Flow {
         Mapper::new(&self.fabric, self.tech, policy).router(Arc::clone(&self.router))
     }
 
+    /// A canonical fingerprint of *this configuration applied to
+    /// `program_text`*: every input that determines a [`Flow::run`]
+    /// result — fabric (dimensions plus a content hash of its ASCII
+    /// rendering), technology parameters, policy, placer and router
+    /// names, MVFB seed count and RNG seed, trace recording — followed
+    /// by the program text verbatim.
+    ///
+    /// Because the whole flow is seed-determined, equal fingerprints
+    /// imply byte-identical [`FlowSummary`] JSON; the `qspr serve`
+    /// mapping cache uses the fingerprint as its key. Custom placers
+    /// and routers are identified by [`Placer::name`] /
+    /// `RouterFactory::name` only, so two *different* engines sharing a
+    /// name would collide — give plugged-in engines distinct names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qspr::Flow;
+    /// use qspr_fabric::Fabric;
+    ///
+    /// let flow = Flow::on(Fabric::quale_45x85());
+    /// let a = flow.fingerprint("QUBIT a\nH a\n");
+    /// assert_eq!(a, flow.fingerprint("QUBIT a\nH a\n"));
+    /// assert_ne!(a, flow.fingerprint("QUBIT b\nH b\n"));
+    /// assert_ne!(a, flow.clone().seeds(4).fingerprint("QUBIT a\nH a\n"));
+    /// ```
+    pub fn fingerprint(&self, program_text: &str) -> String {
+        let fabric_hash = fnv1a_64(self.fabric.to_string().as_bytes());
+        format!(
+            "qspr-fp-v1|fabric={}x{}:{:016x}|tech={},{},{},{},{},{}|policy={}|placer={}|router={}|m={},{},{}|rng={:#x}|trace={}|prog={}|{}",
+            self.fabric.rows(),
+            self.fabric.cols(),
+            fabric_hash,
+            self.tech.t_move,
+            self.tech.t_turn,
+            self.tech.t_gate_1q,
+            self.tech.t_gate_2q,
+            self.tech.channel_capacity,
+            self.tech.junction_capacity,
+            self.policy,
+            self.placer_name(),
+            self.router_name(),
+            self.mvfb.seeds,
+            self.mvfb.patience,
+            self.mvfb.max_passes_per_seed,
+            self.mvfb.rng_seed,
+            self.record_trace,
+            program_text.len(),
+            program_text,
+        )
+    }
+
     /// Runs the flow on `program`.
     ///
     /// Under [`FlowPolicy::Qspr`] the configured placer searches for
@@ -380,6 +432,17 @@ impl Flow {
             mc_cpu: mc.cpu,
         })
     }
+}
+
+/// FNV-1a 64-bit: the classic tiny non-cryptographic hash, used to
+/// condense the fabric's ASCII rendering inside [`Flow::fingerprint`].
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl fmt::Debug for Flow {
@@ -676,6 +739,45 @@ C-Z q4,q0
         assert!(greedy_result.outcome.routing_stats().epochs > 0);
         assert_eq!(greedy_result.outcome.routing_stats().iterations, 0);
         assert!(negotiated_result.outcome.routing_stats().epochs > 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_every_configuration_axis() {
+        let base = fast_flow();
+        let text = FIG3;
+        let fp = base.fingerprint(text);
+        // Stable across calls and across clones.
+        assert_eq!(fp, base.fingerprint(text));
+        assert_eq!(fp, base.clone().fingerprint(text));
+        // Every knob lands in the key.
+        assert_ne!(fp, base.clone().policy(FlowPolicy::Quale).fingerprint(text));
+        assert_ne!(fp, base.clone().seeds(5).fingerprint(text));
+        assert_ne!(
+            fp,
+            base.clone()
+                .router(RouterKind::Negotiated)
+                .fingerprint(text)
+        );
+        assert_ne!(fp, base.clone().record_trace(true).fingerprint(text));
+        assert_ne!(
+            fp,
+            base.clone()
+                .tech(TechParams::date2012().without_multiplexing())
+                .fingerprint(text)
+        );
+        assert_ne!(fp, base.fingerprint("QUBIT a\nH a\n"));
+        // Different fabrics hash differently even at equal dimensions
+        // of the key prefix (content hash, not just rows x cols).
+        let other = Flow::on(Fabric::from_ascii(qspr_route::FIG5_DEMO_FABRIC).unwrap()).seeds(4);
+        assert_ne!(fp, other.fingerprint(text));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

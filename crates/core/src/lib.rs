@@ -29,7 +29,13 @@
 //!   paper's Table 2 and Table 1, JSON-serializable via [`json::ToJson`]
 //!   like every other report type;
 //! * [`ablation_policies`] — one policy per QSPR design claim, for the
-//!   ablation benches called out in DESIGN.md.
+//!   ablation benches called out in DESIGN.md;
+//! * [`service`] — the `qspr serve` subsystem: a resident HTTP/1.1 JSON
+//!   mapping service with a fixed worker pool and a seed-deterministic
+//!   LRU result cache keyed by [`Flow::fingerprint`].
+//!
+//! For the end-to-end dataflow and the paper-to-code map, see
+//! `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! # Examples
 //!
@@ -62,6 +68,7 @@ mod flow;
 pub mod json;
 mod noise;
 mod report;
+pub mod service;
 
 pub use ablation::ablation_policies;
 pub use batch::{BatchError, BatchItem, BatchJob, BatchMapper, BatchReport};

@@ -1,0 +1,253 @@
+//! A hand-rolled, dependency-free LRU cache for mapped results.
+//!
+//! Keys are the canonical flow fingerprints of
+//! [`Flow::fingerprint`](crate::Flow::fingerprint); values are the
+//! exact response bodies the service sent on the cold path, so a cache
+//! hit is byte-identical by construction. The structure is the
+//! classic HashMap-plus-intrusive-list design, but the doubly linked
+//! recency list lives in a slab of indices instead of pointers — no
+//! `unsafe`, O(1) get/insert/evict.
+
+use std::collections::HashMap;
+
+/// Sentinel for "no neighbor" in the intrusive recency list.
+const NONE: usize = usize::MAX;
+
+/// One slab slot: a key/value pair threaded into the recency list.
+#[derive(Debug)]
+struct Entry<V> {
+    key: String,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache with string keys.
+///
+/// Capacity 0 disables the cache entirely: every lookup misses and
+/// nothing is stored.
+///
+/// # Examples
+///
+/// ```
+/// use qspr::service::LruCache;
+///
+/// let mut cache: LruCache<&'static str> = LruCache::new(2);
+/// cache.insert("a".into(), "alpha");
+/// cache.insert("b".into(), "beta");
+/// assert_eq!(cache.get("a"), Some(&"alpha")); // promotes "a"
+/// cache.insert("c".into(), "gamma");          // evicts "b", the LRU
+/// assert_eq!(cache.get("b"), None);
+/// assert_eq!(cache.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    map: HashMap<String, usize>,
+    slab: Vec<Entry<V>>,
+    /// Most recently used entry (list head).
+    head: usize,
+    /// Least recently used entry (list tail, next eviction victim).
+    tail: usize,
+    /// Recycled slab slots.
+    free: Vec<usize>,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> LruCache<V> {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            free: Vec::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        let &slot = self.map.get(key)?;
+        self.promote(slot);
+        Some(&self.slab[slot].value)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least recently used
+    /// entry when full. The inserted entry becomes most recently used.
+    pub fn insert(&mut self, key: String, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            self.promote(slot);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            self.evict_tail();
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NONE,
+            next: self.head,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = entry;
+                slot
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        if self.head != NONE {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+        self.map.insert(key, slot);
+    }
+
+    /// Unlinks `slot` from the recency list and relinks it at the head.
+    fn promote(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NONE {
+            self.slab[prev].next = next;
+        }
+        if next != NONE {
+            self.slab[next].prev = prev;
+        }
+        if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slab[slot].prev = NONE;
+        self.slab[slot].next = self.head;
+        if self.head != NONE {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+    }
+
+    /// Removes the least recently used entry.
+    fn evict_tail(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NONE, "evict called on an empty cache");
+        let prev = self.slab[victim].prev;
+        if prev != NONE {
+            self.slab[prev].next = NONE;
+        } else {
+            self.head = NONE;
+        }
+        self.tail = prev;
+        self.map.remove(&self.slab[victim].key);
+        self.free.push(victim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Keys in recency order, most recent first (test-only walk).
+    fn recency<V>(cache: &LruCache<V>) -> Vec<&str> {
+        let mut keys = Vec::new();
+        let mut at = cache.head;
+        while at != NONE {
+            keys.push(cache.slab[at].key.as_str());
+            at = cache.slab[at].next;
+        }
+        keys
+    }
+
+    #[test]
+    fn evicts_in_lru_order() {
+        let mut cache = LruCache::new(3);
+        for (k, v) in [("a", 1), ("b", 2), ("c", 3)] {
+            cache.insert(k.into(), v);
+        }
+        assert_eq!(recency(&cache), ["c", "b", "a"]);
+        cache.insert("d".into(), 4); // evicts "a"
+        assert_eq!(cache.get("a"), None);
+        cache.insert("e".into(), 5); // evicts "b"
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("c"), Some(&3));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn get_promotes_against_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        assert_eq!(cache.get("a"), Some(&1)); // "b" becomes LRU
+        cache.insert("c".into(), 3);
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a"), Some(&1));
+        assert_eq!(cache.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn insert_replaces_and_promotes_existing_keys() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        cache.insert("a".into(), 10); // replace, promote; len stays 2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(recency(&cache), ["a", "b"]);
+        assert_eq!(cache.get("a"), Some(&10));
+        cache.insert("c".into(), 3); // evicts "b", not "a"
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a"), Some(&10));
+    }
+
+    #[test]
+    fn capacity_one_and_zero_degenerate_cleanly() {
+        let mut one = LruCache::new(1);
+        one.insert("a".into(), 1);
+        one.insert("b".into(), 2);
+        assert_eq!(one.get("a"), None);
+        assert_eq!(one.get("b"), Some(&2));
+        assert_eq!(one.len(), 1);
+
+        let mut off: LruCache<i32> = LruCache::new(0);
+        off.insert("a".into(), 1);
+        assert_eq!(off.get("a"), None);
+        assert!(off.is_empty());
+        assert_eq!(off.capacity(), 0);
+    }
+
+    #[test]
+    fn slots_are_recycled_without_growth() {
+        let mut cache = LruCache::new(2);
+        for i in 0..100 {
+            cache.insert(format!("k{i}"), i);
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.slab.len() <= 3, "slab grew: {}", cache.slab.len());
+        assert_eq!(cache.get("k99"), Some(&99));
+        assert_eq!(cache.get("k98"), Some(&98));
+    }
+}

@@ -1,0 +1,229 @@
+//! A deliberately tiny HTTP/1.1 subset: just enough wire protocol for
+//! the `qspr serve` JSON endpoints, hand-rolled on `std::net` in the
+//! same no-new-dependencies spirit as the vendored shims.
+//!
+//! Scope (and non-goals): request line + headers + `Content-Length`
+//! bodies only — no chunked encoding, no TLS, no keep-alive (every
+//! response carries `Connection: close`, which keeps the fixed worker
+//! pool starvation-free: a connection can never pin a worker between
+//! requests). Limits on the request line, header count and body size
+//! bound what an untrusted peer can make the server buffer.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Longest accepted request line (method + path + version), bytes.
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most headers accepted on one request.
+const MAX_HEADERS: usize = 100;
+/// Largest accepted request body, bytes (QASM programs are small; the
+/// biggest paper circuit is under 4 KiB).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP request: method, path and (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target, e.g. `/map`.
+    pub path: String,
+    /// Decoded body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// One response about to be written (or just read back by the client).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always `application/json` in this service).
+    pub body: String,
+}
+
+impl Response {
+    /// A response with `status` and `body`.
+    pub fn new(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// The standard reason phrase for the status codes this service
+    /// emits (anything unlisted degrades to `"Unknown"`).
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Content Too Large",
+            422 => "Unprocessable Content",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Reads one request from `stream`. Returns `Ok(None)` on a clean EOF
+/// before any byte (the peer connected and left); protocol violations
+/// surface as `io::ErrorKind::InvalidData` so the caller can answer
+/// with `400`.
+pub fn read_request(stream: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(stream, MAX_REQUEST_LINE)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(bad("malformed request line")),
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let mut content_length: usize = 0;
+    for _ in 0..MAX_HEADERS {
+        let header =
+            read_line(stream, MAX_REQUEST_LINE)?.ok_or_else(|| bad("truncated headers"))?;
+        if header.is_empty() {
+            let body = read_body(stream, content_length)?;
+            return Ok(Some(Request {
+                method: method.to_owned(),
+                path: path.to_owned(),
+                body,
+            }));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad("invalid Content-Length"))?;
+            if content_length > MAX_BODY {
+                // InvalidInput (vs InvalidData for syntax errors) lets
+                // the server answer 413 instead of 400.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "body exceeds limit",
+                ));
+            }
+        }
+    }
+    Err(bad("too many headers"))
+}
+
+/// Writes `response` as a complete `Connection: close` HTTP/1.1
+/// message.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.reason(),
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// One-shot HTTP client: connects to `addr`, sends a single request and
+/// reads the response. This is the client side used by `loadgen`, the
+/// integration tests and the CI smoke — and a reference for how to talk
+/// to the service from anything else.
+///
+/// # Errors
+///
+/// Any socket failure, or a malformed / over-limit response.
+pub fn call(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: qspr\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len(),
+        )
+        .as_bytes(),
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let status_line =
+        read_line(&mut reader, MAX_REQUEST_LINE)?.ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| status_line.strip_prefix("HTTP/1.0 "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length: usize = 0;
+    for _ in 0..MAX_HEADERS {
+        let header =
+            read_line(&mut reader, MAX_REQUEST_LINE)?.ok_or_else(|| bad("truncated headers"))?;
+        if header.is_empty() {
+            let body = read_body(&mut reader, content_length)?;
+            return Ok(Response { status, body });
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("invalid Content-Length"))?;
+                if content_length > MAX_BODY {
+                    return Err(bad("response body exceeds limit"));
+                }
+            }
+        }
+    }
+    Err(bad("too many headers"))
+}
+
+fn bad(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_owned())
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the
+/// terminator. `Ok(None)` only on EOF before the first byte.
+fn read_line(reader: &mut BufReader<TcpStream>, limit: usize) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(bad("unexpected EOF in line"));
+            }
+            _ => match byte[0] {
+                b'\n' => break,
+                b'\r' => {}
+                b => buf.push(b),
+            },
+        }
+        if buf.len() > limit {
+            return Err(bad("line exceeds limit"));
+        }
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| bad("non-UTF-8 line"))
+}
+
+/// Reads exactly `length` body bytes.
+fn read_body(reader: &mut BufReader<TcpStream>, length: usize) -> io::Result<String> {
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))
+}

@@ -1,0 +1,677 @@
+//! `qspr serve` — a long-running mapping service with a result cache.
+//!
+//! Every other entry point in the workspace is a one-shot process: the
+//! CLI and [`BatchMapper`](crate::BatchMapper) re-parse, re-place and
+//! re-route from scratch on each invocation, even though the flow is
+//! fully seed-determined and identical requests are common (the same
+//! QECC encode blocks recur across suites). This module keeps the
+//! mapper resident: a hand-rolled HTTP/1.1 JSON server (on
+//! `std::net::TcpListener` — no new dependencies, same spirit as the
+//! vendored shims) with a fixed worker thread pool, one
+//! `Arc<Fabric>`-sharing [`Flow`] per requested configuration, and a
+//! seed-deterministic LRU **mapping cache** keyed by the canonical
+//! [`Flow::fingerprint`], so repeated requests return byte-identical
+//! cached responses without touching the mapper.
+//!
+//! # Endpoints
+//!
+//! | endpoint | body | response |
+//! |---|---|---|
+//! | `POST /map` | `{"program", "policy"?, "router"?, "m"?, "trace"?}` | the [`FlowSummary`](crate::FlowSummary) JSON of `qspr map --format json` |
+//! | `POST /compare` | `{"program", "name"?, "router"?, "m"?}` | the [`ComparisonRow`](crate::ComparisonRow) JSON of `qspr compare --format json` |
+//! | `GET /healthz` | — | `{"status":"ok"}` |
+//! | `GET /stats` | — | [`StatsSnapshot`] JSON: requests, cache hits/misses, worker busy time |
+//! | `POST /shutdown` | — | `{"status":"shutting-down"}`, then a graceful stop |
+//!
+//! Defaults mirror the CLI: `policy` `"qspr"`, `router` `"greedy"`,
+//! `m` 25, `trace` false. Unknown body fields are rejected (`400`), an
+//! unmappable program is `422`, and every response is
+//! `application/json` with `Connection: close` (one request per
+//! connection keeps the fixed pool starvation-free). Untrusted input
+//! is bounded on every axis: request line/header/body size limits in
+//! [`http`], JSON nesting depth in the parser, and `m` (the one field
+//! that scales *work*, not input size) capped at 10 000 seeds per
+//! request.
+//!
+//! # Determinism and the cache
+//!
+//! The flow is seed-determined, so a request's response bytes are a
+//! pure function of the fingerprint **except** for the `cpu_ms` field
+//! of `/map` (placement wall-clock, reported exactly like the CLI
+//! does). The cache stores the cold response verbatim, so repeated
+//! requests are byte-identical; `/compare` responses carry no clock at
+//! all and are byte-identical to the CLI's for the same inputs. The
+//! `loadgen` binary in `qspr-bench` asserts both properties under
+//! concurrent load.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qspr::service::{MapService, ServeConfig, Server, http};
+//! use qspr_fabric::Fabric;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let service = Arc::new(MapService::new(Fabric::quale_45x85(), 64)); // 64-entry cache
+//! let config = ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     threads: 2,
+//! };
+//! let handle = Server::bind(Arc::clone(&service), &config)?.spawn();
+//!
+//! let health = http::call(handle.addr(), "GET", "/healthz", "")?;
+//! assert_eq!((health.status, health.body.as_str()), (200, r#"{"status":"ok"}"#));
+//!
+//! handle.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod http;
+
+mod cache;
+
+pub use cache::LruCache;
+pub use http::{Request, Response};
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qspr_fabric::Fabric;
+use qspr_qasm::Program;
+use qspr_route::RouterKind;
+
+use crate::error::QsprError;
+use crate::flow::{Flow, FlowPolicy};
+use crate::json::{JsonObject, JsonValue, ToJson};
+
+/// How a [`Server`] binds and sizes its worker pool. (The result-cache
+/// capacity belongs to [`MapService::new`] — the service, not the
+/// transport, owns the cache.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Fixed worker-pool size (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    /// `127.0.0.1:7878`, one worker per CPU.
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// Default MVFB seed count when a request omits `"m"` — the same
+/// default the CLI applies to `--m`.
+const DEFAULT_SEEDS: usize = 25;
+
+/// Largest `"m"` accepted from a request body. Seeds are the one
+/// request field that scales *work* rather than input size (each seed
+/// is a full placement search), so an untrusted body must not be able
+/// to pin a worker with `m = 4e9` the way the CLI's operator-supplied
+/// `--m` legitimately may. 10k is ~100x the paper's largest setting.
+const MAX_SEEDS: usize = 10_000;
+
+/// Monotonic service counters (updated with relaxed atomics; the
+/// counters are statistics, not synchronization).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    map_requests: AtomicU64,
+    compare_requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    errors: AtomicU64,
+    busy_us: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters, serialized by
+/// `GET /stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total requests handled (every endpoint, every status).
+    pub requests: u64,
+    /// `POST /map` requests.
+    pub map_requests: u64,
+    /// `POST /compare` requests.
+    pub compare_requests: u64,
+    /// Mapping-cache hits.
+    pub cache_hits: u64,
+    /// Mapping-cache misses (cold mappings executed).
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+    /// Configured cache capacity.
+    pub cache_capacity: u64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: u64,
+    /// Cumulative wall-clock time workers spent handling requests, µs.
+    pub busy_us: u64,
+    /// Milliseconds since the service was created.
+    pub uptime_ms: u64,
+}
+
+impl ToJson for StatsSnapshot {
+    /// Stable JSON schema, pinned by a golden test:
+    /// `{"requests","map_requests","compare_requests","cache_hits",
+    /// "cache_misses","cache_entries","cache_capacity","errors",
+    /// "busy_us","uptime_ms"}`.
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .number("requests", self.requests)
+            .number("map_requests", self.map_requests)
+            .number("compare_requests", self.compare_requests)
+            .number("cache_hits", self.cache_hits)
+            .number("cache_misses", self.cache_misses)
+            .number("cache_entries", self.cache_entries)
+            .number("cache_capacity", self.cache_capacity)
+            .number("errors", self.errors)
+            .number("busy_us", self.busy_us)
+            .number("uptime_ms", self.uptime_ms)
+            .build()
+    }
+}
+
+/// The resident mapping service: one shared fabric, one [`Flow`] per
+/// requested configuration, one LRU cache of response bodies.
+///
+/// `MapService` is transport-free — [`MapService::handle`] maps a
+/// parsed [`Request`] to a [`Response`] and is what the golden tests
+/// exercise; [`Server`] adds the TCP listener and worker pool on top.
+#[derive(Debug)]
+pub struct MapService {
+    fabric: Arc<Fabric>,
+    /// One configured `Flow` per `(policy, router, m, trace)`, all
+    /// sharing `fabric` behind the same `Arc`.
+    flows: Mutex<HashMap<String, Flow>>,
+    cache: Mutex<LruCache<String>>,
+    counters: Counters,
+    started: Instant,
+    shutdown: AtomicBool,
+}
+
+/// Which mapping endpoint a request hit (they differ in allowed fields
+/// and response schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Map,
+    Compare,
+}
+
+/// A parsed, validated mapping request body.
+#[derive(Debug)]
+struct MapRequest {
+    program_text: String,
+    program: Program,
+    policy: FlowPolicy,
+    router: RouterKind,
+    seeds: usize,
+    trace: bool,
+    /// `/compare` only: the circuit name echoed in the row.
+    name: String,
+}
+
+impl MapService {
+    /// Creates a service mapping onto `fabric` with a
+    /// `cache_capacity`-entry result cache.
+    pub fn new(fabric: impl Into<Arc<Fabric>>, cache_capacity: usize) -> MapService {
+        MapService {
+            fabric: fabric.into(),
+            flows: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            counters: Counters::default(),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The fabric every request maps onto.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// `true` once a `POST /shutdown` (or [`MapService::request_shutdown`])
+    /// asked the server to stop accepting connections.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Asks the accept loop to stop (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// A copy of the current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.counters;
+        let (cache_entries, cache_capacity) = {
+            let cache = self.cache.lock().expect("cache lock");
+            (cache.len() as u64, cache.capacity() as u64)
+        };
+        StatsSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            map_requests: c.map_requests.load(Ordering::Relaxed),
+            compare_requests: c.compare_requests.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            cache_entries,
+            cache_capacity,
+            errors: c.errors.load(Ordering::Relaxed),
+            busy_us: c.busy_us.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Routes one request to its endpoint and produces the response.
+    ///
+    /// This is the whole service minus the socket: deterministic,
+    /// lock-scoped, safe to call from any number of threads.
+    pub fn handle(&self, request: &Request) -> Response {
+        let t0 = Instant::now();
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Response::new(200, r#"{"status":"ok"}"#),
+            ("GET", "/stats") => Response::new(200, self.stats().to_json()),
+            ("POST", "/shutdown") => {
+                self.request_shutdown();
+                Response::new(200, r#"{"status":"shutting-down"}"#)
+            }
+            ("POST", "/map") => self.mapping(Endpoint::Map, &request.body),
+            ("POST", "/compare") => self.mapping(Endpoint::Compare, &request.body),
+            (_, "/healthz" | "/stats" | "/shutdown" | "/map" | "/compare") => {
+                error_response(405, &format!("method {} not allowed here", request.method))
+            }
+            (_, path) => error_response(404, &format!("no endpoint {path}")),
+        };
+        if response.status >= 400 {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters
+            .busy_us
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        response
+    }
+
+    /// `POST /map` and `POST /compare`: parse, consult the cache, run
+    /// the flow on a miss, store and return the body.
+    fn mapping(&self, endpoint: Endpoint, body: &str) -> Response {
+        let counter = match endpoint {
+            Endpoint::Map => &self.counters.map_requests,
+            Endpoint::Compare => &self.counters.compare_requests,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let request = match parse_mapping_request(endpoint, body) {
+            Ok(request) => request,
+            Err(e) => return error_response(400, &e.to_string()),
+        };
+        let flow = self.flow_for(&request);
+        let key = match endpoint {
+            Endpoint::Map => format!("map|{}", flow.fingerprint(&request.program_text)),
+            Endpoint::Compare => format!(
+                "compare|{}:{}|{}",
+                request.name.len(),
+                request.name,
+                flow.fingerprint(&request.program_text)
+            ),
+        };
+        if let Some(cached) = self.cache.lock().expect("cache lock").get(&key) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Response::new(200, cached.clone());
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let result = match endpoint {
+            Endpoint::Map => flow.run(&request.program).map(|r| r.summary().to_json()),
+            Endpoint::Compare => flow
+                .compare(&request.name, &request.program)
+                .map(|row| row.to_json()),
+        };
+        match result {
+            Ok(json) => {
+                self.cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(key, json.clone());
+                Response::new(200, json)
+            }
+            // The program parsed but cannot be mapped (stall, placement
+            // mismatch): the request was well-formed, the content is not
+            // processable.
+            Err(e) => error_response(422, &e.to_string()),
+        }
+    }
+
+    /// The shared [`Flow`] for a request's configuration, created on
+    /// first use; every flow shares the service fabric's `Arc`.
+    fn flow_for(&self, request: &MapRequest) -> Flow {
+        let key = format!(
+            "{}|{}|{}|{}",
+            request.policy, request.router, request.seeds, request.trace
+        );
+        let mut flows = self.flows.lock().expect("flows lock");
+        flows
+            .entry(key)
+            .or_insert_with(|| {
+                Flow::on(Arc::clone(&self.fabric))
+                    .policy(request.policy)
+                    .router(request.router)
+                    .seeds(request.seeds)
+                    .record_trace(request.trace)
+            })
+            .clone()
+    }
+}
+
+/// Renders an error status with the `{"error":...}` body shape (pinned
+/// by a golden test).
+fn error_response(status: u16, message: &str) -> Response {
+    Response::new(status, JsonObject::new().string("error", message).build())
+}
+
+/// Returns `json` with the integer value of its `"cpu_ms"` field
+/// replaced by `0` (bodies without the field pass through unchanged).
+///
+/// `cpu_ms` — placement wall-clock — is the single non-deterministic
+/// field in the `/map` response schema, so this is the normalization a
+/// client applies to compare bodies across independent runs (cached
+/// repeats need no normalization: they are byte-identical). The
+/// `loadgen` oracle and the service's own tests share this definition.
+///
+/// # Examples
+///
+/// ```
+/// use qspr::service::normalize_cpu_ms;
+///
+/// let a = r#"{"latency_us":634,"cpu_ms":17,"moves":410}"#;
+/// let b = r#"{"latency_us":634,"cpu_ms":3,"moves":410}"#;
+/// assert_eq!(normalize_cpu_ms(a), normalize_cpu_ms(b));
+/// assert_eq!(normalize_cpu_ms(r#"{"x":1}"#), r#"{"x":1}"#);
+/// ```
+pub fn normalize_cpu_ms(json: &str) -> String {
+    let Some(start) = json.find("\"cpu_ms\":") else {
+        return json.to_owned();
+    };
+    let digits_at = start + "\"cpu_ms\":".len();
+    let end = json[digits_at..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(json.len(), |i| digits_at + i);
+    format!("{}0{}", &json[..digits_at], &json[end..])
+}
+
+/// Parses and validates a `/map` or `/compare` body against its
+/// endpoint's allowed fields, applying the CLI defaults.
+fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, QsprError> {
+    let value =
+        JsonValue::parse(body).map_err(|e| QsprError::usage(format!("invalid JSON body: {e}")))?;
+    let Some(fields) = value.as_object() else {
+        return Err(QsprError::usage("request body must be a JSON object"));
+    };
+    let allowed: &[&str] = match endpoint {
+        Endpoint::Map => &["program", "policy", "router", "m", "trace"],
+        Endpoint::Compare => &["program", "name", "router", "m"],
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(QsprError::usage(format!(
+                "unknown field {key:?} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    let program_text = value
+        .get("program")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| QsprError::usage("field \"program\" (string) is required"))?
+        .to_owned();
+    let program = Program::parse(&program_text)?;
+    let policy = match value.get("policy") {
+        None => FlowPolicy::Qspr,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| QsprError::usage("field \"policy\" must be a string"))?
+            .parse()?,
+    };
+    let router = match value.get("router") {
+        None => RouterKind::Greedy,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| QsprError::usage("field \"router\" must be a string"))?
+            .parse()
+            .map_err(|e| QsprError::usage(format!("{e}")))?,
+    };
+    let seeds = match value.get("m") {
+        None => DEFAULT_SEEDS,
+        Some(v) => {
+            let m = v
+                .as_u64()
+                .ok_or_else(|| QsprError::usage("field \"m\" must be a non-negative integer"))?;
+            if m > MAX_SEEDS as u64 {
+                return Err(QsprError::usage(format!(
+                    "field \"m\" exceeds the service limit of {MAX_SEEDS}"
+                )));
+            }
+            m as usize
+        }
+    };
+    let trace = match value.get("trace") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| QsprError::usage("field \"trace\" must be a boolean"))?,
+    };
+    let name = match value.get("name") {
+        None => "program".to_owned(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| QsprError::usage("field \"name\" must be a string"))?
+            .to_owned(),
+    };
+    Ok(MapRequest {
+        program_text,
+        program,
+        policy,
+        router,
+        seeds,
+        trace,
+        name,
+    })
+}
+
+/// The TCP front end: a listener plus a fixed worker pool, all serving
+/// one shared [`MapService`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<MapService>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds `config.addr` (port 0 picks an ephemeral port — read the
+    /// result back with [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission).
+    pub fn bind(service: Arc<MapService>, config: &ServeConfig) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(&config.addr)?,
+            service,
+            threads: config.threads.max(1),
+        })
+    }
+
+    /// The actually bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-introspection failure (exotic platforms).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until shutdown is requested, then drains gracefully:
+    /// the accept loop stops, already-queued connections are still
+    /// served, in-flight requests finish, workers join.
+    ///
+    /// Connections are handed to a fixed pool of `threads` workers over
+    /// a channel; each connection carries **one** request (responses
+    /// are `Connection: close`), so a slow client can never pin a
+    /// worker between requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fatal `accept` error. Per-connection I/O
+    /// failures are answered with `400`/`413` where possible and never
+    /// stop the server.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr()?;
+        let service = &self.service;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        thread::scope(|scope| {
+            for _ in 0..self.threads {
+                let rx = Arc::clone(&rx);
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only to pull the next
+                    // connection, never while serving it.
+                    let next = rx.lock().expect("receiver lock").recv();
+                    match next {
+                        Ok(stream) => serve_connection(service, addr, stream),
+                        Err(_) => break, // sender dropped: drain done
+                    }
+                });
+            }
+            let result = loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        // A worker wakes this loop (by connecting) after
+                        // flipping the flag; connections racing the
+                        // shutdown are dropped unserved.
+                        if service.shutdown_requested() {
+                            break Ok(());
+                        }
+                        if tx.send(stream).is_err() {
+                            break Ok(());
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                    Err(e) => break Err(e),
+                }
+            };
+            drop(tx);
+            result
+        })
+    }
+
+    /// Runs the server on a background thread, returning a
+    /// [`ServerHandle`] for the bound address and a graceful
+    /// [`ServerHandle::shutdown`]. The natural shape for tests and for
+    /// embedding the service in a bigger process.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr().expect("bound listener has an address");
+        let service = Arc::clone(&self.service);
+        let thread = thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            service,
+            thread,
+        }
+    }
+}
+
+/// A running background [`Server`]: its address, its shared service
+/// state, and the join handle used for graceful shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<MapService>,
+    thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (counters, shutdown flag).
+    pub fn service(&self) -> &Arc<MapService> {
+        &self.service
+    }
+
+    /// Requests shutdown, wakes the accept loop and joins the server
+    /// thread (in-flight requests finish first).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server thread's fatal error, if it died on one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread itself panicked.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.service.request_shutdown();
+        // Wake the blocking accept; if the server already exited the
+        // connect simply fails, which is fine.
+        let _ = TcpStream::connect(wake_addr(self.addr));
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// An address a client of *this process* can connect to in order to
+/// reach the listener bound at `addr`: a wildcard bind (`0.0.0.0` /
+/// `::`) is not a connectable destination everywhere, so the shutdown
+/// wake-up targets loopback on the bound port instead.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let mut addr = addr;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+/// Serves one connection: one request, one response, close.
+fn serve_connection(service: &MapService, addr: SocketAddr, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = std::io::BufReader::new(stream);
+    let response = match http::read_request(&mut reader) {
+        Ok(Some(request)) => {
+            let response = service.handle(&request);
+            let shutting_down = request.method == "POST" && request.path == "/shutdown";
+            let _ = http::write_response(&mut write_half, &response);
+            if shutting_down {
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(wake_addr(addr));
+            }
+            return;
+        }
+        Ok(None) => return, // connected and left; nothing to answer
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => error_response(400, &e.to_string()),
+        Err(e) if e.kind() == io::ErrorKind::InvalidInput => error_response(413, &e.to_string()),
+        Err(_) => return, // socket-level failure; nothing we can send
+    };
+    service.counters.requests.fetch_add(1, Ordering::Relaxed);
+    service.counters.errors.fetch_add(1, Ordering::Relaxed);
+    let _ = http::write_response(&mut write_half, &response);
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,343 @@
+//! Service tests: wire-schema goldens (the `/map`, `/stats` and error
+//! body contracts, alongside the JSON goldens in `crate::json`), cache
+//! semantics, and a real-TCP spawn/shutdown round trip.
+
+use super::*;
+use qspr_fabric::Fabric;
+
+/// A two-qubit program that maps in well under a millisecond.
+const BELL: &str = "QUBIT a\nQUBIT b\nH a\nC-X a,b\n";
+
+fn service() -> MapService {
+    MapService::new(Fabric::quale_45x85(), 8)
+}
+
+fn post(service: &MapService, path: &str, body: &str) -> Response {
+    service.handle(&Request {
+        method: "POST".into(),
+        path: path.into(),
+        body: body.into(),
+    })
+}
+
+fn get(service: &MapService, path: &str) -> Response {
+    service.handle(&Request {
+        method: "GET".into(),
+        path: path.into(),
+        body: String::new(),
+    })
+}
+
+#[test]
+fn map_wire_schema_golden() {
+    // Golden: the `/map` response body IS the FlowSummary schema of
+    // `qspr map --format json`, key for key, in order.
+    let response = post(
+        &service(),
+        "/map",
+        &format!("{{\"program\":{:?},\"m\":2}}", BELL),
+    );
+    assert_eq!(response.status, 200);
+    assert!(response
+        .body
+        .starts_with(r#"{"policy":"qspr","placer":"mvfb","router":"greedy","latency_us":"#));
+    let keys = [
+        "\"policy\":",
+        "\"placer\":",
+        "\"router\":",
+        "\"latency_us\":",
+        "\"direction\":",
+        "\"runs\":",
+        "\"cpu_ms\":",
+        "\"moves\":",
+        "\"turns\":",
+        "\"congestion_wait_us\":",
+        "\"epochs\":",
+        "\"rip_iterations\":",
+        "\"ripped_routes\":",
+        "\"max_segment_pressure\":",
+    ];
+    let mut at = 0;
+    for key in keys {
+        let pos = response.body[at..]
+            .find(key)
+            .unwrap_or_else(|| panic!("{key} missing or out of order in {}", response.body));
+        at += pos + key.len();
+    }
+    // And it matches a direct library run, modulo the wall clock.
+    let flow = Flow::on(Fabric::quale_45x85()).seeds(2);
+    let expected = flow
+        .run(&Program::parse(BELL).unwrap())
+        .unwrap()
+        .summary()
+        .to_json();
+    assert_eq!(
+        normalize_cpu_ms(&response.body),
+        normalize_cpu_ms(&expected)
+    );
+}
+
+#[test]
+fn stats_wire_schema_golden() {
+    // Golden: this string IS the `GET /stats` schema contract.
+    let snapshot = StatsSnapshot {
+        requests: 9,
+        map_requests: 5,
+        compare_requests: 2,
+        cache_hits: 3,
+        cache_misses: 4,
+        cache_entries: 4,
+        cache_capacity: 128,
+        errors: 1,
+        busy_us: 123456,
+        uptime_ms: 60000,
+    };
+    assert_eq!(
+        snapshot.to_json(),
+        r#"{"requests":9,"map_requests":5,"compare_requests":2,"cache_hits":3,"cache_misses":4,"cache_entries":4,"cache_capacity":128,"errors":1,"busy_us":123456,"uptime_ms":60000}"#
+    );
+}
+
+#[test]
+fn healthz_and_error_bodies_are_pinned() {
+    let service = service();
+    assert_eq!(
+        get(&service, "/healthz"),
+        Response::new(200, r#"{"status":"ok"}"#)
+    );
+    // Error shape: {"error": "..."} with the message JSON-escaped.
+    let response = post(&service, "/map", "not json");
+    assert_eq!(response.status, 400);
+    assert!(response.body.starts_with(r#"{"error":"invalid JSON body:"#));
+    assert_eq!(
+        post(&service, "/map", r#"{"frob":1}"#).body,
+        r#"{"error":"unknown field \"frob\" (allowed: program, policy, router, m, trace)"}"#
+    );
+    assert_eq!(
+        get(&service, "/nope"),
+        Response::new(404, r#"{"error":"no endpoint /nope"}"#)
+    );
+    assert_eq!(
+        get(&service, "/map").status,
+        405,
+        "GET on a POST endpoint is rejected"
+    );
+    assert_eq!(
+        post(&service, "/healthz", "").status,
+        405,
+        "POST on a GET endpoint is rejected"
+    );
+}
+
+#[test]
+fn map_requests_validate_like_the_cli() {
+    let service = service();
+    let bad = |body: &str| {
+        let response = post(&service, "/map", body);
+        assert_eq!(response.status, 400, "{body} -> {}", response.body);
+        response.body
+    };
+    assert!(bad(r#"{}"#).contains("\\\"program\\\" (string) is required"));
+    assert!(bad(r#"{"program":5}"#).contains("required"));
+    assert!(bad(r#"{"program":"FROB q\n"}"#).contains("unknown gate"));
+    assert!(
+        bad(&format!("{{\"program\":{BELL:?},\"policy\":\"best\"}}")).contains("unknown policy")
+    );
+    assert!(
+        bad(&format!("{{\"program\":{BELL:?},\"router\":\"fancy\"}}")).contains("unknown router")
+    );
+    assert!(bad(&format!("{{\"program\":{BELL:?},\"m\":-1}}")).contains("non-negative integer"));
+    assert!(bad(&format!("{{\"program\":{BELL:?},\"trace\":1}}")).contains("boolean"));
+    assert!(bad(r#"[1,2]"#).contains("must be a JSON object"));
+    // Work, not just input size, is bounded: an absurd seed count is
+    // rejected up front instead of pinning a worker for hours.
+    assert!(bad(&format!("{{\"program\":{BELL:?},\"m\":4000000000}}"))
+        .contains("exceeds the service limit"));
+    // An unmappable program (zero placement seeds) is 422, not 400.
+    let response = post(
+        &service,
+        "/map",
+        &format!("{{\"program\":{BELL:?},\"m\":0}}"),
+    );
+    assert_eq!(response.status, 422);
+    assert!(response.body.starts_with(r#"{"error":"#));
+}
+
+#[test]
+fn cache_hits_are_byte_identical_and_counted() {
+    let service = service();
+    let body = format!("{{\"program\":{BELL:?},\"m\":2}}");
+
+    let cold = post(&service, "/map", &body);
+    assert_eq!(cold.status, 200);
+    let stats = service.stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+    assert_eq!(stats.cache_entries, 1);
+
+    // The cached path returns the stored bytes — including the cold
+    // run's cpu_ms — so the bodies are byte-identical by construction.
+    for _ in 0..3 {
+        let warm = post(&service, "/map", &body);
+        assert_eq!(warm, cold);
+    }
+    let stats = service.stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (3, 1));
+    assert_eq!(stats.map_requests, 4);
+
+    // A different configuration of the same program is a different
+    // fingerprint: miss, new entry.
+    let other = post(
+        &service,
+        "/map",
+        &format!("{{\"program\":{BELL:?},\"m\":3}}"),
+    );
+    assert_eq!(other.status, 200);
+    let stats = service.stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (3, 2));
+    assert_eq!(stats.cache_entries, 2);
+}
+
+#[test]
+fn compare_responses_are_fully_deterministic() {
+    // ComparisonRow carries no clock: equal requests give equal bytes
+    // even across cache evictions and service restarts.
+    let body = format!("{{\"program\":{BELL:?},\"name\":\"bell\",\"m\":2}}");
+    let a = post(&service(), "/compare", &body);
+    let b = post(&service(), "/compare", &body);
+    assert_eq!(a.status, 200);
+    assert_eq!(a, b);
+    assert!(a.body.starts_with(r#"{"circuit":"bell","baseline_us":"#));
+    // The `name` field lands in the row and separates cache keys.
+    let renamed = post(
+        &service(),
+        "/compare",
+        &format!("{{\"program\":{BELL:?},\"name\":\"other\",\"m\":2}}"),
+    );
+    assert!(renamed.body.starts_with(r#"{"circuit":"other","#));
+}
+
+#[test]
+fn compare_rejects_map_only_fields() {
+    let response = post(
+        &service(),
+        "/compare",
+        &format!("{{\"program\":{BELL:?},\"trace\":true}}"),
+    );
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("allowed: program, name, router, m"));
+}
+
+#[test]
+fn eviction_causes_a_rerun_not_a_wrong_answer() {
+    // Capacity 1: the second distinct request evicts the first; asking
+    // for the first again re-maps (miss) and yields the same latency.
+    let service = MapService::new(Fabric::quale_45x85(), 1);
+    let a = format!("{{\"program\":{BELL:?},\"m\":2}}");
+    let b = format!("{{\"program\":{BELL:?},\"m\":3}}");
+    let first = post(&service, "/map", &a);
+    post(&service, "/map", &b);
+    let again = post(&service, "/map", &a);
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_misses, 3);
+    assert_eq!(stats.cache_entries, 1);
+    assert_eq!(
+        normalize_cpu_ms(&first.body),
+        normalize_cpu_ms(&again.body),
+        "the flow is seed-determined, so a re-run reproduces the result"
+    );
+}
+
+#[test]
+fn trace_flag_threads_through() {
+    let response = post(
+        &service(),
+        "/map",
+        &format!("{{\"program\":{BELL:?},\"m\":2,\"trace\":true}}"),
+    );
+    assert_eq!(response.status, 200);
+    assert!(response.body.contains("\"trace_commands\":"));
+}
+
+#[test]
+fn flows_are_reused_per_configuration() {
+    let service = service();
+    let body = format!("{{\"program\":{BELL:?},\"m\":2}}");
+    post(&service, "/map", &body);
+    post(&service, "/map", &body);
+    post(
+        &service,
+        "/map",
+        &format!("{{\"program\":{BELL:?},\"m\":3}}"),
+    );
+    assert_eq!(service.flows.lock().unwrap().len(), 2);
+    // Every flow shares the service fabric Arc rather than copying it.
+    for flow in service.flows.lock().unwrap().values() {
+        assert!(Arc::ptr_eq(flow.fabric_arc(), service.fabric()));
+    }
+}
+
+#[test]
+fn wake_addr_rewrites_wildcard_binds_only() {
+    let concrete: SocketAddr = "127.0.0.1:7878".parse().unwrap();
+    assert_eq!(wake_addr(concrete), concrete);
+    let v4: SocketAddr = "0.0.0.0:7878".parse().unwrap();
+    assert_eq!(wake_addr(v4), "127.0.0.1:7878".parse().unwrap());
+    let v6: SocketAddr = "[::]:7878".parse().unwrap();
+    assert_eq!(wake_addr(v6), "[::1]:7878".parse().unwrap());
+}
+
+#[test]
+fn server_round_trips_over_real_tcp() {
+    let service = Arc::new(service());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+    };
+    let handle = Server::bind(Arc::clone(&service), &config)
+        .expect("bind ephemeral")
+        .spawn();
+    let addr = handle.addr();
+
+    let health = http::call(addr, "GET", "/healthz", "").unwrap();
+    assert_eq!(
+        (health.status, health.body.as_str()),
+        (200, r#"{"status":"ok"}"#)
+    );
+
+    let body = format!("{{\"program\":{BELL:?},\"m\":2}}");
+    let cold = http::call(addr, "POST", "/map", &body).unwrap();
+    let warm = http::call(addr, "POST", "/map", &body).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold, warm, "cached response is byte-identical on the wire");
+
+    // Malformed HTTP gets a 400 without killing the worker.
+    let garbage = http::call(addr, "BAD REQUEST LINE", "/", "").unwrap();
+    assert_eq!(garbage.status, 400);
+    let still_up = http::call(addr, "GET", "/healthz", "").unwrap();
+    assert_eq!(still_up.status, 200);
+
+    handle.shutdown().expect("graceful shutdown");
+    assert!(service.shutdown_requested());
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let service = Arc::new(service());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+    };
+    let handle = Server::bind(Arc::clone(&service), &config)
+        .expect("bind ephemeral")
+        .spawn();
+    let addr = handle.addr();
+    let bye = http::call(addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(
+        (bye.status, bye.body.as_str()),
+        (200, r#"{"status":"shutting-down"}"#)
+    );
+    // run() returns on its own — join without sending anything else.
+    handle.thread.join().expect("no panic").expect("clean exit");
+    assert!(http::call(addr, "GET", "/healthz", "").is_err());
+}

@@ -45,6 +45,81 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Design notes: the event-driven epoch loop
+//!
+//! The simulator advances a single clock over a binary-heap event
+//! queue; nothing is time-stepped. One iteration of the main loop is
+//! an **epoch**:
+//!
+//! 1. **Issue phase.** All instructions whose QIDG predecessors have
+//!    finished are considered in policy order (the `qspr-sched`
+//!    priority list for QSPR, ALAP order for QUALE, ASAP plus
+//!    dependent-count for QPOS). A 1-qubit instruction starts its gate
+//!    in place; a 2-qubit instruction picks the cheapest meeting trap
+//!    (per the movement policy: both operands to a median trap, or the
+//!    source to the destination) and submits its operand legs to the
+//!    routing engine. Instructions that cannot route or find no free
+//!    seat join the **busy queue**.
+//! 2. **Batch routing.** The epoch's movers go to the configured
+//!    `qspr_route::RoutingEngine` *as one batch*. The greedy engine
+//!    answers immediately, first-come-first-served; the negotiated
+//!    engine may rip up and re-route the whole set. To allow that,
+//!    the simulator *defers* each leg's finalization — events, per-leg
+//!    stats, trace output — until the end of the issue phase
+//!    (`finalize_epoch`), when the engine's plans are final. A later
+//!    mover that comes back blocked can trigger a joint renegotiation
+//!    of the epoch's still-uncommitted legs.
+//! 3. **Event pop.** The earliest event fires and the clock jumps to
+//!    it. The paper's two event kinds drive everything: *instruction
+//!    finished* (its QIDG successors may now be ready, its trap seats
+//!    free up) and *qubit exits a channel* (booked segments and
+//!    junctions release, so busy-queue entries get retried). Each pop
+//!    re-enters the issue phase; the loop ends when the event queue
+//!    drains, and stalls (a non-empty busy queue that no event can
+//!    unblock) surface as [`MapError::Stalled`] rather than hanging.
+//!
+//! Instruction delay follows the paper's Eq. 1,
+//! `T_gate + T_routing + T_congestion`: the gate term comes from the
+//! QIDG, the routing term from the committed [`qspr_route::RoutePlan`],
+//! and the congestion term is *measured* — the time an instruction
+//! spent parked in the busy queue — which is what
+//! [`MappingOutcome::totals`] reports as `congestion_wait`.
+//!
+//! ```
+//! use qspr_fabric::{Fabric, TechParams};
+//! use qspr_qasm::Program;
+//! use qspr_sim::{Mapper, MapperPolicy, Placement, RouterKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fabric = Fabric::quale_45x85();
+//! let tech = TechParams::date2012();
+//! let program = Program::parse(
+//!     "QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-Z b,c\nC-Y c,a\n",
+//! )?;
+//! let placement = Placement::center(&fabric, program.num_qubits());
+//!
+//! // The same epoch loop drives both engines; runs are deterministic.
+//! let mapper = Mapper::new(&fabric, tech, MapperPolicy::qspr(&tech));
+//! let greedy = mapper.clone().map(&program, &placement)?;
+//! let negotiated = mapper
+//!     .clone()
+//!     .router(RouterKind::Negotiated)
+//!     .map(&program, &placement)?;
+//! assert_eq!(greedy.latency(), mapper.map(&program, &placement)?.latency());
+//! // Epochs are counted per issue phase that routed at least one leg.
+//! assert!(greedy.routing_stats().epochs > 0);
+//! assert!(negotiated.routing_stats().epochs > 0);
+//! // Eq. 1 decomposition per instruction: ready ≤ issued ≤ gate ≤ done.
+//! assert!(greedy
+//!     .instr_stats()
+//!     .iter()
+//!     .all(|s| s.ready_at <= s.issued_at
+//!         && s.issued_at <= s.gate_start
+//!         && s.gate_start < s.finish));
+//! # Ok(())
+//! # }
+//! ```
 
 mod engine;
 mod error;
