@@ -23,7 +23,7 @@ fn loaded_state(router: &Router<'_>, load: usize) -> ResourceState {
         let (a, b) = (order[(i * 83) % n], order[(i * 83 + 40) % n]);
         if let Some(plan) = router.route(&state, a, b) {
             for usage in plan.resources() {
-                state.book(usage.resource);
+                state.book(usage.resource).unwrap();
             }
         }
     }

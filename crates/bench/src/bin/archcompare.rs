@@ -7,16 +7,25 @@
 //! serializes on its single channel, while denser grids trade wiring
 //! area for shorter routes.
 //!
-//! Usage: `cargo run -p qspr-bench --bin archcompare --release [--quick]`
+//! Usage: `cargo run -p qspr-bench --bin archcompare --release
+//! [--quick] [--fabrics DIR]`
+//!
+//! With `--fabrics DIR` the hardcoded variants are replaced by a sweep
+//! over every fabric description file in `DIR` (sorted by file name):
+//! each file is loaded through the spec layer's [`Fabric::parse`] —
+//! JSON `FabricSpec` documents or ASCII art, auto-detected — so a
+//! directory of committed specs (e.g. `examples/fabrics/`) becomes an
+//! architecture-comparison experiment with no code change.
 
 use qspr_bench::quick_mode;
 use qspr_fabric::{Fabric, RegularFabricSpec, TechParams};
 use qspr_qecc::codes::benchmark_suite;
 use qspr_sim::{Mapper, MapperPolicy, Placement};
 
-fn main() {
-    let tech = TechParams::date2012();
-    let fabrics: Vec<(String, Fabric)> = vec![
+/// The built-in comparison set: pitches around the paper's 45×85 grid
+/// plus the junction-free linear fabric.
+fn builtin_fabrics() -> Vec<(String, Fabric)> {
+    vec![
         ("grid-45x85-p4".to_owned(), Fabric::quale_45x85()),
         (
             "grid-31x61-p3".to_owned(),
@@ -31,12 +40,76 @@ fn main() {
                 .expect("valid spec"),
         ),
         ("linear-24".to_owned(), Fabric::linear(24)),
-    ];
+    ]
+}
+
+/// Loads every file in `dir` as a fabric description, sorted by file
+/// name for a deterministic sweep order. Exits with a diagnostic on
+/// the first unreadable or malformed file.
+fn swept_fabrics(dir: &str) -> Vec<(String, Fabric)> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("archcompare: cannot read {dir}: {e}");
+            std::process::exit(2);
+        })
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("archcompare: no fabric files in {dir}");
+        std::process::exit(2);
+    }
+    paths
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("archcompare: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let fabric = Fabric::parse(&text).unwrap_or_else(|e| {
+                eprintln!("archcompare: {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let name = fabric
+                .info()
+                .map(|info| info.name.clone())
+                .unwrap_or_else(|| {
+                    path.file_stem().map_or_else(
+                        || path.display().to_string(),
+                        |s| s.to_string_lossy().into_owned(),
+                    )
+                });
+            (name, fabric)
+        })
+        .collect()
+}
+
+fn main() {
+    let tech = TechParams::date2012();
+    let args: Vec<String> = std::env::args().collect();
+    let swept = args.iter().any(|a| a == "--fabrics");
+    let fabrics = match args.iter().position(|a| a == "--fabrics") {
+        Some(i) => match args.get(i + 1) {
+            Some(dir) => swept_fabrics(dir),
+            None => {
+                eprintln!("archcompare: --fabrics needs a directory argument");
+                std::process::exit(2);
+            }
+        },
+        None => builtin_fabrics(),
+    };
 
     let take = if quick_mode() { 3 } else { 6 };
     let suite: Vec<_> = benchmark_suite().into_iter().take(take).collect();
 
-    print!("{:<16} {:>7} {:>9}", "fabric", "traps", "diameter");
+    let name_width = fabrics
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0)
+        .max("fabric".len());
+    print!("{:<name_width$} {:>7} {:>9}", "fabric", "traps", "diameter");
     for bench in &suite {
         print!(" {:>10}", bench.name);
     }
@@ -44,7 +117,7 @@ fn main() {
     for (name, fabric) in &fabrics {
         let stats = fabric.stats();
         print!(
-            "{:<16} {:>7} {:>9}",
+            "{:<name_width$} {:>7} {:>9}",
             name, stats.traps, stats.junction_diameter_moves
         );
         let mapper = Mapper::new(fabric, tech, MapperPolicy::qspr(&tech));
@@ -63,6 +136,9 @@ fn main() {
         println!();
     }
     println!("\n(latencies in µs, center placement, QSPR policy; '-' = too few traps)");
+    if swept {
+        return;
+    }
     println!("Finding: at the paper's timings (T_turn = 10xT_move) and these circuit");
     println!("sizes, the junction-free linear fabric wins — turns cost more than");
     println!("single-channel serialization up to ~50 qubits. This is consistent with");

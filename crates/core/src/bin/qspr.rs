@@ -11,8 +11,8 @@
 //! qspr version
 //! ```
 //!
-//! `--fabric` takes either `quale45x85` (default) or a path to an ASCII
-//! fabric file; `--router` is `greedy` (default) or `negotiated`
+//! `--fabric` takes `quale45x85` (default) or a path to a fabric file —
+//! a JSON `FabricSpec` document or plain ASCII art (auto-detected); `--router` is `greedy` (default) or `negotiated`
 //! (PathFinder-style rip-up-and-reroute); `--format` is `text`
 //! (default) or `json` (stable machine-readable schema); `CODE` is one
 //! of `5,1,3`, `7,1,3`, `9,1,3`, `14,8,3`, `19,1,7`, `23,1,7`.
@@ -57,7 +57,7 @@ usage:
   qspr version
 
 options:
-  --fabric F    quale45x85 (default) or a path to an ASCII fabric file
+  --fabric F    quale45x85 (default) or a fabric file (spec JSON or ASCII art)
   --policy P    mapper policy for `map` (default qspr)
   --router R    routing engine: greedy (default) or negotiated
   --m N         MVFB seed count (default 25)
@@ -190,7 +190,7 @@ impl Cli {
             None | Some("quale45x85") => Ok(Fabric::quale_45x85()),
             Some(path) => {
                 let text = std::fs::read_to_string(path).map_err(|e| QsprError::io(path, e))?;
-                Ok(Fabric::from_ascii(&text)?)
+                Ok(Fabric::parse(&text)?)
             }
         }
     }

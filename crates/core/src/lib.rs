@@ -73,7 +73,7 @@ pub mod service;
 pub use ablation::ablation_policies;
 pub use batch::{BatchError, BatchItem, BatchJob, BatchMapper, BatchReport};
 pub use error::QsprError;
-pub use flow::{Flow, FlowPolicy, FlowResult, FlowSummary};
+pub use flow::{FabricSummary, Flow, FlowPolicy, FlowResult, FlowSummary};
 pub use json::ToJson;
 pub use noise::NoiseModel;
 pub use report::{ComparisonRow, PlacerComparisonRow};

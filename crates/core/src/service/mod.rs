@@ -17,14 +17,18 @@
 //!
 //! | endpoint | body | response |
 //! |---|---|---|
-//! | `POST /map` | `{"program", "policy"?, "router"?, "m"?, "trace"?}` | the [`FlowSummary`](crate::FlowSummary) JSON of `qspr map --format json` |
-//! | `POST /compare` | `{"program", "name"?, "router"?, "m"?}` | the [`ComparisonRow`](crate::ComparisonRow) JSON of `qspr compare --format json` |
+//! | `POST /map` | `{"program", "policy"?, "router"?, "m"?, "trace"?, "fabric"?}` | the [`FlowSummary`](crate::FlowSummary) JSON of `qspr map --format json` |
+//! | `POST /compare` | `{"program", "name"?, "router"?, "m"?, "fabric"?}` | the [`ComparisonRow`](crate::ComparisonRow) JSON of `qspr compare --format json` |
 //! | `GET /healthz` | — | `{"status":"ok"}` |
 //! | `GET /stats` | — | [`StatsSnapshot`] JSON: requests, cache hits/misses, worker busy time |
 //! | `POST /shutdown` | — | `{"status":"shutting-down"}`, then a graceful stop |
 //!
 //! Defaults mirror the CLI: `policy` `"qspr"`, `router` `"greedy"`,
-//! `m` 25, `trace` false. Unknown body fields are rejected (`400`), an
+//! `m` 25, `trace` false. The optional `"fabric"` field carries a
+//! fabric description *document* (a JSON [`qspr_fabric::FabricSpec`]
+//! embedded as a string, or ASCII art) and maps that request onto the
+//! described fabric instead of the server's resident one; a malformed
+//! document is `422`. Unknown body fields are rejected (`400`), an
 //! unmappable program is `422`, and every response is
 //! `application/json` with `Connection: close` (one request per
 //! connection keeps the fixed pool starvation-free). Untrusted input
@@ -219,6 +223,9 @@ struct MapRequest {
     trace: bool,
     /// `/compare` only: the circuit name echoed in the row.
     name: String,
+    /// Optional fabric description document (spec JSON or ASCII art)
+    /// overriding the server's resident fabric for this request.
+    fabric: Option<String>,
 }
 
 impl MapService {
@@ -314,11 +321,30 @@ impl MapService {
             Ok(request) => request,
             Err(e) => return error_response(400, &e.to_string()),
         };
-        let flow = self.flow_for(&request);
+        // A request-supplied fabric document replaces the resident
+        // fabric for this request only; a document that fails to parse
+        // is well-formed JSON carrying unprocessable content, i.e. 422.
+        let fabric = match &request.fabric {
+            None => None,
+            Some(text) => match Fabric::parse(text) {
+                Ok(fabric) => Some(Arc::new(fabric)),
+                Err(e) => return error_response(422, &e.to_string()),
+            },
+        };
+        let flow = self.flow_for(&request, fabric);
+        // The fingerprint hashes fabric geometry and capacities but not
+        // spec provenance (which shows up in the response's `fabric`
+        // block), so the document itself joins the cache key verbatim.
+        let fabric_key = request.fabric.as_deref().map_or(String::new(), |text| {
+            format!("fabric:{}:{text}|", text.len())
+        });
         let key = match endpoint {
-            Endpoint::Map => format!("map|{}", flow.fingerprint(&request.program_text)),
+            Endpoint::Map => format!(
+                "map|{fabric_key}{}",
+                flow.fingerprint(&request.program_text)
+            ),
             Endpoint::Compare => format!(
-                "compare|{}:{}|{}",
+                "compare|{fabric_key}{}:{}|{}",
                 request.name.len(),
                 request.name,
                 flow.fingerprint(&request.program_text)
@@ -351,8 +377,14 @@ impl MapService {
     }
 
     /// The shared [`Flow`] for a request's configuration, created on
-    /// first use; every flow shares the service fabric's `Arc`.
-    fn flow_for(&self, request: &MapRequest) -> Flow {
+    /// first use; every flow shares the service fabric's `Arc`. A
+    /// request-supplied `fabric` gets a one-off flow instead — the
+    /// flows map is keyed by configuration only and must stay bound to
+    /// the resident fabric.
+    fn flow_for(&self, request: &MapRequest, fabric: Option<Arc<Fabric>>) -> Flow {
+        if let Some(fabric) = fabric {
+            return Self::configure(Flow::on(fabric), request);
+        }
         let key = format!(
             "{}|{}|{}|{}",
             request.policy, request.router, request.seeds, request.trace
@@ -360,14 +392,16 @@ impl MapService {
         let mut flows = self.flows.lock().expect("flows lock");
         flows
             .entry(key)
-            .or_insert_with(|| {
-                Flow::on(Arc::clone(&self.fabric))
-                    .policy(request.policy)
-                    .router(request.router)
-                    .seeds(request.seeds)
-                    .record_trace(request.trace)
-            })
+            .or_insert_with(|| Self::configure(Flow::on(Arc::clone(&self.fabric)), request))
             .clone()
+    }
+
+    /// Applies a request's configuration fields to `flow`.
+    fn configure(flow: Flow, request: &MapRequest) -> Flow {
+        flow.policy(request.policy)
+            .router(request.router)
+            .seeds(request.seeds)
+            .record_trace(request.trace)
     }
 }
 
@@ -416,8 +450,8 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
         return Err(QsprError::usage("request body must be a JSON object"));
     };
     let allowed: &[&str] = match endpoint {
-        Endpoint::Map => &["program", "policy", "router", "m", "trace"],
-        Endpoint::Compare => &["program", "name", "router", "m"],
+        Endpoint::Map => &["program", "policy", "router", "m", "trace", "fabric"],
+        Endpoint::Compare => &["program", "name", "router", "m", "fabric"],
     };
     for (key, _) in fields {
         if !allowed.contains(&key.as_str()) {
@@ -475,6 +509,16 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
             .ok_or_else(|| QsprError::usage("field \"name\" must be a string"))?
             .to_owned(),
     };
+    let fabric = match value.get("fabric") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| {
+                    QsprError::usage("field \"fabric\" must be a string (spec JSON or ASCII art)")
+                })?
+                .to_owned(),
+        ),
+    };
     Ok(MapRequest {
         program_text,
         program,
@@ -483,6 +527,7 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
         seeds,
         trace,
         name,
+        fabric,
     })
 }
 

@@ -111,7 +111,7 @@ fn healthz_and_error_bodies_are_pinned() {
     assert!(response.body.starts_with(r#"{"error":"invalid JSON body:"#));
     assert_eq!(
         post(&service, "/map", r#"{"frob":1}"#).body,
-        r#"{"error":"unknown field \"frob\" (allowed: program, policy, router, m, trace)"}"#
+        r#"{"error":"unknown field \"frob\" (allowed: program, policy, router, m, trace, fabric)"}"#
     );
     assert_eq!(
         get(&service, "/nope"),
@@ -224,7 +224,9 @@ fn compare_rejects_map_only_fields() {
         &format!("{{\"program\":{BELL:?},\"trace\":true}}"),
     );
     assert_eq!(response.status, 400);
-    assert!(response.body.contains("allowed: program, name, router, m"));
+    assert!(response
+        .body
+        .contains("allowed: program, name, router, m, fabric"));
 }
 
 #[test]
@@ -275,6 +277,67 @@ fn flows_are_reused_per_configuration() {
     for flow in service.flows.lock().unwrap().values() {
         assert!(Arc::ptr_eq(flow.fabric_arc(), service.fabric()));
     }
+}
+
+#[test]
+fn request_fabric_overrides_the_resident_fabric() {
+    let service = service();
+    // A spec expressible only through the description layer: two
+    // junction types with different capacities.
+    let spec = r#"{
+        "name": "hetero",
+        "types": [{"name": "wide", "kind": "junction", "capacity": 4}],
+        "regions": [{"family": "regular", "rows": 9, "cols": 9, "pitch": 4}],
+        "capacities": [{"type": "wide", "at": [0, 0]}]
+    }"#;
+    let body = format!("{{\"program\":{BELL:?},\"m\":2,\"fabric\":{spec:?}}}");
+    let response = post(&service, "/map", &body);
+    assert_eq!(response.status, 200, "{}", response.body);
+    // The response advertises the spec provenance in its fabric block.
+    assert!(
+        response
+            .body
+            .contains(r#""fabric":{"name":"hetero","family":"regular","regions":1,"#),
+        "{}",
+        response.body
+    );
+    assert!(response.body.contains(r#"{"capacity":4,"count":1}"#));
+    // One-off fabrics never land in the per-configuration flows map.
+    assert_eq!(service.flows.lock().unwrap().len(), 0);
+    // And the cached repeat is byte-identical.
+    let warm = post(&service, "/map", &body);
+    assert_eq!(warm, response);
+    // ASCII art works through the same field, without a fabric block.
+    let art = "-+-+-\n.|T|.\n-+-+-\n.|T|.\n-+-+-\n";
+    let ascii_body = format!("{{\"program\":{BELL:?},\"m\":2,\"fabric\":{art:?}}}");
+    let ascii = post(&service, "/map", &ascii_body);
+    assert_eq!(ascii.status, 200, "{}", ascii.body);
+    assert!(!ascii.body.contains(r#""fabric":"#), "{}", ascii.body);
+}
+
+#[test]
+fn malformed_fabric_documents_are_422_goldens() {
+    // Golden: a malformed spec document is 422 with the pinned
+    // {"error":"invalid fabric spec: ..."} wire shape, not a panic.
+    let service = service();
+    let body = format!("{{\"program\":{BELL:?},\"m\":2,\"fabric\":\"{{\\\"nope\\\":1}}\"}}");
+    let response = post(&service, "/map", &body);
+    assert_eq!(response.status, 422, "{}", response.body);
+    assert!(
+        response
+            .body
+            .starts_with(r#"{"error":"invalid fabric spec:"#),
+        "{}",
+        response.body
+    );
+    // A non-string fabric field is a 400 schema error.
+    let response = post(
+        &service,
+        "/map",
+        &format!("{{\"program\":{BELL:?},\"fabric\":7}}"),
+    );
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("must be a string"));
 }
 
 #[test]

@@ -40,6 +40,13 @@ pub enum FabricError {
     TrapWithoutPort(Coord),
     /// A regular-fabric spec was inconsistent (e.g. pitch < 2).
     BadSpec(String),
+    /// A booking counter hit its hard ceiling (`u8::MAX` concurrent
+    /// bookings on one resource): the capacity configuration admits more
+    /// simultaneous users than the occupancy accounting can count.
+    CapacityOverflow {
+        /// Display form of the saturated resource (e.g. `seg#3`).
+        resource: String,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -63,6 +70,9 @@ impl fmt::Display for FabricError {
                 write!(f, "trap at {c} has no adjacent channel cell")
             }
             FabricError::BadSpec(msg) => write!(f, "invalid fabric spec: {msg}"),
+            FabricError::CapacityOverflow { resource } => {
+                write!(f, "booking counter saturated on {resource}")
+            }
         }
     }
 }

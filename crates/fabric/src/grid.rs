@@ -4,6 +4,7 @@ use std::fmt;
 
 use crate::cell::{Cell, Coord};
 use crate::error::FabricError;
+use crate::spec::FabricInfo;
 use crate::topology::Topology;
 
 /// An ion-trap circuit fabric: a rectangular grid of cells plus its derived
@@ -31,12 +32,22 @@ pub struct Fabric {
     cols: u16,
     grid: Vec<Cell>,
     topology: Topology,
+    /// Provenance metadata attached by the spec elaborator (absent on
+    /// directly constructed fabrics). Descriptive only — never physics.
+    info: Option<FabricInfo>,
 }
 
 impl PartialEq for Fabric {
     fn eq(&self, other: &Fabric) -> bool {
-        // The topology is a pure function of the grid.
-        self.rows == other.rows && self.cols == other.cols && self.grid == other.grid
+        // The topology is a pure function of the grid plus the capacity
+        // overrides, so comparing those compares the physics. The `info`
+        // metadata is provenance, not physics, and is excluded: a fabric
+        // built from a spec equals the same fabric built directly.
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.grid == other.grid
+            && self.topology.segment_caps() == other.topology.segment_caps()
+            && self.topology.junction_caps() == other.topology.junction_caps()
     }
 }
 
@@ -53,6 +64,23 @@ impl Fabric {
     /// * [`FabricError::NoTraps`] / [`FabricError::TrapWithoutPort`] if the
     ///   layout cannot host computation.
     pub fn new(rows: usize, cols: usize, cells: Vec<Cell>) -> Result<Fabric, FabricError> {
+        Fabric::with_capacities(rows, cols, cells, &[])
+    }
+
+    /// Like [`Fabric::new`], with per-cell capacity overrides (row-major,
+    /// same dimensions; empty for a uniform fabric). This is the spec
+    /// elaborator's entry point; see [`crate::FabricSpec`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Fabric::new`], plus [`FabricError::DimensionMismatch`] when a
+    /// non-empty `cell_caps` has the wrong length.
+    pub fn with_capacities(
+        rows: usize,
+        cols: usize,
+        cells: Vec<Cell>,
+        cell_caps: &[Option<u8>],
+    ) -> Result<Fabric, FabricError> {
         if rows == 0 || cols == 0 {
             return Err(FabricError::EmptyGrid);
         }
@@ -65,13 +93,20 @@ impl Fabric {
                 actual: cells.len(),
             });
         }
+        if !cell_caps.is_empty() && cell_caps.len() != rows * cols {
+            return Err(FabricError::DimensionMismatch {
+                expected: rows * cols,
+                actual: cell_caps.len(),
+            });
+        }
         let (rows, cols) = (rows as u16, cols as u16);
-        let topology = Topology::build(rows, cols, &cells)?;
+        let topology = Topology::build(rows, cols, &cells, cell_caps)?;
         Ok(Fabric {
             rows,
             cols,
             grid: cells,
             topology,
+            info: None,
         })
     }
 
@@ -159,6 +194,17 @@ impl Fabric {
     /// The derived connectivity (segments, junctions, trap ports).
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// Spec provenance metadata, when this fabric was elaborated from a
+    /// [`crate::FabricSpec`]; `None` for directly constructed fabrics.
+    pub fn info(&self) -> Option<&FabricInfo> {
+        self.info.as_ref()
+    }
+
+    /// Attaches (or clears) spec provenance metadata.
+    pub(crate) fn set_info(&mut self, info: Option<FabricInfo>) {
+        self.info = info;
     }
 }
 

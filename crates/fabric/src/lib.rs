@@ -41,6 +41,7 @@ mod grid;
 mod pmd;
 mod regular;
 mod search;
+mod spec;
 mod stats;
 mod topology;
 
@@ -50,6 +51,7 @@ pub use grid::Fabric;
 pub use pmd::{TechParams, Time};
 pub use regular::RegularFabricSpec;
 pub use search::{SearchEdge, SearchGraph};
+pub use spec::{FabricInfo, FabricSpec};
 pub use stats::FabricStats;
 pub use topology::{
     Direction, Junction, JunctionId, Port, Segment, SegmentEnd, SegmentId, Topology, Trap, TrapId,

@@ -4,6 +4,7 @@
 use crate::cell::Cell;
 use crate::error::FabricError;
 use crate::grid::Fabric;
+use crate::spec::FabricSpec;
 
 /// Parameters of a regular grid fabric.
 ///
@@ -53,7 +54,23 @@ impl RegularFabricSpec {
         self.pitch
     }
 
-    /// Generates the fabric.
+    /// The equivalent declarative document: a single-region
+    /// [`FabricSpec`] with the `regular` family. Serializing it with
+    /// [`FabricSpec::to_json`] yields a file the CLI and `archcompare`
+    /// can load.
+    pub fn to_spec(&self) -> FabricSpec {
+        FabricSpec::regular(
+            &format!("regular-{}x{}-p{}", self.rows, self.cols, self.pitch),
+            self.rows,
+            self.cols,
+            self.pitch,
+        )
+    }
+
+    /// Generates the fabric by elaborating [`RegularFabricSpec::to_spec`]
+    /// — this type is now a thin wrapper over the declarative spec
+    /// layer, and produces a byte-identical fabric to the pre-spec
+    /// direct painter (pinned by round-trip tests).
     ///
     /// # Errors
     ///
@@ -61,51 +78,7 @@ impl RegularFabricSpec {
     /// small to contain a full tile (needs at least `pitch+1` in each
     /// dimension), plus any validation error from [`Fabric::new`].
     pub fn build(&self) -> Result<Fabric, FabricError> {
-        let RegularFabricSpec { rows, cols, pitch } = *self;
-        if pitch < 2 {
-            return Err(FabricError::BadSpec(format!(
-                "pitch must be at least 2, got {pitch}"
-            )));
-        }
-        if rows < pitch + 1 || cols < pitch + 1 {
-            return Err(FabricError::BadSpec(format!(
-                "grid {rows}×{cols} smaller than one tile (pitch {pitch})"
-            )));
-        }
-        let mut cells = vec![Cell::Empty; rows as usize * cols as usize];
-        let idx = |r: u16, c: u16| r as usize * cols as usize + c as usize;
-        for r in 0..rows {
-            for c in 0..cols {
-                let on_h = r % pitch == 0;
-                let on_v = c % pitch == 0;
-                cells[idx(r, c)] = match (on_h, on_v) {
-                    (true, true) => Cell::Junction,
-                    (true, false) => Cell::HChannel,
-                    (false, true) => Cell::VChannel,
-                    (false, false) => Cell::Empty,
-                };
-            }
-        }
-        // Traps at tile-interior corners, only where a channel is adjacent
-        // (this guards partial tiles at ragged edges).
-        for r in 1..rows {
-            for c in 1..cols {
-                let (ro, co) = (r % pitch, c % pitch);
-                let corner_row = ro == 1 || ro == pitch - 1;
-                let corner_col = co == 1 || co == pitch - 1;
-                if !(corner_row && corner_col) || ro == 0 || co == 0 {
-                    continue;
-                }
-                let coord = crate::cell::Coord::new(r, c);
-                let has_port = coord
-                    .neighbors(rows, cols)
-                    .any(|n| cells[idx(n.row, n.col)].is_channel());
-                if has_port && cells[idx(r, c)] == Cell::Empty {
-                    cells[idx(r, c)] = Cell::Trap;
-                }
-            }
-        }
-        Fabric::new(rows as usize, cols as usize, cells)
+        self.to_spec().build_anonymous()
     }
 }
 

@@ -484,13 +484,18 @@ impl<'a> NegotiatedRouter<'a> {
 
     fn book_extra(&mut self, plan: &RoutePlan) {
         for u in plan.resources() {
+            // Saturating: tentative soft-mode bookings are not capacity
+            // checked, and a pathological epoch must stay merely
+            // congested rather than wrap the counter.
             let stamp = match u.resource {
                 Resource::Segment(s) => {
-                    self.extra_segments[s.index()] += 1;
+                    let slot = &mut self.extra_segments[s.index()];
+                    *slot = slot.saturating_add(1);
                     &mut self.seg_touched[s.index()]
                 }
                 Resource::Junction(j) => {
-                    self.extra_junctions[j.index()] += 1;
+                    let slot = &mut self.extra_junctions[j.index()];
+                    *slot = slot.saturating_add(1);
                     &mut self.junc_touched[j.index()]
                 }
             };
@@ -504,8 +509,14 @@ impl<'a> NegotiatedRouter<'a> {
     fn unbook_extra(&mut self, plan: &RoutePlan) {
         for u in plan.resources() {
             match u.resource {
-                Resource::Segment(s) => self.extra_segments[s.index()] -= 1,
-                Resource::Junction(j) => self.extra_junctions[j.index()] -= 1,
+                Resource::Segment(s) => {
+                    let slot = &mut self.extra_segments[s.index()];
+                    *slot = slot.saturating_sub(1);
+                }
+                Resource::Junction(j) => {
+                    let slot = &mut self.extra_junctions[j.index()];
+                    *slot = slot.saturating_sub(1);
+                }
             }
         }
     }
@@ -517,8 +528,6 @@ impl<'a> NegotiatedRouter<'a> {
     /// An untouched resource has no batch bookings and the shared state
     /// is feasible by construction, so it cannot be over capacity.
     fn mark_conflicts(&mut self, state: &ResourceState, epoch: &mut EpochStats) -> usize {
-        let cfg = self.router.config();
-        let (channel_cap, junction_cap) = (cfg.channel_capacity, cfg.junction_capacity);
         self.conflict_gen = self.conflict_gen.wrapping_add(1);
         if self.conflict_gen == 0 {
             // Generation 0 is skipped, so a 0 stamp is never current.
@@ -528,9 +537,13 @@ impl<'a> NegotiatedRouter<'a> {
         }
         let mut conflicts = 0;
         for &resource in &self.touched {
-            let (extra, cap) = match resource {
-                Resource::Segment(s) => (self.extra_segments[s.index()], channel_cap),
-                Resource::Junction(j) => (self.extra_junctions[j.index()], junction_cap),
+            // Per-resource: a spec capacity override beats the global
+            // technology default, so negotiation converges toward the
+            // same feasibility the hard-capacity search enforces.
+            let cap = self.router.capacity(resource);
+            let extra = match resource {
+                Resource::Segment(s) => self.extra_segments[s.index()],
+                Resource::Junction(j) => self.extra_junctions[j.index()],
             };
             let n = state.usage(resource).saturating_add(extra);
             if extra > 0 {
@@ -638,14 +651,15 @@ impl<'a> NegotiatedRouter<'a> {
         // Commit pass: hard capacities, request order. Keep each
         // negotiated plan that still fits; hard-reroute the rest.
         self.scratch.clone_from(state);
-        let cfg = *self.router.config();
         let mut out = Vec::with_capacity(requests.len());
         for (slot, req) in plans.iter_mut().zip(requests) {
-            let candidate = slot.take().filter(|p| fits(&self.scratch, p, &cfg));
+            let candidate = slot.take().filter(|p| fits(&self.scratch, p, &self.router));
             let plan = candidate.or_else(|| self.router.route(&self.scratch, req.from, req.to));
             if let Some(p) = &plan {
                 for u in p.resources() {
-                    self.scratch.book(u.resource);
+                    self.scratch
+                        .book(u.resource)
+                        .expect("capacity-checked plans stay below u8::MAX bookings");
                 }
             }
             out.push(plan);
@@ -747,15 +761,11 @@ impl RoutingEngine for NegotiatedRouter<'_> {
 }
 
 /// `true` when booking every resource of `plan` on top of `state` stays
-/// within the configured capacities.
-fn fits(state: &ResourceState, plan: &RoutePlan, config: &RouterConfig) -> bool {
-    plan.resources().iter().all(|u| {
-        let cap = match u.resource {
-            Resource::Segment(_) => config.channel_capacity,
-            Resource::Junction(_) => config.junction_capacity,
-        };
-        state.usage(u.resource) < cap
-    })
+/// within the effective (per-resource) capacities.
+fn fits(state: &ResourceState, plan: &RoutePlan, router: &Router<'_>) -> bool {
+    plan.resources()
+        .iter()
+        .all(|u| state.usage(u.resource) < router.capacity(u.resource))
 }
 
 /// Joint quality of a batch answer, smaller is better: blocked movers,
@@ -805,7 +815,9 @@ fn greedy_solve(
         match router.route(scratch, req.from, req.to) {
             Some(plan) => {
                 for u in plan.resources() {
-                    scratch.book(u.resource);
+                    scratch
+                        .book(u.resource)
+                        .expect("capacity-checked plans stay below u8::MAX bookings");
                     if let Resource::Segment(_) = u.resource {
                         pressure = pressure.max(scratch.usage(u.resource));
                     }
@@ -874,7 +886,7 @@ mod tests {
         let mut manual = ResourceState::new(topo);
         let first = router.route(&manual, traps[0], traps[50]).unwrap();
         for u in first.resources() {
-            manual.book(u.resource);
+            manual.book(u.resource).unwrap();
         }
         let second = router.route(&manual, traps[1], traps[51]).unwrap();
         assert_eq!(plans[0].as_ref(), Some(&first));

@@ -33,7 +33,7 @@ proptest! {
             }
             if let Some(plan) = router.route(&state, from, to) {
                 for usage in plan.resources() {
-                    state.book(usage.resource);
+                    state.book(usage.resource).unwrap();
                     let cap = match usage.resource {
                         crate::resource::Resource::Segment(_) => tech.channel_capacity,
                         crate::resource::Resource::Junction(_) => tech.junction_capacity,
@@ -75,7 +75,7 @@ proptest! {
         if lt != from && lt != to {
             if let Some(plan) = router.route(&loaded, from, lt) {
                 for usage in plan.resources() {
-                    loaded.book(usage.resource);
+                    loaded.book(usage.resource).unwrap();
                 }
             }
         }
@@ -120,7 +120,7 @@ proptest! {
             let mut occupancy = ResourceState::new(topo);
             for plan in plans.iter().flatten() {
                 for usage in plan.resources() {
-                    occupancy.book(usage.resource);
+                    occupancy.book(usage.resource).unwrap();
                     let cap = match usage.resource {
                         crate::Resource::Segment(_) => config.channel_capacity,
                         crate::Resource::Junction(_) => config.junction_capacity,
@@ -215,7 +215,7 @@ proptest! {
             }
             if let Some(plan) = router.route(&state, from, to) {
                 for usage in plan.resources() {
-                    state.book(usage.resource);
+                    state.book(usage.resource).unwrap();
                 }
             }
         }
@@ -252,6 +252,125 @@ proptest! {
                     "{} route_one from {} to {}", kind, from, to
                 );
             }
+        }
+    }
+
+    /// Per-resource capacities from the spec layer. Two properties:
+    /// on a fabric with *heterogeneous* junction/segment overrides the
+    /// arena search stays identical to the naive reference (both read
+    /// capacities through the same per-resource tables), and overrides
+    /// *equal* to the config's global caps are indistinguishable from
+    /// the override-free fabric — the uniform-fabric byte-identity
+    /// guarantee.
+    #[test]
+    fn per_resource_capacities_agree_with_naive_and_uniform_baseline(
+        rows in 9u16..16,
+        cols in 9u16..16,
+        junction_cap in 1u8..5,
+        channel_cap in 1u8..5,
+        load in proptest::collection::vec((0usize..64, 0usize..64), 0..5),
+        pairs in proptest::collection::vec((0usize..64, 0usize..64), 1..6),
+    ) {
+        let tech = TechParams::date2012();
+        let config = RouterConfig::qspr(&tech);
+        let plain = qspr_fabric::RegularFabricSpec::new(rows, cols, 4)
+            .build()
+            .expect("geometry fits at least one pitch-4 tile");
+
+        // Heterogeneous overrides: wide junctions on the left half,
+        // fat channels on the top half, defaults elsewhere.
+        let hetero_doc = format!(
+            r#"{{
+                "name": "hetero",
+                "types": [
+                    {{"name": "wide", "kind": "junction", "capacity": {junction_cap}}},
+                    {{"name": "fat", "kind": "channel", "capacity": {channel_cap}}}
+                ],
+                "regions": [{{"family": "regular", "rows": {rows}, "cols": {cols}, "pitch": 4}}],
+                "capacities": [
+                    {{"type": "wide", "rect": [0, 0, {}, {}]}},
+                    {{"type": "fat", "rect": [0, 0, {}, {}]}}
+                ]
+            }}"#,
+            rows - 1, cols / 2, rows / 2, cols - 1,
+        );
+        let hetero = qspr_fabric::FabricSpec::parse_json(&hetero_doc)
+            .expect("well-formed document")
+            .build()
+            .expect("halves of a 9+ grid contain junctions and channels");
+        prop_assert!(hetero.topology().has_capacity_overrides());
+        let router = Router::new(hetero.topology(), config);
+        let n = hetero.topology().traps().len();
+
+        let mut state = ResourceState::new(hetero.topology());
+        for &(a, b) in &load {
+            let (from, to) = (TrapId((a % n) as u32), TrapId((b % n) as u32));
+            if from == to {
+                continue;
+            }
+            if let Some(plan) = router.route(&state, from, to) {
+                for usage in plan.resources() {
+                    state.book(usage.resource).unwrap();
+                    prop_assert!(
+                        state.usage(usage.resource) <= router.capacity(usage.resource),
+                        "{} over its per-resource capacity", usage.resource
+                    );
+                }
+            }
+        }
+        for &(a, b) in &pairs {
+            let (from, to) = (TrapId((a % n) as u32), TrapId((b % n) as u32));
+            let fast = router.route_with(&state, from, to, None);
+            let naive = router.route_naive(&state, from, to, None);
+            prop_assert_eq!(&fast, &naive, "hetero from {} to {}", from, to);
+        }
+
+        // Uniform baseline: overriding every resource with the global
+        // caps must reproduce the override-free plans byte for byte.
+        let uniform_doc = format!(
+            r#"{{
+                "name": "uniform",
+                "types": [
+                    {{"name": "j", "kind": "junction", "capacity": {}}},
+                    {{"name": "c", "kind": "channel", "capacity": {}}}
+                ],
+                "regions": [{{"family": "regular", "rows": {rows}, "cols": {cols}, "pitch": 4}}],
+                "capacities": [
+                    {{"type": "j", "rect": [0, 0, {}, {}]}},
+                    {{"type": "c", "rect": [0, 0, {}, {}]}}
+                ]
+            }}"#,
+            config.junction_capacity, config.channel_capacity,
+            rows - 1, cols - 1, rows - 1, cols - 1,
+        );
+        let uniform = qspr_fabric::FabricSpec::parse_json(&uniform_doc)
+            .expect("well-formed document")
+            .build()
+            .expect("full-grid rects always match");
+        prop_assert!(uniform.topology().has_capacity_overrides());
+        let base_router = Router::new(plain.topology(), config);
+        let uni_router = Router::new(uniform.topology(), config);
+        let mut base_state = ResourceState::new(plain.topology());
+        let mut uni_state = ResourceState::new(uniform.topology());
+        for &(a, b) in &load {
+            let (from, to) = (TrapId((a % n) as u32), TrapId((b % n) as u32));
+            if from == to {
+                continue;
+            }
+            if let Some(plan) = base_router.route(&base_state, from, to) {
+                for usage in plan.resources() {
+                    base_state.book(usage.resource).unwrap();
+                    uni_state.book(usage.resource).unwrap();
+                }
+            }
+        }
+        for &(a, b) in &pairs {
+            let (from, to) = (TrapId((a % n) as u32), TrapId((b % n) as u32));
+            prop_assert_eq!(
+                base_router.route(&base_state, from, to),
+                uni_router.route(&uni_state, from, to),
+                "uniform overrides must not change plans ({} to {})", from, to
+            );
         }
     }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use qspr_fabric::{JunctionId, SegmentId, Topology};
+use qspr_fabric::{FabricError, JunctionId, SegmentId, Topology};
 
 /// A capacity-limited fabric resource a moving qubit occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,10 +37,11 @@ impl fmt::Display for Resource {
 /// let fabric = Fabric::quale_45x85();
 /// let mut state = ResourceState::new(fabric.topology());
 /// let seg = Resource::Segment(SegmentId(0));
-/// state.book(seg);
+/// state.book(seg)?;
 /// assert_eq!(state.usage(seg), 1);
 /// state.release(seg);
 /// assert_eq!(state.usage(seg), 0);
+/// # Ok::<(), qspr_fabric::FabricError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceState {
@@ -72,22 +73,30 @@ impl ResourceState {
 
     /// Records one more qubit on `resource`.
     ///
-    /// Saturates at `u8::MAX` rather than overflowing: capacities are
-    /// small (paper: 2), so 255 concurrent bookings already means a
-    /// pathological capacity configuration, and saturating keeps such
-    /// configs merely congested instead of panicking the simulator. A
-    /// debug assertion still flags the saturation for test builds.
+    /// # Errors
+    ///
+    /// Returns [`FabricError::CapacityOverflow`] when the counter is
+    /// already at `u8::MAX`: capacities are small (paper: 2), so 255
+    /// concurrent bookings means a pathological capacity configuration.
+    /// The counter saturates (state stays consistent) and the typed
+    /// error lets the caller abort the run cleanly instead of
+    /// panicking the simulator.
     ///
     /// # Panics
     ///
     /// Panics if the resource id is out of range.
-    pub fn book(&mut self, resource: Resource) {
+    pub fn book(&mut self, resource: Resource) -> Result<(), FabricError> {
         let slot = match resource {
             Resource::Segment(s) => &mut self.segments[s.index()],
             Resource::Junction(j) => &mut self.junctions[j.index()],
         };
-        debug_assert!(*slot < u8::MAX, "booking counter saturated on {resource}");
-        *slot = slot.saturating_add(1);
+        if *slot == u8::MAX {
+            return Err(FabricError::CapacityOverflow {
+                resource: resource.to_string(),
+            });
+        }
+        *slot += 1;
+        Ok(())
     }
 
     /// Releases one booking of `resource`.
@@ -123,14 +132,33 @@ mod tests {
         let mut st = ResourceState::new(f.topology());
         let r = Resource::Junction(qspr_fabric::JunctionId(3));
         assert_eq!(st.usage(r), 0);
-        st.book(r);
-        st.book(r);
+        st.book(r).unwrap();
+        st.book(r).unwrap();
         assert_eq!(st.usage(r), 2);
         assert_eq!(st.total_bookings(), 2);
         st.release(r);
         assert_eq!(st.usage(r), 1);
         st.release(r);
         assert_eq!(st.total_bookings(), 0);
+    }
+
+    #[test]
+    fn saturated_counter_returns_typed_overflow() {
+        let f = Fabric::quale_45x85();
+        let mut st = ResourceState::new(f.topology());
+        let r = Resource::Segment(qspr_fabric::SegmentId(0));
+        for _ in 0..u8::MAX {
+            st.book(r).unwrap();
+        }
+        let err = st.book(r).unwrap_err();
+        assert_eq!(
+            err,
+            qspr_fabric::FabricError::CapacityOverflow {
+                resource: r.to_string()
+            }
+        );
+        // The counter saturated instead of wrapping.
+        assert_eq!(st.usage(r), u8::MAX);
     }
 
     #[test]

@@ -203,6 +203,14 @@ impl SearchScratch {
 pub struct Router<'a> {
     topology: &'a Topology,
     config: RouterConfig,
+    /// Effective per-segment capacity: the fabric's per-resource
+    /// override where the spec declared one, else the configured
+    /// technology default. On uniform fabrics every entry equals
+    /// `config.channel_capacity`, so behavior is identical to the
+    /// pre-spec global cap.
+    seg_caps: Vec<u8>,
+    /// Effective per-junction capacity (same resolution rule).
+    junc_caps: Vec<u8>,
     history: Vec<u32>,
     /// Reusable search arena; `RefCell` because `route` is a pure query
     /// (`&self`) yet needs somewhere to run Dijkstra without
@@ -214,11 +222,34 @@ pub struct Router<'a> {
 impl<'a> Router<'a> {
     /// Creates a router for `topology` with the given policy.
     pub fn new(topology: &'a Topology, config: RouterConfig) -> Router<'a> {
+        let seg_caps = topology
+            .segment_caps()
+            .iter()
+            .map(|c| c.unwrap_or(config.channel_capacity))
+            .collect();
+        let junc_caps = topology
+            .junction_caps()
+            .iter()
+            .map(|c| c.unwrap_or(config.junction_capacity))
+            .collect();
         Router {
             topology,
             config,
+            seg_caps,
+            junc_caps,
             history: vec![0; topology.segments().len()],
             scratch: RefCell::new(SearchScratch::new(topology.search_graph().num_nodes())),
+        }
+    }
+
+    /// The effective capacity of `resource`: the fabric's per-resource
+    /// override when the spec declared one, else the configured
+    /// technology default ([`RouterConfig::channel_capacity`] /
+    /// [`RouterConfig::junction_capacity`]).
+    pub fn capacity(&self, resource: Resource) -> u8 {
+        match resource {
+            Resource::Segment(s) => self.seg_caps[s.index()],
+            Resource::Junction(j) => self.junc_caps[j.index()],
         }
     }
 
@@ -575,7 +606,7 @@ impl<'a> Router<'a> {
         if let Some(ov) = overlay {
             n = n.saturating_add(ov.extra_segments[seg.index()]);
         }
-        let cap = self.config.channel_capacity;
+        let cap = self.seg_caps[seg.index()];
         let soft = overlay.is_some_and(|ov| ov.soft);
         if n >= cap && !soft {
             return None;
@@ -618,7 +649,7 @@ impl<'a> Router<'a> {
         if let Some(ov) = overlay {
             n = n.saturating_add(ov.extra_junctions[j.index()]);
         }
-        let cap = self.config.junction_capacity;
+        let cap = self.junc_caps[j.index()];
         if n < cap {
             return Some(0);
         }
@@ -928,7 +959,7 @@ mod tests {
         let b = topo.trap_at(Coord::new(2, 1)).unwrap();
         let plan = router.route(&state, a, b).unwrap();
         for usage in plan.resources() {
-            state.book(usage.resource);
+            state.book(usage.resource).unwrap();
         }
         assert!(router.route(&state, a, b).is_none(), "channel is full");
         for usage in plan.resources() {
@@ -947,7 +978,7 @@ mod tests {
         let (a, b) = (order[0], order[30]);
         let p1 = router.route(&state, a, b).unwrap();
         for u in p1.resources() {
-            state.book(u.resource);
+            state.book(u.resource).unwrap();
         }
         let p2 = router.route(&state, a, b).unwrap();
         // Second route sees (n+1) = 2 weights, so it is at least as costly.

@@ -232,6 +232,24 @@ struct Sim<'m, 'a> {
     stats: Vec<InstrStats>,
     trace: Option<Vec<TraceEntry>>,
     finished: usize,
+    /// First booking-counter saturation observed
+    /// ([`qspr_fabric::FabricError::CapacityOverflow`]); the event loop
+    /// aborts the run with it after the current issue phase.
+    saturated: Option<MapError>,
+}
+
+/// Books `resource`, recording a typed overflow in `saturated` instead
+/// of panicking; the run aborts with the first recorded error at the
+/// next event-loop check. A free function (not a `Sim` method) so call
+/// sites holding other `Sim` field borrows can still book.
+fn book_or_flag(
+    resources: &mut ResourceState,
+    saturated: &mut Option<MapError>,
+    resource: Resource,
+) {
+    if let Err(e) = resources.book(resource) {
+        saturated.get_or_insert(MapError::from(e));
+    }
 }
 
 impl<'m, 'a> Sim<'m, 'a> {
@@ -293,12 +311,16 @@ impl<'m, 'a> Sim<'m, 'a> {
             stats: vec![InstrStats::default(); n],
             trace: mapper.record_trace.then(Vec::new),
             finished: 0,
+            saturated: None,
         }
     }
 
     fn run(mut self) -> Result<MappingOutcome, MapError> {
         self.issue_phase();
         while let Some(&Reverse(next)) = self.events.peek() {
+            if let Some(e) = self.saturated.take() {
+                return Err(e);
+            }
             let t = next.time;
             debug_assert!(t >= self.time, "event time went backwards");
             self.time = t;
@@ -310,6 +332,9 @@ impl<'m, 'a> Sim<'m, 'a> {
                 self.process(ev.kind);
             }
             self.issue_phase();
+        }
+        if let Some(e) = self.saturated.take() {
+            return Err(e);
         }
         if self.finished != self.qidg.len() {
             return Err(MapError::Stalled {
@@ -465,7 +490,7 @@ impl<'m, 'a> Sim<'m, 'a> {
             }
             for plan in &plans {
                 for usage in plan.resources() {
-                    self.resources.book(usage.resource);
+                    book_or_flag(&mut self.resources, &mut self.saturated, usage.resource);
                 }
             }
         }
@@ -624,7 +649,11 @@ impl<'m, 'a> Sim<'m, 'a> {
                     match plan {
                         Some(plan) => {
                             for usage in plan.resources() {
-                                self.resources.book(usage.resource);
+                                book_or_flag(
+                                    &mut self.resources,
+                                    &mut self.saturated,
+                                    usage.resource,
+                                );
                             }
                             self.commit_leg(id, q, plan, meeting);
                         }
@@ -690,7 +719,7 @@ impl<'m, 'a> Sim<'m, 'a> {
                 match self.engine.route_one(&self.resources, *from, meeting) {
                     Some(plan) => {
                         for usage in plan.resources() {
-                            self.resources.book(usage.resource);
+                            book_or_flag(&mut self.resources, &mut self.saturated, usage.resource);
                         }
                         worst = worst.map(|w| w.max(plan.duration()));
                         *slot = Some(plan);
@@ -734,7 +763,7 @@ impl<'m, 'a> Sim<'m, 'a> {
             return false;
         };
         for usage in plan.resources() {
-            self.resources.book(usage.resource);
+            book_or_flag(&mut self.resources, &mut self.saturated, usage.resource);
         }
         self.stats[id.index()].issued_at = self.time;
         self.gate_trap[id.index()] = dst_home;
@@ -802,7 +831,7 @@ impl<'m, 'a> Sim<'m, 'a> {
     fn book_epoch_plans(&mut self) {
         for plan in &self.epoch_plans {
             for usage in plan.resources() {
-                self.resources.book(usage.resource);
+                book_or_flag(&mut self.resources, &mut self.saturated, usage.resource);
             }
         }
     }
@@ -815,7 +844,7 @@ impl<'m, 'a> Sim<'m, 'a> {
             return false;
         };
         for usage in plan.resources() {
-            self.resources.book(usage.resource);
+            book_or_flag(&mut self.resources, &mut self.saturated, usage.resource);
         }
         self.return_from[q.index()] = None;
         self.trap_occupancy[from.index()] -= 1;
@@ -834,7 +863,7 @@ impl<'m, 'a> Sim<'m, 'a> {
         match self.route_single(from, meeting) {
             Some(plan) => {
                 for usage in plan.resources() {
-                    self.resources.book(usage.resource);
+                    book_or_flag(&mut self.resources, &mut self.saturated, usage.resource);
                 }
                 // The meeting seat was reserved at first-half commit; only
                 // the source seat frees now.

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use qspr_fabric::{Time, TrapId};
+use qspr_fabric::{FabricError, Time, TrapId};
 use qspr_qasm::QubitId;
 
 /// Why a program could not be mapped onto a fabric.
@@ -35,6 +35,17 @@ pub enum MapError {
         /// Number of instructions that never finished.
         remaining: usize,
     },
+    /// A fabric resource's booking counter saturated mid-run
+    /// ([`FabricError::CapacityOverflow`]): the capacity configuration
+    /// admits more simultaneous users than the occupancy accounting can
+    /// count, so the simulation result would be unsound.
+    Fabric(FabricError),
+}
+
+impl From<FabricError> for MapError {
+    fn from(e: FabricError) -> MapError {
+        MapError::Fabric(e)
+    }
 }
 
 impl fmt::Display for MapError {
@@ -55,6 +66,7 @@ impl fmt::Display for MapError {
                 f,
                 "mapping stalled with {remaining} instruction(s) blocked forever"
             ),
+            MapError::Fabric(e) => write!(f, "fabric resource accounting failed: {e}"),
         }
     }
 }
