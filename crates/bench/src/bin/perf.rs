@@ -9,10 +9,17 @@
 //! simulation hot path and the latencies double as a byte-identity
 //! check across router rewrites.
 //!
-//! Usage: `cargo run -p qspr-bench --bin perf --release [--quick]
-//! [--out <path>]`
+//! A second report, `BENCH_sta.json`, tracks the `qspr-sta` timing
+//! analysis on the same workloads: per-circuit analysis wall time
+//! (the cost of reconstructing slack and the critical path from a
+//! recorded trace) and the latency delta of the slack-aware feedback
+//! mode against the plain negotiated flow, which by construction must
+//! never be negative.
 //!
-//! Output schema (one object):
+//! Usage: `cargo run -p qspr-bench --bin perf --release [--quick]
+//! [--out <path>] [--sta-out <path>]`
+//!
+//! `BENCH_route.json` schema (one object):
 //!
 //! * `fabric`, `quick` — workload provenance;
 //! * `engines[]` — per engine (`greedy`, `negotiated`):
@@ -20,25 +27,36 @@
 //!   * `results[]` — per circuit: `latency_us`, `wall_us`, and the
 //!     engine's cumulative `epochs` / `rip_iterations` /
 //!     `ripped_routes` / `max_segment_pressure`.
+//!
+//! `BENCH_sta.json` schema (one object):
+//!
+//! * `fabric`, `quick` — workload provenance;
+//! * `analysis[]` — per circuit (center placement, recorded trace):
+//!   `latency_us`, `analysis_wall_us`, `critical_steps`,
+//!   `trace_commands`;
+//! * `feedback[]` — per circuit (MVFB m=4, negotiated router):
+//!   `negotiated_us`, `feedback_us`, `saved_us` (≥ 0), `wall_us` of
+//!   the whole feedback run (pilot + analysis + re-run).
 
 use std::time::Instant;
 
 use qspr::json::{JsonArray, JsonObject};
+use qspr::sta::TimingAnalysis;
 use qspr::{Flow, RouterKind};
 use qspr_bench::{quick_mode, Workbench};
 use qspr_fabric::TechParams;
-use qspr_sim::{MapperPolicy, Placement};
+use qspr_sim::{Mapper, MapperPolicy, Placement};
 
-fn out_path() -> String {
+fn path_flag(flag: &str, default: &str) -> String {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--out" {
+        if a == flag {
             if let Some(v) = args.next() {
                 return v;
             }
         }
     }
-    "BENCH_route.json".to_owned()
+    default.to_owned()
 }
 
 fn main() {
@@ -114,7 +132,102 @@ fn main() {
         .boolean("quick", quick)
         .raw("engines", &engines.build())
         .build();
-    let path = out_path();
+    let path = path_flag("--out", "BENCH_route.json");
     std::fs::write(&path, format!("{report}\n")).expect("writable output path");
     println!("wrote {path}");
+
+    // --- Timing-analysis trajectory (BENCH_sta.json) ----------------
+
+    let analyzer = TimingAnalysis::new(flow.fabric(), tech);
+    let mut analysis = JsonArray::new();
+    println!(
+        "\nSTA analysis — center placement, recorded traces\n{:<12} {:>11} {:>11} {:>6} {:>9}",
+        "circuit", "latency µs", "analyze µs", "steps", "commands"
+    );
+    for bench in &wb.benchmarks {
+        let placement = Placement::center(flow.fabric(), bench.program.num_qubits());
+        let outcome = Mapper::new(flow.fabric(), tech, policy)
+            .record_trace(true)
+            .map(&bench.program, &placement)
+            .expect("benchmarks map cleanly");
+        let trace_commands = outcome.trace().expect("recorded").len() as u64;
+        let t0 = Instant::now();
+        let report = analyzer
+            .analyze(&bench.program, &outcome)
+            .expect("traced outcomes analyze");
+        let analysis_wall_us = t0.elapsed().as_micros() as u64;
+        assert_eq!(
+            report.critical_end(),
+            Some(outcome.latency()),
+            "{}: critical path must end at the makespan",
+            bench.name
+        );
+        println!(
+            "{:<12} {:>11} {:>11} {:>6} {:>9}",
+            bench.name,
+            outcome.latency(),
+            analysis_wall_us,
+            report.critical_path().len(),
+            trace_commands,
+        );
+        analysis.push_raw(
+            &JsonObject::new()
+                .string("circuit", &bench.name)
+                .number("latency_us", outcome.latency())
+                .number("analysis_wall_us", analysis_wall_us)
+                .number("critical_steps", report.critical_path().len() as u64)
+                .number("trace_commands", trace_commands)
+                .build(),
+        );
+    }
+
+    let mut feedback = JsonArray::new();
+    let fb_flow = flow.clone().router(RouterKind::Negotiated).seeds(4);
+    println!(
+        "\nSTA feedback — negotiated pilot, MVFB m=4\n{:<12} {:>13} {:>11} {:>9} {:>9}",
+        "circuit", "negotiated µs", "feedback µs", "saved µs", "wall µs"
+    );
+    for bench in &wb.benchmarks {
+        let plain = fb_flow.run(&bench.program).expect("benchmarks map cleanly");
+        let t0 = Instant::now();
+        let fed = fb_flow
+            .clone()
+            .sta_feedback(true)
+            .run(&bench.program)
+            .expect("benchmarks map cleanly");
+        let wall_us = t0.elapsed().as_micros() as u64;
+        // The driver is best-of-two with the plain run as its pilot,
+        // so a regression here is a bug, not a bad day.
+        assert!(
+            fed.latency <= plain.latency,
+            "{}: feedback {} exceeds plain negotiated {}",
+            bench.name,
+            fed.latency,
+            plain.latency
+        );
+        let saved_us = plain.latency - fed.latency;
+        println!(
+            "{:<12} {:>13} {:>11} {:>9} {:>9}",
+            bench.name, plain.latency, fed.latency, saved_us, wall_us,
+        );
+        feedback.push_raw(
+            &JsonObject::new()
+                .string("circuit", &bench.name)
+                .number("negotiated_us", plain.latency)
+                .number("feedback_us", fed.latency)
+                .number("saved_us", saved_us)
+                .number("wall_us", wall_us)
+                .build(),
+        );
+    }
+
+    let sta_report = JsonObject::new()
+        .string("fabric", "quale_45x85")
+        .boolean("quick", quick)
+        .raw("analysis", &analysis.build())
+        .raw("feedback", &feedback.build())
+        .build();
+    let sta_path = path_flag("--sta-out", "BENCH_sta.json");
+    std::fs::write(&sta_path, format!("{sta_report}\n")).expect("writable output path");
+    println!("wrote {sta_path}");
 }

@@ -1,7 +1,8 @@
 //! `qspr` — command-line front end for the QSPR mapper.
 //!
 //! ```text
-//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--fabric F] [--format FMT]
+//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--fabric F] [--format FMT]
+//! qspr sta <file.qasm> [--policy P] [--router R] [--m N] [--sta-feedback] [--fabric F] [--format FMT]
 //! qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
 //! qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
 //! qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
@@ -17,10 +18,18 @@
 //! (default) or `json` (stable machine-readable schema); `CODE` is one
 //! of `5,1,3`, `7,1,3`, `9,1,3`, `14,8,3`, `19,1,7`, `23,1,7`.
 //!
+//! `qspr sta` maps a circuit with trace recording on and prints the
+//! static timing analysis of `qspr-sta`: per-instruction slack, the
+//! critical path and segment/junction bottlenecks. `qspr map --sta`
+//! appends the same report to a normal mapping run, and
+//! `--sta-feedback` (with `--router negotiated`) folds the analysis
+//! back into a second mapping pass, keeping the faster run.
+//!
 //! `qspr serve` runs the resident mapping service of `qspr::service`:
-//! `POST /map` and `POST /compare` with the same JSON schemas as
-//! `--format json`, `GET /healthz`, `GET /stats`, `POST /shutdown`,
-//! backed by an LRU result cache (`--cache N` entries, 0 disables).
+//! `POST /map`, `POST /compare` and `POST /sta` with the same JSON
+//! schemas as `--format json`, `GET /healthz`, `GET /stats`,
+//! `POST /shutdown`, backed by an LRU result cache (`--cache N`
+//! entries, 0 disables).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -47,7 +56,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--fabric F] [--format FMT]
+  qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--fabric F] [--format FMT]
+  qspr sta <file.qasm> [--policy P] [--router R] [--m N] [--sta-feedback] [--fabric F] [--format FMT]
   qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
   qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
   qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
@@ -65,6 +75,9 @@ options:
   --format FMT  output format: text (default) or json
   --suite       add the paper's six benchmark circuits to the batch
   --trace       print the micro-command trace after mapping
+  --sta         map: append the static timing analysis to the report
+  --sta-feedback  remap with slack-aware feedback (needs --router negotiated)
+  --dump-trace FILE  map: write the recorded trace to FILE as JSON
   --addr A      serve: bind address (default 127.0.0.1:7878; port 0 = ephemeral)
   --cache N     serve: result-cache capacity in entries (default 128, 0 = off)
   --help, -h    print this help and exit";
@@ -86,7 +99,7 @@ struct Cli {
 
 impl Cli {
     fn parse(args: &[String]) -> Result<Cli, QsprError> {
-        const VALUE_FLAGS: [&str; 8] = [
+        const VALUE_FLAGS: [&str; 9] = [
             "--fabric",
             "--policy",
             "--router",
@@ -95,8 +108,9 @@ impl Cli {
             "--format",
             "--addr",
             "--cache",
+            "--dump-trace",
         ];
-        const SWITCHES: [&str; 2] = ["--trace", "--suite"];
+        const SWITCHES: [&str; 4] = ["--trace", "--suite", "--sta", "--sta-feedback"];
         let mut positional = Vec::new();
         let mut options: Vec<(String, Option<String>)> = Vec::new();
         let mut it = args.iter();
@@ -195,6 +209,21 @@ impl Cli {
         }
     }
 
+    /// Validates the `--sta-feedback` pairing (the seeded re-run only
+    /// makes sense against a negotiated pilot) and reports whether the
+    /// mode is on.
+    fn sta_feedback(&self) -> Result<bool, QsprError> {
+        if !self.switch("--sta-feedback") {
+            return Ok(false);
+        }
+        if self.router()? != RouterKind::Negotiated {
+            return Err(QsprError::usage(
+                "--sta-feedback requires --router negotiated",
+            ));
+        }
+        Ok(true)
+    }
+
     /// A flow on the selected fabric with the selected seed count and
     /// routing engine.
     fn flow(&self) -> Result<Flow, QsprError> {
@@ -202,6 +231,14 @@ impl Cli {
             .seeds(self.m()?)
             .router(self.router()?))
     }
+}
+
+/// Splices a pre-serialized `"sta"` report into the trailing brace of a
+/// summary object (both inputs are `qspr_json`-built objects, so the
+/// result stays strictly parseable).
+fn splice_sta(summary: &str, report: &str) -> String {
+    debug_assert!(summary.ends_with('}'));
+    format!("{},\"sta\":{}}}", &summary[..summary.len() - 1], report)
 }
 
 fn load_program(path: &str) -> Result<Program, QsprError> {
@@ -228,6 +265,7 @@ fn run(args: &[String]) -> Result<(), QsprError> {
     let cli = Cli::parse(&args[1..])?;
     match command.as_str() {
         "map" => cmd_map(&cli),
+        "sta" => cmd_sta(&cli),
         "compare" => cmd_compare(&cli),
         "suite" => cmd_suite(&cli),
         "batch" => cmd_batch(&cli),
@@ -243,17 +281,37 @@ fn cmd_map(cli: &Cli) -> Result<(), QsprError> {
         .positional
         .first()
         .ok_or_else(|| QsprError::usage("map needs a QASM file argument"))?;
-    let program = load_program(path)?;
     let policy: FlowPolicy = cli.value("--policy").unwrap_or("qspr").parse()?;
     let format = cli.format()?;
+    let sta = cli.switch("--sta");
+    let dump_trace = cli.value("--dump-trace");
+    // Validate the flag pairing before touching the filesystem.
+    let feedback = cli.sta_feedback()?;
+    let program = load_program(path)?;
     let flow = cli
         .flow()?
         .policy(policy)
-        .record_trace(cli.switch("--trace"));
+        .record_trace(cli.switch("--trace") || sta || dump_trace.is_some())
+        .sta_feedback(feedback);
 
     let result = flow.run(&program)?;
+    if let Some(out) = dump_trace {
+        let trace = result
+            .forward_trace
+            .as_ref()
+            .expect("trace recording was enabled");
+        std::fs::write(out, qspr::sta::trace_to_json(trace)).map_err(|e| QsprError::io(out, e))?;
+    }
     match format {
-        OutputFormat::Json => println!("{}", result.summary().to_json()),
+        OutputFormat::Json => {
+            let summary = result.summary().to_json();
+            if sta {
+                let report = flow.timing_report(&program, &result)?;
+                println!("{}", splice_sta(&summary, &report.to_json()));
+            } else {
+                println!("{summary}");
+            }
+        }
         OutputFormat::Text => {
             match policy {
                 FlowPolicy::Qspr => {
@@ -279,12 +337,47 @@ fn cmd_map(cli: &Cli) -> Result<(), QsprError> {
                 "routing epochs  {} ({} rip iterations, {} ripped routes, peak pressure {})",
                 routing.epochs, routing.iterations, routing.ripped, routing.max_pressure
             );
-            if let Some(trace) = &result.forward_trace {
-                println!("\ntrace ({} commands):", trace.len());
-                for entry in trace {
-                    println!("  {entry}");
+            if cli.switch("--trace") {
+                if let Some(trace) = &result.forward_trace {
+                    println!("\ntrace ({} commands):", trace.len());
+                    for entry in trace {
+                        println!("  {entry}");
+                    }
                 }
             }
+            if sta {
+                let report = flow.timing_report(&program, &result)?;
+                println!("\n{report}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sta(cli: &Cli) -> Result<(), QsprError> {
+    let path = cli
+        .positional
+        .first()
+        .ok_or_else(|| QsprError::usage("sta needs a QASM file argument"))?;
+    let policy: FlowPolicy = cli.value("--policy").unwrap_or("qspr").parse()?;
+    let format = cli.format()?;
+    let feedback = cli.sta_feedback()?;
+    let program = load_program(path)?;
+    let flow = cli
+        .flow()?
+        .policy(policy)
+        .record_trace(true)
+        .sta_feedback(feedback);
+    let result = flow.run(&program)?;
+    let report = flow.timing_report(&program, &result)?;
+    match format {
+        OutputFormat::Json => println!("{}", report.to_json()),
+        OutputFormat::Text => {
+            println!("circuit         {path}");
+            println!("router          {}", result.router);
+            println!("latency         {}µs", result.latency);
+            println!();
+            println!("{report}");
         }
     }
     Ok(())
@@ -378,7 +471,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
     // discover the ephemeral port), so it goes first on its own line.
     println!("listening on http://{addr}/");
     println!(
-        "threads {} | cache {} entries | POST /map, POST /compare, GET /healthz, GET /stats, POST /shutdown",
+        "threads {} | cache {} entries | POST /map, POST /compare, POST /sta, GET /healthz, GET /stats, POST /shutdown",
         config.threads, cache_capacity
     );
     server
@@ -386,10 +479,11 @@ fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
         .map_err(|e| QsprError::io(addr.to_string(), e))?;
     let stats = service.stats();
     println!(
-        "served {} requests ({} map, {} compare) | cache {} hits / {} misses | busy {}ms",
+        "served {} requests ({} map, {} compare, {} sta) | cache {} hits / {} misses | busy {}ms",
         stats.requests,
         stats.map_requests,
         stats.compare_requests,
+        stats.sta_requests,
         stats.cache_hits,
         stats.cache_misses,
         stats.busy_us / 1000,
@@ -649,6 +743,54 @@ mod tests {
         assert!(run(&strings(&["--version"])).is_ok());
         // Like --help, the flag form wins anywhere on the line.
         assert!(run(&strings(&["map", "--version"])).is_ok());
+    }
+
+    #[test]
+    fn sta_flags_parse() {
+        let cli = Cli::parse(&strings(&[
+            "file.qasm",
+            "--sta",
+            "--sta-feedback",
+            "--dump-trace",
+            "out.json",
+        ]))
+        .unwrap();
+        assert!(cli.switch("--sta"));
+        assert!(cli.switch("--sta-feedback"));
+        assert_eq!(cli.value("--dump-trace"), Some("out.json"));
+        // `--dump-trace` is a value flag: it needs a path and rejects
+        // duplicates like the others.
+        assert!(Cli::parse(&strings(&["--dump-trace"])).is_err());
+        assert!(Cli::parse(&strings(&["--dump-trace", "a", "--dump-trace", "b"])).is_err());
+    }
+
+    #[test]
+    fn sta_feedback_requires_the_negotiated_router() {
+        // The pairing is validated before any file I/O, for both
+        // commands that accept the switch.
+        let err = run(&strings(&["map", "missing.qasm", "--sta-feedback"])).unwrap_err();
+        assert!(err.to_string().contains("--router negotiated"));
+        let err = run(&strings(&["sta", "missing.qasm", "--sta-feedback"])).unwrap_err();
+        assert!(err.to_string().contains("--router negotiated"));
+        // With the right router the validation passes and the error (if
+        // any) is the missing file.
+        let err = run(&strings(&[
+            "sta",
+            "missing.qasm",
+            "--router",
+            "negotiated",
+            "--sta-feedback",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, QsprError::Io { .. }));
+    }
+
+    #[test]
+    fn sta_splices_into_summary_json() {
+        let spliced = splice_sta(r#"{"policy":"qspr"}"#, r#"{"makespan_us":7}"#);
+        assert_eq!(spliced, r#"{"policy":"qspr","sta":{"makespan_us":7}}"#);
+        // The splice stays strictly parseable.
+        assert!(qspr::json::JsonValue::parse(&spliced).is_ok());
     }
 
     #[test]

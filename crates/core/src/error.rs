@@ -8,6 +8,7 @@ use std::io;
 use qspr_fabric::FabricError;
 use qspr_qasm::ParseError;
 use qspr_sim::MapError;
+use qspr_sta::StaError;
 
 use crate::batch::BatchError;
 
@@ -43,6 +44,8 @@ pub enum QsprError {
     Map(MapError),
     /// A batch run failed on a named circuit.
     Batch(Box<BatchError>),
+    /// Static timing analysis rejected its inputs.
+    Sta(StaError),
     /// A file could not be read.
     Io {
         /// The path that failed.
@@ -76,6 +79,7 @@ impl fmt::Display for QsprError {
             QsprError::Fabric(e) => write!(f, "invalid fabric: {e}"),
             QsprError::Map(e) => write!(f, "{e}"),
             QsprError::Batch(e) => write!(f, "{e}"),
+            QsprError::Sta(e) => write!(f, "{e}"),
             QsprError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
             QsprError::Usage(msg) => write!(f, "{msg}"),
         }
@@ -89,6 +93,7 @@ impl Error for QsprError {
             QsprError::Fabric(e) => Some(e),
             QsprError::Map(e) => Some(e),
             QsprError::Batch(e) => Some(e),
+            QsprError::Sta(e) => Some(e),
             QsprError::Io { source, .. } => Some(source),
             QsprError::Usage(_) => None,
         }
@@ -119,6 +124,12 @@ impl From<BatchError> for QsprError {
     }
 }
 
+impl From<StaError> for QsprError {
+    fn from(e: StaError) -> QsprError {
+        QsprError::Sta(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +147,10 @@ mod tests {
 
         let e = QsprError::from(MapError::Stalled { remaining: 2 });
         assert!(e.to_string().contains("2 instruction"));
+
+        let e = QsprError::from(StaError::MissingTrace);
+        assert!(e.to_string().contains("trace"));
+        assert!(e.source().is_some());
 
         let e = QsprError::io("missing.qasm", io::Error::other("boom"));
         assert!(e.to_string().contains("missing.qasm"));

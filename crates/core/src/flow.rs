@@ -36,9 +36,10 @@ use std::time::{Duration, Instant};
 use qspr_fabric::{Fabric, TechParams, Time};
 use qspr_place::{MonteCarloPlacer, MvfbConfig, MvfbPlacer, PassDirection, Placer, PlacerSolution};
 use qspr_qasm::Program;
-use qspr_route::{RouterFactory, RouterKind, RoutingStats};
+use qspr_route::{RouterFactory, RouterKind, RoutingStats, SeededNegotiated};
 use qspr_sched::Qidg;
 use qspr_sim::{Mapper, MapperPolicy, MappingOutcome, Placement, Trace};
+use qspr_sta::{TimingAnalysis, TimingReport};
 
 use crate::error::QsprError;
 use crate::json::{JsonArray, JsonObject, ToJson};
@@ -119,6 +120,10 @@ pub struct Flow {
     placer: Option<Arc<dyn Placer + Send + Sync>>,
     router: Arc<dyn RouterFactory + Send + Sync>,
     record_trace: bool,
+    sta_feedback: bool,
+    // Internal: installed by the feedback re-run, never set directly by
+    // callers (so it has no fingerprint axis of its own).
+    order_boost: Option<Arc<Vec<Time>>>,
 }
 
 impl Flow {
@@ -137,6 +142,8 @@ impl Flow {
             placer: None,
             router: Arc::new(RouterKind::Greedy),
             record_trace: false,
+            sta_feedback: false,
+            order_boost: None,
         }
     }
 
@@ -191,6 +198,27 @@ impl Flow {
         self
     }
 
+    /// Enables slack-aware feedback (off by default): [`Flow::run`]
+    /// first maps normally (the *pilot*, with trace recording forced
+    /// on), performs static timing analysis on the winning pass, then
+    /// remaps with the analysis folded back in — critical-path segments
+    /// pre-priced into a seeded negotiated router and low-slack
+    /// instructions boosted in the scheduler's priority order. The
+    /// faster of the two runs is returned, so enabling feedback never
+    /// increases latency. The re-run always negotiates (its router
+    /// reports as `"negotiated+sta"`), so the mode is meant to pair
+    /// with [`RouterKind::Negotiated`] pilots — the CLI enforces that
+    /// pairing.
+    pub fn sta_feedback(mut self, enabled: bool) -> Flow {
+        self.sta_feedback = enabled;
+        self
+    }
+
+    /// Whether slack-aware feedback is enabled.
+    pub fn sta_feedback_enabled(&self) -> bool {
+        self.sta_feedback
+    }
+
     /// The fabric this flow maps onto.
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
@@ -226,15 +254,20 @@ impl Flow {
     }
 
     fn mapper(&self, policy: MapperPolicy) -> Mapper<'_> {
-        Mapper::new(&self.fabric, self.tech, policy).router(Arc::clone(&self.router))
+        let mut mapper =
+            Mapper::new(&self.fabric, self.tech, policy).router(Arc::clone(&self.router));
+        if let Some(boost) = &self.order_boost {
+            mapper = mapper.order_boost(boost.as_ref().clone());
+        }
+        mapper
     }
 
     /// A canonical fingerprint of *this configuration applied to
     /// `program_text`*: every input that determines a [`Flow::run`]
     /// result — fabric (dimensions plus a content hash of its ASCII
     /// rendering), technology parameters, policy, placer and router
-    /// names, MVFB seed count and RNG seed, trace recording — followed
-    /// by the program text verbatim.
+    /// names, MVFB seed count and RNG seed, trace recording and the
+    /// slack-feedback mode — followed by the program text verbatim.
     ///
     /// Because the whole flow is seed-determined, equal fingerprints
     /// imply byte-identical [`FlowSummary`] JSON; the `qspr serve`
@@ -279,8 +312,11 @@ impl Flow {
         } else {
             String::new()
         };
+        // Feedback mode changes the result, so it gets its own axis;
+        // plain flows keep the pre-sta fingerprint bytes.
+        let feedback = if self.sta_feedback { "|fb=1" } else { "" };
         format!(
-            "qspr-fp-v1|fabric={}x{}:{:016x}{}|tech={},{},{},{},{},{}|policy={}|placer={}|router={}|m={},{},{}|rng={:#x}|trace={}|prog={}|{}",
+            "qspr-fp-v1|fabric={}x{}:{:016x}{}|tech={},{},{},{},{},{}|policy={}|placer={}|router={}|m={},{},{}|rng={:#x}|trace={}{}|prog={}|{}",
             self.fabric.rows(),
             self.fabric.cols(),
             fabric_hash,
@@ -299,6 +335,7 @@ impl Flow {
             self.mvfb.max_passes_per_seed,
             self.mvfb.rng_seed,
             self.record_trace,
+            feedback,
             program_text.len(),
             program_text,
         )
@@ -315,6 +352,9 @@ impl Flow {
     /// Returns [`QsprError::Map`] when the program cannot be mapped
     /// (stalls on degenerate fabrics, placement mismatches).
     pub fn run(&self, program: &Program) -> Result<FlowResult, QsprError> {
+        if self.sta_feedback {
+            return self.run_with_feedback(program);
+        }
         let mapper = self.mapper(self.policy.mapper_policy(&self.tech));
         // Baselines map exactly once; keep that outcome rather than
         // recomputing it below.
@@ -387,6 +427,88 @@ impl Flow {
             outcome,
             forward_trace,
         })
+    }
+
+    /// The best-of-two feedback driver behind [`Flow::sta_feedback`]:
+    /// pilot run (trace forced on) → timing analysis → re-run with a
+    /// seeded negotiated router and a criticality-boosted issue order →
+    /// keep whichever run finished the circuit sooner. Both halves are
+    /// seed-deterministic, so the whole composition is too.
+    fn run_with_feedback(&self, program: &Program) -> Result<FlowResult, QsprError> {
+        let mut pilot_flow = self.clone();
+        pilot_flow.sta_feedback = false;
+        pilot_flow.record_trace = true;
+        let mut pilot = pilot_flow.run(program)?;
+        let report = pilot_flow.timing_report(program, &pilot)?;
+        // Cap the per-segment seed so a long pilot cannot price a
+        // segment beyond what a few epochs of real negotiation would.
+        let seed: Vec<u32> = report.segment_seed().iter().map(|&c| c.min(8)).collect();
+        // Criticality indexes the analyzed (pass-direction) program;
+        // flip it for backward pilots so it lines up with `program`.
+        let mut boost = report.criticality().to_vec();
+        if pilot.direction == PassDirection::Backward {
+            boost.reverse();
+        }
+        let mut feedback_flow = self.clone();
+        feedback_flow.sta_feedback = false;
+        feedback_flow.router = Arc::new(SeededNegotiated::new("negotiated+sta", seed));
+        feedback_flow.order_boost = Some(Arc::new(boost));
+        let feedback = feedback_flow.run(program)?;
+        if feedback.latency < pilot.latency {
+            return Ok(feedback);
+        }
+        // The pilot's forced trace is an implementation detail; hand it
+        // back only when the caller asked for one.
+        if !self.record_trace {
+            pilot.forward_trace = None;
+        }
+        Ok(pilot)
+    }
+
+    /// Static timing analysis (`qspr-sta`) of a finished [`Flow::run`].
+    ///
+    /// `result` must carry a recorded trace (run the flow with
+    /// [`Flow::record_trace`] enabled). When the winning pass ran
+    /// backward, the analysis is performed on the reversed program —
+    /// the one the recorded outcome actually executed — so instruction
+    /// ids in the report index that pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsprError::Sta`] when `result` has no trace or does
+    /// not match `program`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qspr::Flow;
+    /// use qspr_fabric::Fabric;
+    /// use qspr_qasm::Program;
+    ///
+    /// # fn main() -> Result<(), qspr::QsprError> {
+    /// let program = Program::parse("QUBIT a\nQUBIT b\nH a\nC-X a,b\n")?;
+    /// let flow = Flow::on(Fabric::quale_45x85()).seeds(4).record_trace(true);
+    /// let result = flow.run(&program)?;
+    /// let report = flow.timing_report(&program, &result)?;
+    /// assert_eq!(report.makespan(), result.latency);
+    /// assert_eq!(report.min_slack(), Some(0));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn timing_report(
+        &self,
+        program: &Program,
+        result: &FlowResult,
+    ) -> Result<TimingReport, QsprError> {
+        let reversed;
+        let analyzed = match result.direction {
+            PassDirection::Forward => program,
+            PassDirection::Backward => {
+                reversed = program.reversed();
+                &reversed
+            }
+        };
+        Ok(TimingAnalysis::new(&self.fabric, self.tech).analyze(analyzed, &result.outcome)?)
     }
 
     /// Maps `program` with an explicit policy and placement (the escape
@@ -493,6 +615,7 @@ impl fmt::Debug for Flow {
             .field("router", &self.router_name())
             .field("mvfb", &self.mvfb)
             .field("record_trace", &self.record_trace)
+            .field("sta_feedback", &self.sta_feedback)
             .finish()
     }
 }
@@ -846,6 +969,7 @@ C-Z q4,q0
                 .fingerprint(text)
         );
         assert_ne!(fp, base.clone().record_trace(true).fingerprint(text));
+        assert_ne!(fp, base.clone().sta_feedback(true).fingerprint(text));
         assert_ne!(
             fp,
             base.clone()
@@ -857,6 +981,57 @@ C-Z q4,q0
         // of the key prefix (content hash, not just rows x cols).
         let other = Flow::on(Fabric::from_ascii(qspr_route::FIG5_DEMO_FABRIC).unwrap()).seeds(4);
         assert_ne!(fp, other.fingerprint(text));
+    }
+
+    #[test]
+    fn sta_feedback_never_loses_to_plain_negotiated() {
+        let flow = fast_flow().router(RouterKind::Negotiated);
+        let program = program();
+        let plain = flow.clone().run(&program).unwrap();
+        let fed = flow.clone().sta_feedback(true).run(&program).unwrap();
+        // Best-of-two by construction: the pilot IS the plain run.
+        assert!(fed.latency <= plain.latency);
+        // The winning router names which half won.
+        assert!(fed.router == "negotiated" || fed.router == "negotiated+sta");
+        // Deterministic: a re-run reproduces the choice exactly.
+        let again = flow.sta_feedback(true).run(&program).unwrap();
+        assert_eq!(fed.latency, again.latency);
+        assert_eq!(fed.router, again.router);
+        assert_eq!(fed.initial_placement, again.initial_placement);
+        // The pilot's forced trace is not leaked to the caller.
+        assert!(fed.forward_trace.is_none());
+    }
+
+    #[test]
+    fn sta_feedback_keeps_requested_traces() {
+        let flow = fast_flow()
+            .router(RouterKind::Negotiated)
+            .record_trace(true)
+            .sta_feedback(true);
+        let result = flow.run(&program()).unwrap();
+        let trace = result.forward_trace.as_ref().unwrap();
+        assert_eq!(trace.move_count() as u64, result.outcome.totals().moves);
+    }
+
+    #[test]
+    fn timing_report_matches_the_run() {
+        let flow = fast_flow().record_trace(true);
+        let program = program();
+        let result = flow.run(&program).unwrap();
+        let report = flow.timing_report(&program, &result).unwrap();
+        assert_eq!(report.makespan(), result.latency);
+        assert_eq!(report.critical_end(), Some(result.latency));
+        assert_eq!(report.min_slack(), Some(0));
+        assert_eq!(report.instructions().len(), program.instructions().len());
+    }
+
+    #[test]
+    fn timing_report_requires_a_recorded_trace() {
+        let flow = fast_flow();
+        let program = program();
+        let result = flow.run(&program).unwrap();
+        let err = flow.timing_report(&program, &result).unwrap_err();
+        assert!(matches!(err, QsprError::Sta(_)));
     }
 
     #[test]

@@ -32,7 +32,13 @@
 //!   ablation benches called out in DESIGN.md;
 //! * [`service`] — the `qspr serve` subsystem: a resident HTTP/1.1 JSON
 //!   mapping service with a fixed worker pool and a seed-deterministic
-//!   LRU result cache keyed by [`Flow::fingerprint`].
+//!   LRU result cache keyed by [`Flow::fingerprint`];
+//! * [`sta`] — static timing analysis over a recorded trace:
+//!   [`Flow::timing_report`] reconstructs per-instruction slack, the
+//!   critical path and resource bottlenecks, and
+//!   [`Flow::sta_feedback`] folds the report back into a second
+//!   mapping pass (critical-segment congestion pricing plus low-slack
+//!   scheduling priority), keeping whichever run is faster.
 //!
 //! For the end-to-end dataflow and the paper-to-code map, see
 //! `docs/ARCHITECTURE.md` at the repository root.
@@ -88,3 +94,4 @@ pub use qspr_qecc as qecc;
 pub use qspr_route as route;
 pub use qspr_sched as sched;
 pub use qspr_sim as sim;
+pub use qspr_sta as sta;

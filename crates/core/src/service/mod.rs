@@ -19,6 +19,7 @@
 //! |---|---|---|
 //! | `POST /map` | `{"program", "policy"?, "router"?, "m"?, "trace"?, "fabric"?}` | the [`FlowSummary`](crate::FlowSummary) JSON of `qspr map --format json` |
 //! | `POST /compare` | `{"program", "name"?, "router"?, "m"?, "fabric"?}` | the [`ComparisonRow`](crate::ComparisonRow) JSON of `qspr compare --format json` |
+//! | `POST /sta` | `{"program", "policy"?, "router"?, "m"?, "feedback"?, "fabric"?}` | the [`qspr_sta::TimingReport`] JSON of `qspr sta --format json` |
 //! | `GET /healthz` | — | `{"status":"ok"}` |
 //! | `GET /stats` | — | [`StatsSnapshot`] JSON: requests, cache hits/misses, worker busy time |
 //! | `POST /shutdown` | — | `{"status":"shutting-down"}`, then a graceful stop |
@@ -133,6 +134,7 @@ struct Counters {
     requests: AtomicU64,
     map_requests: AtomicU64,
     compare_requests: AtomicU64,
+    sta_requests: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     errors: AtomicU64,
@@ -149,6 +151,8 @@ pub struct StatsSnapshot {
     pub map_requests: u64,
     /// `POST /compare` requests.
     pub compare_requests: u64,
+    /// `POST /sta` requests.
+    pub sta_requests: u64,
     /// Mapping-cache hits.
     pub cache_hits: u64,
     /// Mapping-cache misses (cold mappings executed).
@@ -167,14 +171,15 @@ pub struct StatsSnapshot {
 
 impl ToJson for StatsSnapshot {
     /// Stable JSON schema, pinned by a golden test:
-    /// `{"requests","map_requests","compare_requests","cache_hits",
-    /// "cache_misses","cache_entries","cache_capacity","errors",
-    /// "busy_us","uptime_ms"}`.
+    /// `{"requests","map_requests","compare_requests","sta_requests",
+    /// "cache_hits","cache_misses","cache_entries","cache_capacity",
+    /// "errors","busy_us","uptime_ms"}`.
     fn to_json(&self) -> String {
         JsonObject::new()
             .number("requests", self.requests)
             .number("map_requests", self.map_requests)
             .number("compare_requests", self.compare_requests)
+            .number("sta_requests", self.sta_requests)
             .number("cache_hits", self.cache_hits)
             .number("cache_misses", self.cache_misses)
             .number("cache_entries", self.cache_entries)
@@ -210,6 +215,7 @@ pub struct MapService {
 enum Endpoint {
     Map,
     Compare,
+    Sta,
 }
 
 /// A parsed, validated mapping request body.
@@ -223,6 +229,9 @@ struct MapRequest {
     trace: bool,
     /// `/compare` only: the circuit name echoed in the row.
     name: String,
+    /// `/sta` only: remap with slack-aware feedback, keeping the
+    /// faster run.
+    feedback: bool,
     /// Optional fabric description document (spec JSON or ASCII art)
     /// overriding the server's resident fabric for this request.
     fabric: Option<String>,
@@ -269,6 +278,7 @@ impl MapService {
             requests: c.requests.load(Ordering::Relaxed),
             map_requests: c.map_requests.load(Ordering::Relaxed),
             compare_requests: c.compare_requests.load(Ordering::Relaxed),
+            sta_requests: c.sta_requests.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             cache_entries,
@@ -295,7 +305,8 @@ impl MapService {
             }
             ("POST", "/map") => self.mapping(Endpoint::Map, &request.body),
             ("POST", "/compare") => self.mapping(Endpoint::Compare, &request.body),
-            (_, "/healthz" | "/stats" | "/shutdown" | "/map" | "/compare") => {
+            ("POST", "/sta") => self.mapping(Endpoint::Sta, &request.body),
+            (_, "/healthz" | "/stats" | "/shutdown" | "/map" | "/compare" | "/sta") => {
                 error_response(405, &format!("method {} not allowed here", request.method))
             }
             (_, path) => error_response(404, &format!("no endpoint {path}")),
@@ -309,12 +320,13 @@ impl MapService {
         response
     }
 
-    /// `POST /map` and `POST /compare`: parse, consult the cache, run
-    /// the flow on a miss, store and return the body.
+    /// `POST /map`, `POST /compare` and `POST /sta`: parse, consult
+    /// the cache, run the flow on a miss, store and return the body.
     fn mapping(&self, endpoint: Endpoint, body: &str) -> Response {
         let counter = match endpoint {
             Endpoint::Map => &self.counters.map_requests,
             Endpoint::Compare => &self.counters.compare_requests,
+            Endpoint::Sta => &self.counters.sta_requests,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         let request = match parse_mapping_request(endpoint, body) {
@@ -331,7 +343,12 @@ impl MapService {
                 Err(e) => return error_response(422, &e.to_string()),
             },
         };
-        let flow = self.flow_for(&request, fabric);
+        let mut flow = self.flow_for(&request, fabric);
+        // Timing analysis replays the recorded trace, so `/sta` forces
+        // trace recording; the feedback mode rides on the same flow.
+        if endpoint == Endpoint::Sta {
+            flow = flow.record_trace(true).sta_feedback(request.feedback);
+        }
         // The fingerprint hashes fabric geometry and capacities but not
         // spec provenance (which shows up in the response's `fabric`
         // block), so the document itself joins the cache key verbatim.
@@ -349,6 +366,12 @@ impl MapService {
                 request.name,
                 flow.fingerprint(&request.program_text)
             ),
+            // The fingerprint already carries the trace and feedback
+            // axes set above.
+            Endpoint::Sta => format!(
+                "sta|{fabric_key}{}",
+                flow.fingerprint(&request.program_text)
+            ),
         };
         if let Some(cached) = self.cache.lock().expect("cache lock").get(&key) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -360,6 +383,10 @@ impl MapService {
             Endpoint::Compare => flow
                 .compare(&request.name, &request.program)
                 .map(|row| row.to_json()),
+            Endpoint::Sta => flow.run(&request.program).and_then(|result| {
+                flow.timing_report(&request.program, &result)
+                    .map(|report| report.to_json())
+            }),
         };
         match result {
             Ok(json) => {
@@ -452,6 +479,7 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
     let allowed: &[&str] = match endpoint {
         Endpoint::Map => &["program", "policy", "router", "m", "trace", "fabric"],
         Endpoint::Compare => &["program", "name", "router", "m", "fabric"],
+        Endpoint::Sta => &["program", "policy", "router", "m", "feedback", "fabric"],
     };
     for (key, _) in fields {
         if !allowed.contains(&key.as_str()) {
@@ -502,6 +530,19 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
             .as_bool()
             .ok_or_else(|| QsprError::usage("field \"trace\" must be a boolean"))?,
     };
+    let feedback = match value.get("feedback") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| QsprError::usage("field \"feedback\" must be a boolean"))?,
+    };
+    // Mirror the CLI's pairing rule: the feedback re-run only makes
+    // sense against a negotiated pilot.
+    if feedback && router != RouterKind::Negotiated {
+        return Err(QsprError::usage(
+            "field \"feedback\" requires \"router\":\"negotiated\"",
+        ));
+    }
     let name = match value.get("name") {
         None => "program".to_owned(),
         Some(v) => v
@@ -527,6 +568,7 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
         seeds,
         trace,
         name,
+        feedback,
         fabric,
     })
 }

@@ -84,6 +84,7 @@ fn stats_wire_schema_golden() {
         requests: 9,
         map_requests: 5,
         compare_requests: 2,
+        sta_requests: 1,
         cache_hits: 3,
         cache_misses: 4,
         cache_entries: 4,
@@ -94,7 +95,7 @@ fn stats_wire_schema_golden() {
     };
     assert_eq!(
         snapshot.to_json(),
-        r#"{"requests":9,"map_requests":5,"compare_requests":2,"cache_hits":3,"cache_misses":4,"cache_entries":4,"cache_capacity":128,"errors":1,"busy_us":123456,"uptime_ms":60000}"#
+        r#"{"requests":9,"map_requests":5,"compare_requests":2,"sta_requests":1,"cache_hits":3,"cache_misses":4,"cache_entries":4,"cache_capacity":128,"errors":1,"busy_us":123456,"uptime_ms":60000}"#
     );
 }
 
@@ -259,6 +260,59 @@ fn trace_flag_threads_through() {
     );
     assert_eq!(response.status, 200);
     assert!(response.body.contains("\"trace_commands\":"));
+}
+
+#[test]
+fn sta_endpoint_reports_the_critical_path() {
+    let service = service();
+    let body = format!("{{\"program\":{BELL:?},\"m\":2}}");
+    let cold = post(&service, "/sta", &body);
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    // The body is the TimingReport schema of `qspr sta --format json`.
+    assert!(cold.body.starts_with(r#"{"makespan_us":"#), "{}", cold.body);
+    assert!(cold.body.contains(r#""critical_path":["#));
+    assert!(cold.body.contains(r#""segments":["#));
+    // Reports carry no clock: the cached repeat AND a fresh service
+    // reproduce the bytes exactly.
+    let warm = post(&service, "/sta", &body);
+    assert_eq!(warm, cold);
+    let second_service = MapService::new(Fabric::quale_45x85(), 8);
+    let fresh = post(&second_service, "/sta", &body);
+    assert_eq!(fresh, cold);
+    let stats = service.stats();
+    assert_eq!(stats.sta_requests, 2);
+    assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+}
+
+#[test]
+fn sta_requests_validate_their_fields() {
+    let service = service();
+    // `trace`/`name` belong to the other endpoints.
+    let response = post(
+        &service,
+        "/sta",
+        &format!("{{\"program\":{BELL:?},\"trace\":true}}"),
+    );
+    assert_eq!(response.status, 400);
+    assert!(response
+        .body
+        .contains("allowed: program, policy, router, m, feedback, fabric"));
+    // Feedback needs the negotiated router, like the CLI.
+    let response = post(
+        &service,
+        "/sta",
+        &format!("{{\"program\":{BELL:?},\"feedback\":true}}"),
+    );
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("negotiated"), "{}", response.body);
+    // The valid pairing succeeds end to end.
+    let response = post(
+        &service,
+        "/sta",
+        &format!("{{\"program\":{BELL:?},\"m\":2,\"router\":\"negotiated\",\"feedback\":true}}"),
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(response.body.contains(r#""critical_path":["#));
 }
 
 #[test]

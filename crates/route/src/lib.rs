@@ -91,7 +91,7 @@ mod router;
 
 pub use engine::{
     EpochStats, GreedyRouter, NegotiatedRouter, NegotiationConfig, ParseRouterKindError,
-    RouteRequest, RouterFactory, RouterKind, RoutingEngine, RoutingStats,
+    RouteRequest, RouterFactory, RouterKind, RoutingEngine, RoutingStats, SeededNegotiated,
 };
 pub use plan::{ResourceUse, RoutePlan, Step};
 pub use resource::{Resource, ResourceState};

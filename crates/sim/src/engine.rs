@@ -30,6 +30,7 @@ pub struct Mapper<'a> {
     policy: MapperPolicy,
     router: Arc<dyn RouterFactory + Send + Sync>,
     record_trace: bool,
+    order_boost: Option<Arc<Vec<Time>>>,
 }
 
 impl<'a> Mapper<'a> {
@@ -41,6 +42,7 @@ impl<'a> Mapper<'a> {
             policy,
             router: Arc::new(RouterKind::Greedy),
             record_trace: false,
+            order_boost: None,
         }
     }
 
@@ -61,6 +63,17 @@ impl<'a> Mapper<'a> {
     /// placers run thousands of mappings and only need latencies).
     pub fn record_trace(mut self, record: bool) -> Mapper<'a> {
         self.record_trace = record;
+        self
+    }
+
+    /// Adds a per-instruction priority boost (µs of measured critical
+    /// distance, indexed by instruction) to the list-scheduling order —
+    /// the scheduler half of the sta feedback loop. Only priority-list
+    /// issue orders are affected
+    /// ([`qspr_sched::Qidg::priorities_with_boost`]); ALAP/ASAP baseline
+    /// orders replay their fixed schedules and ignore it.
+    pub fn order_boost(mut self, boost: Vec<Time>) -> Mapper<'a> {
+        self.order_boost = Some(Arc::new(boost));
         self
     }
 
@@ -94,8 +107,13 @@ impl<'a> Mapper<'a> {
     ) -> Result<MappingOutcome, MapError> {
         placement.check(self.fabric, program.num_qubits())?;
         let qidg = Qidg::new(program, &self.tech);
+        let boost: &[Time] = self.order_boost.as_deref().map_or(&[], Vec::as_slice);
         let order_key: Vec<f64> = match self.policy.order {
-            IssueOrder::PriorityList(w) => qidg.priorities(&w).iter().map(|p| -p).collect(),
+            IssueOrder::PriorityList(w) => qidg
+                .priorities_with_boost(&w, boost)
+                .iter()
+                .map(|p| -p)
+                .collect(),
             IssueOrder::Alap => {
                 let alap = qidg.alap();
                 qidg.topo_order().map(|id| alap.start(id) as f64).collect()
@@ -120,6 +138,7 @@ impl fmt::Debug for Mapper<'_> {
             .field("policy", &self.policy)
             .field("router", &self.router.name())
             .field("record_trace", &self.record_trace)
+            .field("order_boost", &self.order_boost.is_some())
             .finish()
     }
 }
@@ -1071,6 +1090,30 @@ C-Z q4,q0
         let b = m.map(&p, &placement).unwrap();
         assert_eq!(a.latency(), b.latency());
         assert_eq!(a.final_placement(), b.final_placement());
+    }
+
+    #[test]
+    fn order_boost_reorders_ready_ties_deterministically() {
+        let f = Fabric::quale_45x85();
+        let tech = TechParams::date2012();
+        let p = fig3();
+        let placement = Placement::center(&f, 5);
+        let m = Mapper::new(&f, tech, MapperPolicy::qspr(&tech));
+        let base = m.map(&p, &placement).unwrap();
+        // A zero boost is exactly the unboosted mapping.
+        let zero = m
+            .clone()
+            .order_boost(vec![0; 12])
+            .map(&p, &placement)
+            .unwrap();
+        assert_eq!(base.latency(), zero.latency());
+        assert_eq!(base.instr_stats(), zero.instr_stats());
+        // A real boost still maps validly and deterministically.
+        let boosted = m.order_boost((0..12).map(|i| i * 50).collect());
+        let a = boosted.map(&p, &placement).unwrap();
+        let b = boosted.map(&p, &placement).unwrap();
+        assert_eq!(a.latency(), b.latency());
+        assert_eq!(a.instr_stats(), b.instr_stats());
     }
 
     #[test]

@@ -126,6 +126,10 @@ mod error;
 mod outcome;
 mod placement;
 mod policy;
+// Test-only: keeps `proptest` a dev-dependency and the module out of
+// release builds entirely.
+#[cfg(test)]
+mod proptests;
 mod render;
 mod stress;
 mod trace;

@@ -1,0 +1,94 @@
+//! Property-based tests of trace construction and mirroring.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use qspr_fabric::Coord;
+use qspr_qasm::{Gate, QubitId};
+use qspr_sched::InstrId;
+
+use crate::trace::{MicroCommand, Trace, TraceEntry};
+
+/// Builds a command from generated integers (the vendored proptest shim
+/// has no union strategies, so kinds are decoded from a byte).
+fn decode(kind: u8, id: u32, row: u16, col: u16) -> MicroCommand {
+    let a = Coord::new(row % 40, col % 80);
+    let b = Coord::new((row + 1) % 40, (col + 3) % 80);
+    // `id` is the entry index, so every (kind, id) pair is unique and the
+    // construction sort key (time, kind, id) is a total order — the same
+    // invariant the simulator guarantees (a qubit completes at most one
+    // command per instant; an instruction starts/ends once).
+    match kind % 4 {
+        0 => MicroCommand::Move {
+            qubit: QubitId(id),
+            from: a,
+            to: b,
+        },
+        1 => MicroCommand::Turn {
+            qubit: QubitId(id),
+            at: a,
+        },
+        2 => MicroCommand::GateStart {
+            instr: InstrId(id),
+            gate: if id % 2 == 0 { Gate::H } else { Gate::S },
+            trap: a,
+            q0: QubitId(id),
+            q1: None,
+        },
+        _ => MicroCommand::GateEnd { instr: InstrId(id) },
+    }
+}
+
+fn build_trace(raw: &[(u64, u8, u32, u16, u16)]) -> Trace {
+    let entries: Vec<TraceEntry> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(time, kind, _id, row, col))| TraceEntry {
+            // Anchor the first entry at t=0 so mirroring is a clean
+            // involution (times are mirrored around the last completion).
+            time: if i == 0 { 0 } else { time % 60 },
+            command: decode(kind, i as u32, row, col),
+        })
+        .collect();
+    Trace::new(entries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mirroring preserves the makespan and the move/turn counts.
+    #[test]
+    fn mirror_preserves_counts(raw in collection::vec(
+        (0u64..60, 0u8..8, 0u32..16, 0u16..40, 0u16..80), 1..24)) {
+        let t = build_trace(&raw);
+        let m = t.reversed();
+        prop_assert_eq!(m.end_time(), t.end_time());
+        prop_assert_eq!(m.move_count(), t.move_count());
+        prop_assert_eq!(m.turn_count(), t.turn_count());
+        prop_assert_eq!(m.len(), t.len());
+    }
+
+    /// Mirroring twice round-trips exactly (entries, times and order).
+    #[test]
+    fn mirror_twice_round_trips(raw in collection::vec(
+        (0u64..60, 0u8..8, 0u32..16, 0u16..40, 0u16..80), 1..24)) {
+        let t = build_trace(&raw);
+        prop_assert_eq!(t.reversed().reversed(), t);
+    }
+
+    /// Trace construction is order-independent: any permutation of the
+    /// recorded entries produces the same trace (the satellite guarantee
+    /// that sta inputs are reproducible at any thread count).
+    #[test]
+    fn construction_is_permutation_invariant(raw in collection::vec(
+        (0u64..10, 0u8..8, 0u32..16, 0u16..40, 0u16..80), 1..24),
+        rot in 0usize..24) {
+        let t = build_trace(&raw);
+        let mut shuffled = t.entries().to_vec();
+        shuffled.reverse();
+        let len = shuffled.len();
+        shuffled.rotate_left(rot % len);
+        prop_assert_eq!(Trace::new(shuffled), t);
+    }
+}

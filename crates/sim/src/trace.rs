@@ -106,10 +106,26 @@ pub struct Trace {
     entries: Vec<TraceEntry>,
 }
 
+/// Tie-break rank of commands at equal timestamps: gate ends, then move
+/// completions, then turn completions, then gate starts — ends precede
+/// starts so same-instant trap handovers stay well-formed, and arrivals
+/// precede the gate they enable — with the qubit/instruction id as the
+/// final key. This makes entry order a pure function of the entry *set*.
+fn command_rank(command: &MicroCommand) -> (u8, u32) {
+    match *command {
+        MicroCommand::GateEnd { instr } => (0, instr.0),
+        MicroCommand::Move { qubit, .. } => (1, qubit.0),
+        MicroCommand::Turn { qubit, .. } => (2, qubit.0),
+        MicroCommand::GateStart { instr, .. } => (3, instr.0),
+    }
+}
+
 impl Trace {
-    /// Wraps raw entries, sorting them stably by time.
+    /// Wraps raw entries, sorting them by time with an explicit stable
+    /// secondary key (command kind, then qubit/instruction id), so traces
+    /// are reproducible regardless of the order entries were recorded in.
     pub fn new(mut entries: Vec<TraceEntry>) -> Trace {
-        entries.sort_by_key(|e| e.time);
+        entries.sort_by_key(|e| (e.time, command_rank(&e.command)));
         Trace { entries }
     }
 
@@ -305,6 +321,52 @@ mod tests {
             MicroCommand::GateStart { gate, .. } => assert_eq!(gate, Gate::Sdg),
             _ => panic!("expected gate start"),
         }
+    }
+
+    #[test]
+    fn equal_time_entries_order_independently_of_input_order() {
+        let at = |t| {
+            vec![
+                entry(
+                    t,
+                    MicroCommand::GateStart {
+                        instr: InstrId(1),
+                        gate: Gate::H,
+                        trap: Coord::new(1, 1),
+                        q0: QubitId(1),
+                        q1: None,
+                    },
+                ),
+                entry(
+                    t,
+                    MicroCommand::Move {
+                        qubit: QubitId(1),
+                        from: Coord::new(0, 0),
+                        to: Coord::new(0, 1),
+                    },
+                ),
+                entry(t, MicroCommand::GateEnd { instr: InstrId(0) }),
+                entry(
+                    t,
+                    MicroCommand::Move {
+                        qubit: QubitId(0),
+                        from: Coord::new(2, 0),
+                        to: Coord::new(2, 1),
+                    },
+                ),
+            ]
+        };
+        let mut forward = at(7);
+        let mut backward = at(7);
+        backward.reverse();
+        let a = Trace::new(forward.clone());
+        let b = Trace::new(backward);
+        assert_eq!(a, b, "entry order must not depend on insertion order");
+        // And the pinned kind order: end, moves (by qubit), start.
+        forward.swap(0, 2);
+        forward.swap(1, 3);
+        forward.swap(2, 3);
+        assert_eq!(a.entries(), &forward[..]);
     }
 
     #[test]

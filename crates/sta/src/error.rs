@@ -1,0 +1,51 @@
+//! Errors a timing analysis can report.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`crate::TimingAnalysis`] could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaError {
+    /// The outcome was mapped without `record_trace(true)`: resource
+    /// attribution needs the micro-command stream.
+    MissingTrace,
+    /// The program and the outcome disagree on the instruction count —
+    /// the outcome was produced from a different program.
+    ProgramMismatch {
+        /// Instructions in the analyzed program.
+        program: usize,
+        /// Instruction stats recorded in the outcome.
+        outcome: usize,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::MissingTrace => {
+                write!(f, "timing analysis needs a recorded trace (record_trace)")
+            }
+            StaError::ProgramMismatch { program, outcome } => write!(
+                f,
+                "program has {program} instructions but the outcome recorded {outcome}"
+            ),
+        }
+    }
+}
+
+impl Error for StaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(StaError::MissingTrace.to_string().contains("trace"));
+        let e = StaError::ProgramMismatch {
+            program: 3,
+            outcome: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,136 @@
+//! Strict-JSON serialization of a micro-command trace, for offline
+//! cross-checking of sta reports (`qspr map --dump-trace`).
+
+use qspr_json::{JsonArray, JsonObject};
+use qspr_sim::{MicroCommand, Trace};
+
+/// Renders `trace` as one strict JSON document (the writer emits no
+/// whitespace; [`qspr_json::JsonValue::parse`] round-trips it).
+///
+/// # Examples
+///
+/// ```
+/// use qspr_sim::Trace;
+/// use qspr_sta::trace_to_json;
+///
+/// let json = trace_to_json(&Trace::default());
+/// assert_eq!(json, r#"{"end_time_us":0,"moves":0,"turns":0,"entries":[]}"#);
+/// ```
+pub fn trace_to_json(trace: &Trace) -> String {
+    let mut entries = JsonArray::new();
+    for e in trace.entries() {
+        let obj = JsonObject::new().number("time_us", e.time);
+        let obj = match e.command {
+            MicroCommand::Move { qubit, from, to } => obj
+                .string("kind", "move")
+                .number("qubit", u64::from(qubit.0))
+                .string("from", &from.to_string())
+                .string("to", &to.to_string()),
+            MicroCommand::Turn { qubit, at } => obj
+                .string("kind", "turn")
+                .number("qubit", u64::from(qubit.0))
+                .string("at", &at.to_string()),
+            MicroCommand::GateStart {
+                instr,
+                gate,
+                trap,
+                q0,
+                q1,
+            } => {
+                let obj = obj
+                    .string("kind", "gate_start")
+                    .number("instr", u64::from(instr.0))
+                    .string("gate", gate.mnemonic())
+                    .string("trap", &trap.to_string())
+                    .number("q0", u64::from(q0.0));
+                match q1 {
+                    Some(q1) => obj.number("q1", u64::from(q1.0)),
+                    None => obj.raw("q1", "null"),
+                }
+            }
+            MicroCommand::GateEnd { instr } => obj
+                .string("kind", "gate_end")
+                .number("instr", u64::from(instr.0)),
+        };
+        entries.push_raw(&obj.build());
+    }
+    JsonObject::new()
+        .number("end_time_us", trace.end_time())
+        .number("moves", trace.move_count() as u64)
+        .number("turns", trace.turn_count() as u64)
+        .raw("entries", &entries.build())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qspr_fabric::Coord;
+    use qspr_json::JsonValue;
+    use qspr_qasm::{Gate, QubitId};
+    use qspr_sched::InstrId;
+    use qspr_sim::TraceEntry;
+
+    #[test]
+    fn golden_every_command_kind() {
+        let trace = Trace::new(vec![
+            TraceEntry {
+                time: 0,
+                command: MicroCommand::GateStart {
+                    instr: InstrId(0),
+                    gate: Gate::H,
+                    trap: Coord::new(1, 1),
+                    q0: QubitId(0),
+                    q1: None,
+                },
+            },
+            TraceEntry {
+                time: 1,
+                command: MicroCommand::Move {
+                    qubit: QubitId(1),
+                    from: Coord::new(0, 0),
+                    to: Coord::new(0, 1),
+                },
+            },
+            TraceEntry {
+                time: 2,
+                command: MicroCommand::Turn {
+                    qubit: QubitId(1),
+                    at: Coord::new(0, 2),
+                },
+            },
+            TraceEntry {
+                time: 10,
+                command: MicroCommand::GateEnd { instr: InstrId(0) },
+            },
+        ]);
+        let expected = concat!(
+            r#"{"end_time_us":10,"moves":1,"turns":1,"entries":["#,
+            r#"{"time_us":0,"kind":"gate_start","instr":0,"gate":"H","trap":"(1, 1)","q0":0,"q1":null},"#,
+            r#"{"time_us":1,"kind":"move","qubit":1,"from":"(0, 0)","to":"(0, 1)"},"#,
+            r#"{"time_us":2,"kind":"turn","qubit":1,"at":"(0, 2)"},"#,
+            r#"{"time_us":10,"kind":"gate_end","instr":0}]}"#
+        );
+        assert_eq!(trace_to_json(&trace), expected);
+    }
+
+    #[test]
+    fn output_is_strict_json() {
+        let trace = Trace::new(vec![TraceEntry {
+            time: 3,
+            command: MicroCommand::Move {
+                qubit: QubitId(0),
+                from: Coord::new(0, 0),
+                to: Coord::new(0, 1),
+            },
+        }]);
+        let v = JsonValue::parse(&trace_to_json(&trace)).unwrap();
+        assert_eq!(v.get("moves").and_then(|m| m.as_u64()), Some(1));
+        assert_eq!(
+            v.get("entries")
+                .and_then(|e| e.as_array())
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+    }
+}

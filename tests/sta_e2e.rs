@@ -1,0 +1,102 @@
+//! End-to-end checks of the `qspr-sta` timing-analysis subsystem on
+//! the paper's Table 1 circuits: the extracted critical path must end
+//! exactly at the reported makespan, the slack algebra must hold for
+//! every instruction, reports must be byte-identically deterministic,
+//! and slack-aware feedback must never lose to the plain negotiated
+//! flow it pilots with.
+
+use qspr::{Flow, RouterKind, ToJson};
+use qspr_fabric::Fabric;
+use qspr_qecc::codes::benchmark_suite;
+
+fn sta_flow() -> Flow {
+    Flow::on(Fabric::quale_45x85()).seeds(2).record_trace(true)
+}
+
+#[test]
+fn critical_path_ends_at_the_makespan_on_every_table1_circuit() {
+    let flow = sta_flow();
+    for bench in benchmark_suite() {
+        let result = flow.run(&bench.program).expect("maps");
+        let report = flow
+            .timing_report(&bench.program, &result)
+            .expect("analyzes");
+        assert_eq!(report.makespan(), result.latency, "{}", bench.name);
+        assert_eq!(
+            report.critical_end(),
+            Some(result.latency),
+            "{}: the critical path must end at the reported makespan",
+            bench.name
+        );
+        assert!(
+            !report.critical_path().is_empty(),
+            "{}: a non-empty circuit has a critical path",
+            bench.name
+        );
+        assert_eq!(report.min_slack(), Some(0), "{}", bench.name);
+        for t in report.instructions() {
+            // slack = required − finish, never negative (Time is
+            // unsigned, so the addition form is the honest check).
+            assert_eq!(
+                t.finish + t.slack,
+                t.required,
+                "{}/{}: slack algebra",
+                bench.name,
+                t.gate
+            );
+            assert!(
+                !t.critical || t.slack == 0,
+                "{}/{}: critical instructions have zero slack",
+                bench.name,
+                t.gate
+            );
+        }
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    let flow = sta_flow();
+    for bench in benchmark_suite().into_iter().take(3) {
+        let a = flow.run(&bench.program).expect("maps");
+        let b = flow.run(&bench.program).expect("maps");
+        let report_a = flow.timing_report(&bench.program, &a).expect("analyzes");
+        let report_b = flow.timing_report(&bench.program, &b).expect("analyzes");
+        assert_eq!(
+            report_a.to_json(),
+            report_b.to_json(),
+            "{}: timing reports are deterministic to the byte",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn sta_feedback_never_increases_suite_latency() {
+    // The feedback driver is best-of-two with the plain run as its
+    // pilot, so `<=` must hold circuit by circuit, not just on average.
+    let flow = sta_flow().router(RouterKind::Negotiated);
+    for bench in benchmark_suite().into_iter().take(2) {
+        let plain = flow.clone().run(&bench.program).expect("maps");
+        let fed = flow
+            .clone()
+            .sta_feedback(true)
+            .run(&bench.program)
+            .expect("maps with feedback");
+        assert!(
+            fed.latency <= plain.latency,
+            "{}: feedback {} must not exceed plain negotiated {}",
+            bench.name,
+            fed.latency,
+            plain.latency
+        );
+        // Deterministic choice: a re-run reproduces it.
+        let again = flow
+            .clone()
+            .sta_feedback(true)
+            .run(&bench.program)
+            .expect("maps again");
+        assert_eq!(fed.latency, again.latency, "{}", bench.name);
+        assert_eq!(fed.router, again.router, "{}", bench.name);
+    }
+}
