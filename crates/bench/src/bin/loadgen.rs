@@ -1,4 +1,5 @@
-//! Load generator and correctness oracle for `qspr serve`.
+//! Load generator, latency harness and correctness oracle for
+//! `qspr serve`.
 //!
 //! Drives N concurrent connections against a running service and
 //! asserts that every response matches what the library (and therefore
@@ -6,14 +7,22 @@
 //! locally for the same inputs:
 //!
 //! * `/map` responses must equal the local [`FlowSummary`] JSON
-//!   *modulo the `cpu_ms` field* (placement wall-clock — the one
-//!   non-deterministic byte in the schema), and repeated requests must
-//!   be **byte-identical** including `cpu_ms`, because the cache
-//!   replays the stored cold response;
+//!   *modulo the `"timing"` object* (placement wall-clock — the one
+//!   non-deterministic part of the schema), and repeated requests must
+//!   be **byte-identical** timing included, because the cache replays
+//!   the stored cold response;
 //! * `/compare` responses carry no clock and must be byte-identical to
 //!   the local [`ComparisonRow`] JSON, always;
 //! * `/stats` counters must add up (hits + misses = mapping requests,
-//!   hits > 0 once the workload repeats itself).
+//!   hits > 0 once the workload repeats itself);
+//! * `/metrics` must serve non-empty Prometheus text in which every
+//!   `# TYPE` family has at least one sample line.
+//!
+//! Every request's wall-clock latency lands in a per-thread
+//! [`Histogram`]; the merged distribution is
+//! reported as p50/p90/p99/p999 and written to `--bench-out`
+//! (default `BENCH_serve.json`, strict `qspr::json` — re-parsed before
+//! exit so a malformed artifact fails the run, not a consumer).
 //!
 //! Any violation prints the offending pair and exits non-zero — CI
 //! runs `loadgen --quick` against a freshly started server as the
@@ -21,7 +30,7 @@
 //!
 //! Usage: `cargo run -p qspr-bench --release --bin loadgen --
 //! --addr 127.0.0.1:7878 [--connections N] [--iters N] [--quick]
-//! [--shutdown]`
+//! [--bench-out FILE] [--shutdown]`
 //!
 //! [`FlowSummary`]: qspr::FlowSummary
 //! [`ComparisonRow`]: qspr::ComparisonRow
@@ -32,7 +41,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use qspr::json::{JsonObject, JsonValue, ToJson};
-use qspr::service::{http, normalize_cpu_ms};
+use qspr::obs::Histogram;
+use qspr::service::{http, normalize_timing};
 use qspr::{Flow, FlowPolicy, RouterKind};
 use qspr_bench::{parse_flag, quick_mode};
 use qspr_fabric::Fabric;
@@ -45,7 +55,7 @@ struct Case {
     label: String,
     map_body: String,
     compare_body: String,
-    /// Expected `/map` body with `cpu_ms` normalized to 0.
+    /// Expected `/map` body with the timing object normalized.
     expect_map: String,
     /// Expected `/compare` body, exact.
     expect_compare: String,
@@ -128,7 +138,7 @@ fn build_cases(quick: bool) -> Vec<Case> {
                 .policy(policy)
                 .router(router)
                 .seeds(m);
-            let expect_map = normalize_cpu_ms(
+            let expect_map = normalize_timing(
                 &flow
                     .run(&program)
                     .expect("workload programs map")
@@ -177,28 +187,39 @@ fn await_health(addr: &str) -> Result<(), String> {
     Err(format!("service at {addr} did not become healthy"))
 }
 
+/// Expected response body for one oracle request: `exact` compares
+/// bytes verbatim, otherwise the response's `"timing"` object is
+/// normalized first (it is the one non-deterministic part of `/map`).
+struct Expect<'a> {
+    body: &'a str,
+    exact: bool,
+}
+
 fn check(
     addr: &str,
     method: &str,
     path: &str,
     body: &str,
-    expect: &str,
-    exact: bool,
+    expect: Expect<'_>,
     label: &str,
+    latency: &Histogram,
 ) -> Result<(), String> {
+    let t0 = Instant::now();
     let response = http::call(addr, method, path, body)
         .map_err(|e| format!("{label}: {method} {path} failed: {e}"))?;
+    latency.record(t0.elapsed().as_micros() as u64);
     if response.status != 200 {
         return Err(format!(
             "{label}: {method} {path} -> {} {}",
             response.status, response.body
         ));
     }
-    let actual = if exact {
+    let actual = if expect.exact {
         response.body.clone()
     } else {
-        normalize_cpu_ms(&response.body)
+        normalize_timing(&response.body)
     };
+    let expect = expect.body;
     if actual != expect {
         return Err(format!(
             "{label}: {path} response differs from `qspr {} --format json`\n  expected: {expect}\n  actual:   {actual}",
@@ -208,12 +229,80 @@ fn check(
     Ok(())
 }
 
+/// Validates a Prometheus text exposition: non-empty, and every
+/// `# TYPE` family is followed by at least one sample line before the
+/// next family begins.
+fn validate_metrics(text: &str) -> Result<(), String> {
+    if text.trim().is_empty() {
+        return Err("/metrics body is empty".into());
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    let mut families = 0;
+    for (i, line) in lines.iter().enumerate() {
+        let Some(rest) = line.strip_prefix("# TYPE ") else {
+            continue;
+        };
+        families += 1;
+        let family = rest
+            .split(' ')
+            .next()
+            .ok_or_else(|| format!("malformed TYPE line: {line}"))?;
+        let has_sample = lines[i + 1..]
+            .iter()
+            .take_while(|l| !l.starts_with("# HELP"))
+            .any(|l| l.starts_with(family));
+        if !has_sample {
+            return Err(format!("metric family {family} has no sample line"));
+        }
+    }
+    if families == 0 {
+        return Err(format!("/metrics has no # TYPE lines:\n{text}"));
+    }
+    Ok(())
+}
+
+/// Serializes the merged latency distribution plus run parameters as
+/// the committed `BENCH_serve.json` schema.
+fn bench_report(
+    connections: usize,
+    iters: usize,
+    cases: usize,
+    requests: usize,
+    wall: Duration,
+    latency: &Histogram,
+) -> String {
+    let mut quantiles = JsonObject::new();
+    for (q, key) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (0.999, "p999")] {
+        quantiles = quantiles.number(key, latency.percentile(q).unwrap_or(0));
+    }
+    JsonObject::new()
+        .string("benchmark", "qspr serve latency under concurrent load")
+        .number("connections", connections as u64)
+        .number("iters", iters as u64)
+        .number("cases", cases as u64)
+        .number("requests", requests as u64)
+        .number("wall_us", wall.as_micros() as u64)
+        .number(
+            "throughput_rps",
+            (requests as f64 / wall.as_secs_f64()) as u64,
+        )
+        .raw(
+            "latency_us",
+            &quantiles
+                .number("max", latency.max_value())
+                .number("count", latency.count())
+                .build(),
+        )
+        .build()
+}
+
 fn run() -> Result<(), String> {
     let addr = string_flag("--addr").ok_or("loadgen needs --addr host:port")?;
     let quick = quick_mode();
     let connections = parse_flag("--connections", 8);
     let iters = parse_flag("--iters", if quick { 2 } else { 4 });
     let shutdown = std::env::args().any(|a| a == "--shutdown");
+    let bench_out = string_flag("--bench-out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
 
     await_health(&addr)?;
     eprintln!("building expected responses locally (the oracle run)...");
@@ -226,12 +315,18 @@ fn run() -> Result<(), String> {
     );
     let started = Instant::now();
     let mut failures: Vec<String> = Vec::new();
+    // One latency histogram per connection (no cross-thread contention
+    // on the hot path); merged below. Merged percentiles are exactly
+    // the percentiles of the concatenated stream — a golden-tested
+    // property of the bucket representation.
+    let latency = Histogram::new();
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..connections {
             let cases = Arc::clone(&cases);
             let addr = addr.clone();
-            handles.push(scope.spawn(move || -> Result<(), String> {
+            handles.push(scope.spawn(move || -> Result<Histogram, String> {
+                let local = Histogram::new();
                 for i in 0..iters {
                     // Stagger starting offsets so threads collide on
                     // different cases (more cold/warm interleavings).
@@ -242,27 +337,34 @@ fn run() -> Result<(), String> {
                             "POST",
                             "/map",
                             &case.map_body,
-                            &case.expect_map,
-                            false,
+                            Expect {
+                                body: &case.expect_map,
+                                exact: false,
+                            },
                             &case.label,
+                            &local,
                         )?;
                         check(
                             &addr,
                             "POST",
                             "/compare",
                             &case.compare_body,
-                            &case.expect_compare,
-                            true,
+                            Expect {
+                                body: &case.expect_compare,
+                                exact: true,
+                            },
                             &case.label,
+                            &local,
                         )?;
                     }
                 }
-                Ok(())
+                Ok(local)
             }));
         }
         for handle in handles {
-            if let Err(e) = handle.join().expect("loadgen worker panicked") {
-                failures.push(e);
+            match handle.join().expect("loadgen worker panicked") {
+                Ok(local) => latency.merge_from(&local),
+                Err(e) => failures.push(e),
             }
         }
     });
@@ -274,6 +376,14 @@ fn run() -> Result<(), String> {
     eprintln!(
         "{requests} concurrent requests ok in {wall:.2?} ({:.0} req/s)",
         requests as f64 / wall.as_secs_f64()
+    );
+    eprintln!(
+        "latency: p50 {}µs | p90 {}µs | p99 {}µs | p999 {}µs | max {}µs",
+        latency.percentile(0.5).unwrap_or(0),
+        latency.percentile(0.9).unwrap_or(0),
+        latency.percentile(0.99).unwrap_or(0),
+        latency.percentile(0.999).unwrap_or(0),
+        latency.max_value(),
     );
 
     // Sequential epilogue: with no concurrent cold-path races, the
@@ -321,6 +431,33 @@ fn run() -> Result<(), String> {
         field("requests")?,
         field("busy_us")? / 1000
     );
+
+    // The Prometheus exposition must be well-formed after real load.
+    let metrics = http::call(&addr, "GET", "/metrics", "")
+        .map_err(|e| format!("GET /metrics failed: {e}"))?;
+    if metrics.status != 200 {
+        return Err(format!("GET /metrics -> {}", metrics.status));
+    }
+    validate_metrics(&metrics.body)?;
+    eprintln!(
+        "/metrics exposition valid ({} families)",
+        metrics
+            .body
+            .lines()
+            .filter(|l| l.starts_with("# TYPE"))
+            .count()
+    );
+
+    // Write the latency artifact, then re-parse it strictly: a
+    // malformed BENCH_serve.json must fail loadgen, not a consumer.
+    let report = bench_report(connections, iters, cases.len(), requests, wall, &latency);
+    std::fs::write(&bench_out, format!("{report}\n"))
+        .map_err(|e| format!("writing {bench_out}: {e}"))?;
+    let written =
+        std::fs::read_to_string(&bench_out).map_err(|e| format!("re-reading {bench_out}: {e}"))?;
+    JsonValue::parse(written.trim_end())
+        .map_err(|e| format!("{bench_out} is not strict JSON: {e}"))?;
+    eprintln!("wrote {bench_out}");
 
     if shutdown {
         let bye = http::call(&addr, "POST", "/shutdown", "")

@@ -127,10 +127,78 @@ fn main() {
         );
     }
 
+    // --- Observability overhead pin ---------------------------------
+    //
+    // The span instrumentation woven through the pipeline must stay
+    // near-free when no sink is installed. The pin is machine-portable:
+    // both sides of the comparison are measured fresh on this machine —
+    // (a) the disabled per-span cost from a tight calibration loop, and
+    // (b) the wall time and span count of mapping the largest suite
+    // circuit — so the assertion compares like with like instead of
+    // trusting committed numbers from other hardware.
+    let obs = {
+        let bench = wb.benchmarks.last().expect("suite is non-empty");
+        let flow = flow.clone().router(RouterKind::Greedy);
+        let placement = Placement::center(flow.fabric(), bench.program.num_qubits());
+        assert!(
+            !qspr::obs::enabled(),
+            "perf must run without a span sink installed"
+        );
+        // Uninstrumented wall: best of 3 (the pin should not fail on a
+        // one-off scheduler hiccup in the baseline).
+        let map_wall_us = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                flow.map_with(&bench.program, policy, &placement)
+                    .expect("benchmarks map cleanly");
+                t0.elapsed().as_micros() as u64
+            })
+            .min()
+            .expect("three runs");
+        // Disabled per-span cost: one relaxed atomic load plus an inert
+        // guard, amortized over a tight loop.
+        const PROBES: u64 = 5_000_000;
+        let t0 = Instant::now();
+        for _ in 0..PROBES {
+            let _guard = qspr::obs::span("probe");
+        }
+        let per_span_ns = t0.elapsed().as_nanos() as f64 / PROBES as f64;
+        // Span count of the same map, via a thread-local collector (so
+        // a parallel test run can never observe our sink).
+        let collector = std::sync::Arc::new(qspr::obs::Collector::new());
+        let guard = qspr::obs::install_thread(std::sync::Arc::clone(&collector) as _);
+        flow.map_with(&bench.program, policy, &placement)
+            .expect("benchmarks map cleanly");
+        drop(guard);
+        let spans_per_map = collector.total_spans();
+        let overhead_ns = spans_per_map as f64 * per_span_ns;
+        let overhead_pct = 100.0 * overhead_ns / (map_wall_us as f64 * 1000.0);
+        println!(
+            "\nObs overhead — {}: {spans_per_map} spans x {per_span_ns:.2} ns disabled = \
+             {:.1} µs over a {map_wall_us} µs map ({overhead_pct:.3}%)",
+            bench.name,
+            overhead_ns / 1000.0,
+        );
+        assert!(
+            overhead_pct < 2.0,
+            "disabled span instrumentation costs {overhead_pct:.3}% of the {} map \
+             ({spans_per_map} spans x {per_span_ns:.2} ns vs {map_wall_us} µs wall)",
+            bench.name
+        );
+        JsonObject::new()
+            .string("circuit", &bench.name)
+            .float("per_span_disabled_ns", per_span_ns)
+            .number("spans_per_map", spans_per_map)
+            .number("map_wall_us", map_wall_us)
+            .float("overhead_pct", overhead_pct)
+            .build()
+    };
+
     let report = JsonObject::new()
         .string("fabric", "quale_45x85")
         .boolean("quick", quick)
         .raw("engines", &engines.build())
+        .raw("obs", &obs)
         .build();
     let path = path_flag("--out", "BENCH_route.json");
     std::fs::write(&path, format!("{report}\n")).expect("writable output path");

@@ -1,12 +1,12 @@
 //! `qspr` — command-line front end for the QSPR mapper.
 //!
 //! ```text
-//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--fabric F] [--format FMT]
+//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--profile] [--fabric F] [--format FMT]
 //! qspr sta <file.qasm> [--policy P] [--router R] [--m N] [--sta-feedback] [--fabric F] [--format FMT]
 //! qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
 //! qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
 //! qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
-//! qspr serve [--addr A] [--threads T] [--cache N] [--fabric F]
+//! qspr serve [--addr A] [--threads T] [--cache N] [--log] [--fabric F]
 //! qspr fabric [--fabric F]
 //! qspr encode <CODE>
 //! qspr version
@@ -25,11 +25,17 @@
 //! `--sta-feedback` (with `--router negotiated`) folds the analysis
 //! back into a second mapping pass, keeping the faster run.
 //!
+//! `qspr map --profile` instruments the run with the `qspr-obs` span
+//! tracer and reports per-phase wall time, the span tree and per-epoch
+//! counts — appended as a `"profile"` object in JSON mode, or as a
+//! table after the text report.
+//!
 //! `qspr serve` runs the resident mapping service of `qspr::service`:
 //! `POST /map`, `POST /compare` and `POST /sta` with the same JSON
 //! schemas as `--format json`, `GET /healthz`, `GET /stats`,
-//! `POST /shutdown`, backed by an LRU result cache (`--cache N`
-//! entries, 0 disables).
+//! `GET /metrics` (Prometheus text format), `POST /shutdown`, backed
+//! by an LRU result cache (`--cache N` entries, 0 disables). `--log`
+//! writes one structured access-log line per request to stderr.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -56,12 +62,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--fabric F] [--format FMT]
+  qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--profile] [--fabric F] [--format FMT]
   qspr sta <file.qasm> [--policy P] [--router R] [--m N] [--sta-feedback] [--fabric F] [--format FMT]
   qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
   qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
   qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
-  qspr serve [--addr A] [--threads T] [--cache N] [--fabric F]
+  qspr serve [--addr A] [--threads T] [--cache N] [--log] [--fabric F]
   qspr fabric [--fabric F]
   qspr encode <CODE>          (5,1,3 | 7,1,3 | 9,1,3 | 14,8,3 | 19,1,7 | 23,1,7)
   qspr version
@@ -78,8 +84,10 @@ options:
   --sta         map: append the static timing analysis to the report
   --sta-feedback  remap with slack-aware feedback (needs --router negotiated)
   --dump-trace FILE  map: write the recorded trace to FILE as JSON
+  --profile     map: trace the run and report per-phase times and the span tree
   --addr A      serve: bind address (default 127.0.0.1:7878; port 0 = ephemeral)
   --cache N     serve: result-cache capacity in entries (default 128, 0 = off)
+  --log         serve: one structured access-log line per request on stderr
   --help, -h    print this help and exit";
 
 /// Output format selected with `--format`.
@@ -110,7 +118,14 @@ impl Cli {
             "--cache",
             "--dump-trace",
         ];
-        const SWITCHES: [&str; 4] = ["--trace", "--suite", "--sta", "--sta-feedback"];
+        const SWITCHES: [&str; 6] = [
+            "--trace",
+            "--suite",
+            "--sta",
+            "--sta-feedback",
+            "--profile",
+            "--log",
+        ];
         let mut positional = Vec::new();
         let mut options: Vec<(String, Option<String>)> = Vec::new();
         let mut it = args.iter();
@@ -233,12 +248,13 @@ impl Cli {
     }
 }
 
-/// Splices a pre-serialized `"sta"` report into the trailing brace of a
-/// summary object (both inputs are `qspr_json`-built objects, so the
-/// result stays strictly parseable).
-fn splice_sta(summary: &str, report: &str) -> String {
+/// Splices a pre-serialized object into the trailing brace of a summary
+/// object as `"key":value` (both inputs are `qspr_json`-built objects,
+/// so the result stays strictly parseable). Used for the `--sta` and
+/// `--profile` report blocks.
+fn splice_field(summary: &str, key: &str, value: &str) -> String {
     debug_assert!(summary.ends_with('}'));
-    format!("{},\"sta\":{}}}", &summary[..summary.len() - 1], report)
+    format!("{},\"{key}\":{value}}}", &summary[..summary.len() - 1])
 }
 
 fn load_program(path: &str) -> Result<Program, QsprError> {
@@ -287,6 +303,16 @@ fn cmd_map(cli: &Cli) -> Result<(), QsprError> {
     let dump_trace = cli.value("--dump-trace");
     // Validate the flag pairing before touching the filesystem.
     let feedback = cli.sta_feedback()?;
+    // `--profile`: collect the pipeline's spans into a thread-local
+    // tree. Thread-local (not global) so a profiled run in one thread
+    // never leaks spans into another; installed before the parse so
+    // the "parse" root is captured too. The wall clock starts here —
+    // the report's phases account for everything from this point on.
+    let profiling = cli.switch("--profile").then(|| {
+        let collector = Arc::new(qspr::obs::Collector::new());
+        let guard = qspr::obs::install_thread(Arc::clone(&collector) as _);
+        (collector, guard, std::time::Instant::now())
+    });
     let program = load_program(path)?;
     let flow = cli
         .flow()?
@@ -302,15 +328,26 @@ fn cmd_map(cli: &Cli) -> Result<(), QsprError> {
             .expect("trace recording was enabled");
         std::fs::write(out, qspr::sta::trace_to_json(trace)).map_err(|e| QsprError::io(out, e))?;
     }
+    // The STA report runs inside the profiled window (its "sta" span
+    // becomes a phase); the profile itself is built afterwards, once
+    // all spans have closed.
+    let sta_report = sta
+        .then(|| flow.timing_report(&program, &result))
+        .transpose()?;
+    let profile = profiling.map(|(collector, guard, t0)| {
+        drop(guard);
+        qspr::obs::ProfileReport::from_collector(&collector, t0.elapsed())
+    });
     match format {
         OutputFormat::Json => {
-            let summary = result.summary().to_json();
-            if sta {
-                let report = flow.timing_report(&program, &result)?;
-                println!("{}", splice_sta(&summary, &report.to_json()));
-            } else {
-                println!("{summary}");
+            let mut summary = result.summary().to_json();
+            if let Some(report) = &sta_report {
+                summary = splice_field(&summary, "sta", &report.to_json());
             }
+            if let Some(profile) = &profile {
+                summary = splice_field(&summary, "profile", &profile.to_json());
+            }
+            println!("{summary}");
         }
         OutputFormat::Text => {
             match policy {
@@ -345,9 +382,11 @@ fn cmd_map(cli: &Cli) -> Result<(), QsprError> {
                     }
                 }
             }
-            if sta {
-                let report = flow.timing_report(&program, &result)?;
+            if let Some(report) = &sta_report {
                 println!("\n{report}");
+            }
+            if let Some(profile) = &profile {
+                println!("\n{profile}");
             }
         }
     }
@@ -455,6 +494,7 @@ fn cmd_batch(cli: &Cli) -> Result<(), QsprError> {
 fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
     let mut config = ServeConfig {
         addr: cli.value("--addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        log: cli.switch("--log"),
         ..ServeConfig::default()
     };
     if let Some(threads) = cli.threads()? {
@@ -462,6 +502,13 @@ fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
     }
     let cache_capacity = cli.cache()?;
     let service = Arc::new(MapService::new(cli.fabric()?, cache_capacity));
+    // Feed every pipeline span (parse, place, route epochs, sta, ...)
+    // into the service registry as per-phase latency histograms, so
+    // `GET /metrics` reports where mapping time goes. Global, because
+    // requests are handled on worker threads.
+    qspr::obs::install_global(Arc::new(qspr::obs::MetricsSpanSink::new(Arc::clone(
+        service.metrics(),
+    ))));
     let server =
         Server::bind(Arc::clone(&service), &config).map_err(|e| QsprError::io(&config.addr, e))?;
     let addr = server
@@ -471,7 +518,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
     // discover the ephemeral port), so it goes first on its own line.
     println!("listening on http://{addr}/");
     println!(
-        "threads {} | cache {} entries | POST /map, POST /compare, POST /sta, GET /healthz, GET /stats, POST /shutdown",
+        "threads {} | cache {} entries | POST /map, POST /compare, POST /sta, GET /healthz, GET /stats, GET /metrics, POST /shutdown",
         config.threads, cache_capacity
     );
     server
@@ -786,11 +833,28 @@ mod tests {
     }
 
     #[test]
-    fn sta_splices_into_summary_json() {
-        let spliced = splice_sta(r#"{"policy":"qspr"}"#, r#"{"makespan_us":7}"#);
+    fn reports_splice_into_summary_json() {
+        let spliced = splice_field(r#"{"policy":"qspr"}"#, "sta", r#"{"makespan_us":7}"#);
         assert_eq!(spliced, r#"{"policy":"qspr","sta":{"makespan_us":7}}"#);
-        // The splice stays strictly parseable.
+        // The splice stays strictly parseable, and chains.
         assert!(qspr::json::JsonValue::parse(&spliced).is_ok());
+        let chained = splice_field(&spliced, "profile", r#"{"total_wall_us":9}"#);
+        assert_eq!(
+            chained,
+            r#"{"policy":"qspr","sta":{"makespan_us":7},"profile":{"total_wall_us":9}}"#
+        );
+        assert!(qspr::json::JsonValue::parse(&chained).is_ok());
+    }
+
+    #[test]
+    fn profile_and_log_switches_parse() {
+        let cli = Cli::parse(&strings(&["file.qasm", "--profile"])).unwrap();
+        assert!(cli.switch("--profile"));
+        let cli = Cli::parse(&strings(&["--log", "--addr", "127.0.0.1:0"])).unwrap();
+        assert!(cli.switch("--log"));
+        // Neither takes a value: the next token stays positional.
+        let cli = Cli::parse(&strings(&["--profile", "file.qasm"])).unwrap();
+        assert_eq!(cli.positional, vec!["file.qasm"]);
     }
 
     #[test]

@@ -31,8 +31,13 @@
 //! * [`ablation_policies`] — one policy per QSPR design claim, for the
 //!   ablation benches called out in DESIGN.md;
 //! * [`service`] — the `qspr serve` subsystem: a resident HTTP/1.1 JSON
-//!   mapping service with a fixed worker pool and a seed-deterministic
-//!   LRU result cache keyed by [`Flow::fingerprint`];
+//!   mapping service with a fixed worker pool, a seed-deterministic
+//!   LRU result cache keyed by [`Flow::fingerprint`], and a
+//!   Prometheus-format `GET /metrics` endpoint;
+//! * [`obs`] — the observability substrate (`qspr-obs`): hierarchical
+//!   span tracing over the whole pipeline (near-zero cost when idle),
+//!   counters/gauges/latency histograms, and the golden-tested
+//!   [`obs::ProfileReport`] behind `qspr map --profile`;
 //! * [`sta`] — static timing analysis over a recorded trace:
 //!   [`Flow::timing_report`] reconstructs per-instruction slack, the
 //!   critical path and resource bottlenecks, and
@@ -79,7 +84,7 @@ pub mod service;
 pub use ablation::ablation_policies;
 pub use batch::{BatchError, BatchItem, BatchJob, BatchMapper, BatchReport};
 pub use error::QsprError;
-pub use flow::{FabricSummary, Flow, FlowPolicy, FlowResult, FlowSummary};
+pub use flow::{FabricSummary, Flow, FlowPolicy, FlowResult, FlowSummary, FlowTiming};
 pub use json::ToJson;
 pub use noise::NoiseModel;
 pub use report::{ComparisonRow, PlacerComparisonRow};
@@ -88,6 +93,7 @@ pub use qspr_route::{RouterFactory, RouterKind, RoutingEngine, RoutingStats};
 
 // Re-export the layered API so downstream users need only one dependency.
 pub use qspr_fabric as fabric;
+pub use qspr_obs as obs;
 pub use qspr_place as place;
 pub use qspr_qasm as qasm;
 pub use qspr_qecc as qecc;

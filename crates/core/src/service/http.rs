@@ -37,16 +37,30 @@ pub struct Request {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (always `application/json` in this service).
+    /// Response body.
     pub body: String,
+    /// `Content-Type` to send (`application/json` for every endpoint
+    /// except `GET /metrics`, which serves Prometheus text format).
+    pub content_type: &'static str,
 }
 
 impl Response {
-    /// A response with `status` and `body`.
+    /// A JSON response with `status` and `body`.
     pub fn new(status: u16, body: impl Into<String>) -> Response {
         Response {
             status,
             body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition content type,
+    /// which generic text consumers accept too).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -119,9 +133,10 @@ pub fn read_request(stream: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
 /// message.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         response.reason(),
+        response.content_type,
         response.body.len(),
     );
     stream.write_all(head.as_bytes())?;
@@ -172,7 +187,9 @@ pub fn call(
             read_line(&mut reader, MAX_REQUEST_LINE)?.ok_or_else(|| bad("truncated headers"))?;
         if header.is_empty() {
             let body = read_body(&mut reader, content_length)?;
-            return Ok(Response { status, body });
+            // The one-shot client does not parse the Content-Type
+            // header back; it reports the default.
+            return Ok(Response::new(status, body));
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {

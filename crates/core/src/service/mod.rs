@@ -20,8 +20,9 @@
 //! | `POST /map` | `{"program", "policy"?, "router"?, "m"?, "trace"?, "fabric"?}` | the [`FlowSummary`](crate::FlowSummary) JSON of `qspr map --format json` |
 //! | `POST /compare` | `{"program", "name"?, "router"?, "m"?, "fabric"?}` | the [`ComparisonRow`](crate::ComparisonRow) JSON of `qspr compare --format json` |
 //! | `POST /sta` | `{"program", "policy"?, "router"?, "m"?, "feedback"?, "fabric"?}` | the [`qspr_sta::TimingReport`] JSON of `qspr sta --format json` |
-//! | `GET /healthz` | — | `{"status":"ok"}` |
-//! | `GET /stats` | — | [`StatsSnapshot`] JSON: requests, cache hits/misses, worker busy time |
+//! | `GET /healthz` | — | `{"status":"ok","version":...}` (the crate version the CLI reports) |
+//! | `GET /stats` | — | [`StatsSnapshot`] JSON: requests, cache hits/misses, worker busy time, uptime, bound address |
+//! | `GET /metrics` | — | Prometheus text exposition: request counts by endpoint/status, cache hits/misses, queue-wait and handler-latency histograms, per-phase span timings |
 //! | `POST /shutdown` | — | `{"status":"shutting-down"}`, then a graceful stop |
 //!
 //! Defaults mirror the CLI: `policy` `"qspr"`, `router` `"greedy"`,
@@ -31,8 +32,9 @@
 //! described fabric instead of the server's resident one; a malformed
 //! document is `422`. Unknown body fields are rejected (`400`), an
 //! unmappable program is `422`, and every response is
-//! `application/json` with `Connection: close` (one request per
-//! connection keeps the fixed pool starvation-free). Untrusted input
+//! `application/json` (except `GET /metrics`, which is Prometheus
+//! plain text) with `Connection: close` (one request per connection
+//! keeps the fixed pool starvation-free). Untrusted input
 //! is bounded on every axis: request line/header/body size limits in
 //! [`http`], JSON nesting depth in the parser, and `m` (the one field
 //! that scales *work*, not input size) capped at 10 000 seeds per
@@ -41,13 +43,13 @@
 //! # Determinism and the cache
 //!
 //! The flow is seed-determined, so a request's response bytes are a
-//! pure function of the fingerprint **except** for the `cpu_ms` field
-//! of `/map` (placement wall-clock, reported exactly like the CLI
-//! does). The cache stores the cold response verbatim, so repeated
-//! requests are byte-identical; `/compare` responses carry no clock at
-//! all and are byte-identical to the CLI's for the same inputs. The
-//! `loadgen` binary in `qspr-bench` asserts both properties under
-//! concurrent load.
+//! pure function of the fingerprint **except** for the `"timing"`
+//! object of `/map` (placement/run wall-clock, reported exactly like
+//! the CLI does — see [`normalize_timing`]). The cache stores the cold
+//! response verbatim, so repeated requests are byte-identical;
+//! `/compare` responses carry no clock at all and are byte-identical
+//! to the CLI's for the same inputs. The `loadgen` binary in
+//! `qspr-bench` asserts both properties under concurrent load.
 //!
 //! # Examples
 //!
@@ -61,11 +63,16 @@
 //! let config = ServeConfig {
 //!     addr: "127.0.0.1:0".into(), // ephemeral port
 //!     threads: 2,
+//!     log: false,
 //! };
 //! let handle = Server::bind(Arc::clone(&service), &config)?.spawn();
 //!
 //! let health = http::call(handle.addr(), "GET", "/healthz", "")?;
-//! assert_eq!((health.status, health.body.as_str()), (200, r#"{"status":"ok"}"#));
+//! assert_eq!(health.status, 200);
+//! assert!(health.body.starts_with(r#"{"status":"ok","version":"#));
+//!
+//! let metrics = http::call(handle.addr(), "GET", "/metrics", "")?;
+//! assert!(metrics.body.contains("# TYPE qspr_http_requests_total counter"));
 //!
 //! handle.shutdown()?;
 //! # Ok(())
@@ -80,14 +87,16 @@ pub use cache::LruCache;
 pub use http::{Request, Response};
 
 use std::collections::HashMap;
+use std::fmt;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use qspr_fabric::Fabric;
+use qspr_obs::Registry;
 use qspr_qasm::Program;
 use qspr_route::RouterKind;
 
@@ -104,14 +113,18 @@ pub struct ServeConfig {
     pub addr: String,
     /// Fixed worker-pool size (clamped to at least 1).
     pub threads: usize,
+    /// Emit one structured access-log line per request to stderr
+    /// (`--log` on the CLI).
+    pub log: bool,
 }
 
 impl Default for ServeConfig {
-    /// `127.0.0.1:7878`, one worker per CPU.
+    /// `127.0.0.1:7878`, one worker per CPU, no access log.
     fn default() -> ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:7878".into(),
             threads: thread::available_parallelism().map_or(1, |n| n.get()),
+            log: false,
         }
     }
 }
@@ -143,7 +156,7 @@ struct Counters {
 
 /// A point-in-time copy of the service counters, serialized by
 /// `GET /stats`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Total requests handled (every endpoint, every status).
     pub requests: u64,
@@ -167,13 +180,19 @@ pub struct StatsSnapshot {
     pub busy_us: u64,
     /// Milliseconds since the service was created.
     pub uptime_ms: u64,
+    /// Whole seconds since the service was created (`uptime_ms /
+    /// 1000`, pre-divided for dashboards).
+    pub uptime_s: u64,
+    /// The server's bound address (empty until a [`Server`] binds the
+    /// service to a socket).
+    pub addr: String,
 }
 
 impl ToJson for StatsSnapshot {
     /// Stable JSON schema, pinned by a golden test:
     /// `{"requests","map_requests","compare_requests","sta_requests",
     /// "cache_hits","cache_misses","cache_entries","cache_capacity",
-    /// "errors","busy_us","uptime_ms"}`.
+    /// "errors","busy_us","uptime_ms","uptime_s","addr"}`.
     fn to_json(&self) -> String {
         JsonObject::new()
             .number("requests", self.requests)
@@ -187,6 +206,8 @@ impl ToJson for StatsSnapshot {
             .number("errors", self.errors)
             .number("busy_us", self.busy_us)
             .number("uptime_ms", self.uptime_ms)
+            .number("uptime_s", self.uptime_s)
+            .string("addr", &self.addr)
             .build()
     }
 }
@@ -197,7 +218,6 @@ impl ToJson for StatsSnapshot {
 /// `MapService` is transport-free — [`MapService::handle`] maps a
 /// parsed [`Request`] to a [`Response`] and is what the golden tests
 /// exercise; [`Server`] adds the TCP listener and worker pool on top.
-#[derive(Debug)]
 pub struct MapService {
     fabric: Arc<Fabric>,
     /// One configured `Flow` per `(policy, router, m, trace)`, all
@@ -205,8 +225,25 @@ pub struct MapService {
     flows: Mutex<HashMap<String, Flow>>,
     cache: Mutex<LruCache<String>>,
     counters: Counters,
+    /// The Prometheus-rendered metrics behind `GET /metrics`.
+    metrics: Arc<Registry>,
+    /// Set by [`Server::bind`]; surfaced in `/stats`.
+    bound_addr: Mutex<Option<SocketAddr>>,
     started: Instant,
     shutdown: AtomicBool,
+}
+
+impl fmt::Debug for MapService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MapService")
+            .field(
+                "fabric",
+                &format_args!("{}x{}", self.fabric.rows(), self.fabric.cols()),
+            )
+            .field("started", &self.started)
+            .field("shutdown", &self.shutdown)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Which mapping endpoint a request hit (they differ in allowed fields
@@ -246,6 +283,8 @@ impl MapService {
             flows: Mutex::new(HashMap::new()),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             counters: Counters::default(),
+            metrics: Arc::new(Registry::new()),
+            bound_addr: Mutex::new(None),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
         }
@@ -254,6 +293,20 @@ impl MapService {
     /// The fabric every request maps onto.
     pub fn fabric(&self) -> &Arc<Fabric> {
         &self.fabric
+    }
+
+    /// The metrics registry rendered by `GET /metrics`. Shared so the
+    /// CLI can install a [`qspr_obs::MetricsSpanSink`] over the same
+    /// registry and surface per-phase mapping spans alongside the
+    /// request metrics.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// Records the address a [`Server`] bound this service to (surfaced
+    /// in `/stats`).
+    pub fn set_bound_addr(&self, addr: SocketAddr) {
+        *self.bound_addr.lock().expect("bound_addr lock") = Some(addr);
     }
 
     /// `true` once a `POST /shutdown` (or [`MapService::request_shutdown`])
@@ -274,6 +327,7 @@ impl MapService {
             let cache = self.cache.lock().expect("cache lock");
             (cache.len() as u64, cache.capacity() as u64)
         };
+        let uptime = self.started.elapsed();
         StatsSnapshot {
             requests: c.requests.load(Ordering::Relaxed),
             map_requests: c.map_requests.load(Ordering::Relaxed),
@@ -285,7 +339,13 @@ impl MapService {
             cache_capacity,
             errors: c.errors.load(Ordering::Relaxed),
             busy_us: c.busy_us.load(Ordering::Relaxed),
-            uptime_ms: self.started.elapsed().as_millis() as u64,
+            uptime_ms: uptime.as_millis() as u64,
+            uptime_s: uptime.as_secs(),
+            addr: self
+                .bound_addr
+                .lock()
+                .expect("bound_addr lock")
+                .map_or(String::new(), |addr| addr.to_string()),
         }
     }
 
@@ -296,9 +356,28 @@ impl MapService {
     pub fn handle(&self, request: &Request) -> Response {
         let t0 = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        const KNOWN: &[&str] = &[
+            "/healthz",
+            "/stats",
+            "/metrics",
+            "/shutdown",
+            "/map",
+            "/compare",
+            "/sta",
+        ];
         let response = match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/healthz") => Response::new(200, r#"{"status":"ok"}"#),
+            // The version is the one `qspr --version` prints; both read
+            // the same Cargo manifest field at compile time.
+            ("GET", "/healthz") => Response::new(
+                200,
+                concat!(
+                    r#"{"status":"ok","version":""#,
+                    env!("CARGO_PKG_VERSION"),
+                    "\"}"
+                ),
+            ),
             ("GET", "/stats") => Response::new(200, self.stats().to_json()),
+            ("GET", "/metrics") => Response::text(200, self.metrics.render()),
             ("POST", "/shutdown") => {
                 self.request_shutdown();
                 Response::new(200, r#"{"status":"shutting-down"}"#)
@@ -306,7 +385,7 @@ impl MapService {
             ("POST", "/map") => self.mapping(Endpoint::Map, &request.body),
             ("POST", "/compare") => self.mapping(Endpoint::Compare, &request.body),
             ("POST", "/sta") => self.mapping(Endpoint::Sta, &request.body),
-            (_, "/healthz" | "/stats" | "/shutdown" | "/map" | "/compare" | "/sta") => {
+            (_, path) if KNOWN.contains(&path) => {
                 error_response(405, &format!("method {} not allowed here", request.method))
             }
             (_, path) => error_response(404, &format!("no endpoint {path}")),
@@ -314,9 +393,33 @@ impl MapService {
         if response.status >= 400 {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
+        let elapsed_us = t0.elapsed().as_micros() as u64;
         self.counters
             .busy_us
-            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            .fetch_add(elapsed_us, Ordering::Relaxed);
+        // Per-endpoint request count (by status) and handler latency.
+        // Unknown paths share one "other" label so an untrusted peer
+        // cannot grow the registry without bound.
+        let endpoint = if KNOWN.contains(&request.path.as_str()) {
+            request.path.as_str()
+        } else {
+            "other"
+        };
+        let status = response.status.to_string();
+        self.metrics
+            .counter(
+                "qspr_http_requests_total",
+                "Requests handled, by endpoint and status.",
+                &[("endpoint", endpoint), ("status", &status)],
+            )
+            .inc();
+        self.metrics
+            .histogram(
+                "qspr_handler_latency_us",
+                "Wall-clock handler time per request, microseconds.",
+                &[("endpoint", endpoint)],
+            )
+            .record(elapsed_us);
         response
     }
 
@@ -375,9 +478,14 @@ impl MapService {
         };
         if let Some(cached) = self.cache.lock().expect("cache lock").get(&key) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache_metric("qspr_cache_hits_total", "Mapping-cache hits.");
             return Response::new(200, cached.clone());
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_metric(
+            "qspr_cache_misses_total",
+            "Mapping-cache misses (cold mappings executed).",
+        );
         let result = match endpoint {
             Endpoint::Map => flow.run(&request.program).map(|r| r.summary().to_json()),
             Endpoint::Compare => flow
@@ -430,6 +538,12 @@ impl MapService {
             .seeds(request.seeds)
             .record_trace(request.trace)
     }
+
+    /// Bumps one of the two cache counters in the metrics registry
+    /// (mirrors the `Counters` atomics into `/metrics`).
+    fn cache_metric(&self, name: &str, help: &str) {
+        self.metrics.counter(name, help, &[]).inc();
+    }
 }
 
 /// Renders an error status with the `{"error":...}` body shape (pinned
@@ -438,34 +552,42 @@ fn error_response(status: u16, message: &str) -> Response {
     Response::new(status, JsonObject::new().string("error", message).build())
 }
 
-/// Returns `json` with the integer value of its `"cpu_ms"` field
-/// replaced by `0` (bodies without the field pass through unchanged).
+/// Returns `json` with the contents of its `"timing"` object replaced
+/// by `"cpu_ms":0,"wall_us":0` (bodies without the object pass through
+/// unchanged).
 ///
-/// `cpu_ms` — placement wall-clock — is the single non-deterministic
-/// field in the `/map` response schema, so this is the normalization a
-/// client applies to compare bodies across independent runs (cached
-/// repeats need no normalization: they are byte-identical). The
-/// `loadgen` oracle and the service's own tests share this definition.
+/// The `"timing"` block — placement/run wall-clock — is the single
+/// non-deterministic part of the `/map` response schema, so this is the
+/// normalization a client applies to compare bodies across independent
+/// runs (cached repeats need no normalization: they are
+/// byte-identical). The `loadgen` oracle and the service's own tests
+/// share this definition. The timing object is flat (no nested
+/// braces), so scanning to the next `}` is exact.
 ///
 /// # Examples
 ///
 /// ```
-/// use qspr::service::normalize_cpu_ms;
+/// use qspr::service::normalize_timing;
 ///
-/// let a = r#"{"latency_us":634,"cpu_ms":17,"moves":410}"#;
-/// let b = r#"{"latency_us":634,"cpu_ms":3,"moves":410}"#;
-/// assert_eq!(normalize_cpu_ms(a), normalize_cpu_ms(b));
-/// assert_eq!(normalize_cpu_ms(r#"{"x":1}"#), r#"{"x":1}"#);
+/// let a = r#"{"latency_us":634,"timing":{"cpu_ms":17,"wall_us":17941},"moves":410}"#;
+/// let b = r#"{"latency_us":634,"timing":{"cpu_ms":3,"wall_us":3120},"moves":410}"#;
+/// assert_eq!(normalize_timing(a), normalize_timing(b));
+/// assert_eq!(normalize_timing(r#"{"x":1}"#), r#"{"x":1}"#);
 /// ```
-pub fn normalize_cpu_ms(json: &str) -> String {
-    let Some(start) = json.find("\"cpu_ms\":") else {
+pub fn normalize_timing(json: &str) -> String {
+    const KEY: &str = "\"timing\":{";
+    let Some(start) = json.find(KEY) else {
         return json.to_owned();
     };
-    let digits_at = start + "\"cpu_ms\":".len();
-    let end = json[digits_at..]
-        .find(|c: char| !c.is_ascii_digit())
-        .map_or(json.len(), |i| digits_at + i);
-    format!("{}0{}", &json[..digits_at], &json[end..])
+    let inner_at = start + KEY.len();
+    let end = json[inner_at..]
+        .find('}')
+        .map_or(json.len(), |i| inner_at + i);
+    format!(
+        "{}\"cpu_ms\":0,\"wall_us\":0{}",
+        &json[..inner_at],
+        &json[end..]
+    )
 }
 
 /// Parses and validates a `/map` or `/compare` body against its
@@ -580,20 +702,25 @@ pub struct Server {
     listener: TcpListener,
     service: Arc<MapService>,
     threads: usize,
+    log: bool,
 }
 
 impl Server {
     /// Binds `config.addr` (port 0 picks an ephemeral port — read the
-    /// result back with [`Server::local_addr`]).
+    /// result back with [`Server::local_addr`]) and records the bound
+    /// address on the service for `/stats`.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure (address in use, permission).
     pub fn bind(service: Arc<MapService>, config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        service.set_bound_addr(listener.local_addr()?);
         Ok(Server {
-            listener: TcpListener::bind(&config.addr)?,
+            listener,
             service,
             threads: config.threads.max(1),
+            log: config.log,
         })
     }
 
@@ -623,7 +750,10 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         let addr = self.local_addr()?;
         let service = &self.service;
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let log = self.log;
+        // Each queued connection carries its enqueue time so workers
+        // can report queue wait (time spent between accept and pickup).
+        let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
         let rx = Arc::new(Mutex::new(rx));
         thread::scope(|scope| {
             for _ in 0..self.threads {
@@ -633,7 +763,9 @@ impl Server {
                     // connection, never while serving it.
                     let next = rx.lock().expect("receiver lock").recv();
                     match next {
-                        Ok(stream) => serve_connection(service, addr, stream),
+                        Ok((stream, queued)) => {
+                            serve_connection(service, addr, stream, queued, log)
+                        }
                         Err(_) => break, // sender dropped: drain done
                     }
                 });
@@ -647,7 +779,7 @@ impl Server {
                         if service.shutdown_requested() {
                             break Ok(());
                         }
-                        if tx.send(stream).is_err() {
+                        if tx.send((stream, Instant::now())).is_err() {
                             break Ok(());
                         }
                     }
@@ -730,8 +862,25 @@ fn wake_addr(addr: SocketAddr) -> SocketAddr {
     addr
 }
 
-/// Serves one connection: one request, one response, close.
-fn serve_connection(service: &MapService, addr: SocketAddr, stream: TcpStream) {
+/// Serves one connection: one request, one response, close. `queued`
+/// is when the accept loop enqueued the connection; the gap until now
+/// is the queue wait, recorded per connection.
+fn serve_connection(
+    service: &MapService,
+    addr: SocketAddr,
+    stream: TcpStream,
+    queued: Instant,
+    log: bool,
+) {
+    let wait_us = queued.elapsed().as_micros() as u64;
+    service
+        .metrics
+        .histogram(
+            "qspr_queue_wait_us",
+            "Time connections spent queued for a worker, microseconds.",
+            &[],
+        )
+        .record(wait_us);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let Ok(write_half) = stream.try_clone() else {
@@ -739,11 +888,15 @@ fn serve_connection(service: &MapService, addr: SocketAddr, stream: TcpStream) {
     };
     let mut write_half = write_half;
     let mut reader = std::io::BufReader::new(stream);
+    let t0 = Instant::now();
     let response = match http::read_request(&mut reader) {
         Ok(Some(request)) => {
             let response = service.handle(&request);
             let shutting_down = request.method == "POST" && request.path == "/shutdown";
             let _ = http::write_response(&mut write_half, &response);
+            if log {
+                access_log(&request.method, &request.path, &response, wait_us, t0);
+            }
             if shutting_down {
                 // Wake the accept loop so it observes the flag.
                 let _ = TcpStream::connect(wake_addr(addr));
@@ -758,6 +911,24 @@ fn serve_connection(service: &MapService, addr: SocketAddr, stream: TcpStream) {
     service.counters.requests.fetch_add(1, Ordering::Relaxed);
     service.counters.errors.fetch_add(1, Ordering::Relaxed);
     let _ = http::write_response(&mut write_half, &response);
+    if log {
+        access_log("-", "-", &response, wait_us, t0);
+    }
+}
+
+/// Writes one structured (logfmt) access-log line to stderr. Stderr,
+/// not stdout: stdout carries exactly the startup banner the CI smoke
+/// greps for, and stays machine-parseable.
+fn access_log(method: &str, path: &str, response: &Response, wait_us: u64, started: Instant) {
+    let time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    eprintln!(
+        "time={time} method={method} path={path} status={} bytes={} wait_us={wait_us} dur_us={}",
+        response.status,
+        response.body.len(),
+        started.elapsed().as_micros()
+    );
 }
 
 #[cfg(test)]

@@ -48,7 +48,8 @@ fn map_wire_schema_golden() {
         "\"latency_us\":",
         "\"direction\":",
         "\"runs\":",
-        "\"cpu_ms\":",
+        "\"timing\":{\"cpu_ms\":",
+        "\"wall_us\":",
         "\"moves\":",
         "\"turns\":",
         "\"congestion_wait_us\":",
@@ -72,8 +73,8 @@ fn map_wire_schema_golden() {
         .summary()
         .to_json();
     assert_eq!(
-        normalize_cpu_ms(&response.body),
-        normalize_cpu_ms(&expected)
+        normalize_timing(&response.body),
+        normalize_timing(&expected)
     );
 }
 
@@ -92,10 +93,12 @@ fn stats_wire_schema_golden() {
         errors: 1,
         busy_us: 123456,
         uptime_ms: 60000,
+        uptime_s: 60,
+        addr: "127.0.0.1:7878".to_owned(),
     };
     assert_eq!(
         snapshot.to_json(),
-        r#"{"requests":9,"map_requests":5,"compare_requests":2,"sta_requests":1,"cache_hits":3,"cache_misses":4,"cache_entries":4,"cache_capacity":128,"errors":1,"busy_us":123456,"uptime_ms":60000}"#
+        r#"{"requests":9,"map_requests":5,"compare_requests":2,"sta_requests":1,"cache_hits":3,"cache_misses":4,"cache_entries":4,"cache_capacity":128,"errors":1,"busy_us":123456,"uptime_ms":60000,"uptime_s":60,"addr":"127.0.0.1:7878"}"#
     );
 }
 
@@ -104,7 +107,14 @@ fn healthz_and_error_bodies_are_pinned() {
     let service = service();
     assert_eq!(
         get(&service, "/healthz"),
-        Response::new(200, r#"{"status":"ok"}"#)
+        Response::new(
+            200,
+            concat!(
+                r#"{"status":"ok","version":""#,
+                env!("CARGO_PKG_VERSION"),
+                "\"}"
+            ),
+        )
     );
     // Error shape: {"error": "..."} with the message JSON-escaped.
     let response = post(&service, "/map", "not json");
@@ -176,7 +186,8 @@ fn cache_hits_are_byte_identical_and_counted() {
     assert_eq!(stats.cache_entries, 1);
 
     // The cached path returns the stored bytes — including the cold
-    // run's cpu_ms — so the bodies are byte-identical by construction.
+    // run's timing block — so the bodies are byte-identical by
+    // construction.
     for _ in 0..3 {
         let warm = post(&service, "/map", &body);
         assert_eq!(warm, cold);
@@ -245,8 +256,8 @@ fn eviction_causes_a_rerun_not_a_wrong_answer() {
     assert_eq!(stats.cache_misses, 3);
     assert_eq!(stats.cache_entries, 1);
     assert_eq!(
-        normalize_cpu_ms(&first.body),
-        normalize_cpu_ms(&again.body),
+        normalize_timing(&first.body),
+        normalize_timing(&again.body),
         "the flow is seed-determined, so a re-run reproduces the result"
     );
 }
@@ -395,6 +406,63 @@ fn malformed_fabric_documents_are_422_goldens() {
 }
 
 #[test]
+fn metrics_endpoint_exposes_prometheus_text() {
+    let service = service();
+    // Drive some traffic so every metric family has real samples.
+    let body = format!("{{\"program\":{BELL:?},\"m\":2}}");
+    assert_eq!(post(&service, "/map", &body).status, 200); // miss
+    assert_eq!(post(&service, "/map", &body).status, 200); // hit
+    assert_eq!(get(&service, "/nope").status, 404);
+
+    let response = get(&service, "/metrics");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.content_type, "text/plain; version=0.0.4");
+    let text = &response.body;
+    assert!(
+        text.contains(concat!(
+            "# TYPE qspr_http_requests_total counter\n",
+            "qspr_http_requests_total{endpoint=\"/map\",status=\"200\"} 2\n",
+        )),
+        "{text}"
+    );
+    assert!(text.contains("qspr_http_requests_total{endpoint=\"other\",status=\"404\"} 1\n"));
+    assert!(text.contains("qspr_cache_hits_total 1\n"), "{text}");
+    assert!(text.contains("qspr_cache_misses_total 1\n"), "{text}");
+    assert!(
+        text.contains("# TYPE qspr_handler_latency_us summary\n"),
+        "{text}"
+    );
+    assert!(
+        text.contains("qspr_handler_latency_us{endpoint=\"/map\",quantile=\"0.99\"}"),
+        "{text}"
+    );
+    // Exposition invariant the CI smoke also checks: every # TYPE line
+    // is followed by at least one sample for its family.
+    for (i, line) in text.lines().enumerate() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split(' ').next().unwrap();
+            let has_sample = text
+                .lines()
+                .skip(i + 1)
+                .take_while(|l| !l.starts_with("# HELP"))
+                .any(|l| l.starts_with(family));
+            assert!(has_sample, "family {family} has no samples:\n{text}");
+        }
+    }
+    // /metrics requests themselves are counted (visible on the next
+    // scrape), and non-GET methods are rejected like other endpoints.
+    assert_eq!(post(&service, "/metrics", "").status, 405);
+    let again = get(&service, "/metrics");
+    assert!(
+        again
+            .body
+            .contains("qspr_http_requests_total{endpoint=\"/metrics\",status=\"200\"} 1\n"),
+        "{}",
+        again.body
+    );
+}
+
+#[test]
 fn wake_addr_rewrites_wildcard_binds_only() {
     let concrete: SocketAddr = "127.0.0.1:7878".parse().unwrap();
     assert_eq!(wake_addr(concrete), concrete);
@@ -410,6 +478,7 @@ fn server_round_trips_over_real_tcp() {
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
         threads: 2,
+        log: false,
     };
     let handle = Server::bind(Arc::clone(&service), &config)
         .expect("bind ephemeral")
@@ -419,7 +488,22 @@ fn server_round_trips_over_real_tcp() {
     let health = http::call(addr, "GET", "/healthz", "").unwrap();
     assert_eq!(
         (health.status, health.body.as_str()),
-        (200, r#"{"status":"ok"}"#)
+        (
+            200,
+            concat!(
+                r#"{"status":"ok","version":""#,
+                env!("CARGO_PKG_VERSION"),
+                "\"}"
+            ),
+        )
+    );
+
+    // Binding surfaced the actual address in /stats.
+    let stats = http::call(addr, "GET", "/stats", "").unwrap();
+    assert!(
+        stats.body.contains(&format!(r#""addr":"{addr}""#)),
+        "{}",
+        stats.body
     );
 
     let body = format!("{{\"program\":{BELL:?},\"m\":2}}");
@@ -444,6 +528,7 @@ fn shutdown_endpoint_stops_the_server() {
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
         threads: 1,
+        log: false,
     };
     let handle = Server::bind(Arc::clone(&service), &config)
         .expect("bind ephemeral")

@@ -65,6 +65,7 @@ impl Placer for MonteCarloPlacer {
     /// degenerate fabric). `runs == 0` is reported as a stall, since no
     /// placement was ever produced.
     fn place(&self, mapper: &Mapper<'_>, program: &Program) -> Result<PlacerSolution, MapError> {
+        let _span = qspr_obs::span("place");
         let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.rng_seed);
         let mut best: Option<(Time, Placement)> = None;

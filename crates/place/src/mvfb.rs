@@ -83,6 +83,7 @@ impl Placer for MvfbPlacer {
     /// Propagates the first [`MapError`]; reports a stall when configured
     /// with zero seeds.
     fn place(&self, mapper: &Mapper<'_>, program: &Program) -> Result<PlacerSolution, MapError> {
+        let _span = qspr_obs::span("place");
         let started = Instant::now();
         let reversed = program.reversed();
         let mut rng = StdRng::seed_from_u64(self.config.rng_seed);

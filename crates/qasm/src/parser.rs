@@ -39,6 +39,7 @@ impl Program {
     /// # }
     /// ```
     pub fn parse(source: &str) -> Result<Program, ParseError> {
+        let _span = qspr_obs::span("parse");
         let mut program = Program::new();
         let mut seen_gate = false;
         for (idx, raw_line) in source.lines().enumerate() {

@@ -71,6 +71,7 @@ impl Qidg {
     /// Builds the dependency graph of `program` with node delays taken
     /// from `tech`.
     pub fn new(program: &Program, tech: &TechParams) -> Qidg {
+        let _span = qspr_obs::span("qidg");
         let n = program.instructions().len();
         let mut preds: Vec<Vec<InstrId>> = vec![Vec::new(); n];
         let mut succs: Vec<Vec<InstrId>> = vec![Vec::new(); n];

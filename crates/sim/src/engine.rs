@@ -105,6 +105,7 @@ impl<'a> Mapper<'a> {
         program: &Program,
         placement: &Placement,
     ) -> Result<MappingOutcome, MapError> {
+        let _span = qspr_obs::span("map");
         placement.check(self.fabric, program.num_qubits())?;
         let qidg = Qidg::new(program, &self.tech);
         let boost: &[Time] = self.order_boost.as_deref().map_or(&[], Vec::as_slice);
@@ -251,6 +252,11 @@ struct Sim<'m, 'a> {
     stats: Vec<InstrStats>,
     trace: Option<Vec<TraceEntry>>,
     finished: usize,
+    /// [`qspr_obs::enabled`] cached at construction: the issue/route/
+    /// finalize hooks fire tens of thousands of times per map, so even
+    /// the disabled tracer fast path (one relaxed atomic load) is
+    /// hoisted out of the hot loops behind this predicted branch.
+    obs: bool,
     /// First booking-counter saturation observed
     /// ([`qspr_fabric::FabricError::CapacityOverflow`]); the event loop
     /// aborts the run with it after the current issue phase.
@@ -330,11 +336,13 @@ impl<'m, 'a> Sim<'m, 'a> {
             stats: vec![InstrStats::default(); n],
             trace: mapper.record_trace.then(Vec::new),
             finished: 0,
+            obs: qspr_obs::enabled(),
             saturated: None,
         }
     }
 
     fn run(mut self) -> Result<MappingOutcome, MapError> {
+        let _span = self.obs.then(|| qspr_obs::span("simulate"));
         self.issue_phase();
         while let Some(&Reverse(next)) = self.events.peek() {
             if let Some(e) = self.saturated.take() {
@@ -424,6 +432,7 @@ impl<'m, 'a> Sim<'m, 'a> {
     /// looping until a fixpoint (an issue can free traps that unblock
     /// other instructions).
     fn issue_phase(&mut self) {
+        let _span = self.obs.then(|| qspr_obs::span("issue"));
         loop {
             let mut candidates = std::mem::take(&mut self.candidate_buf);
             debug_assert!(candidates.is_empty());
@@ -485,9 +494,11 @@ impl<'m, 'a> Sim<'m, 'a> {
         if self.epoch_plans.is_empty() {
             return;
         }
+        let _span = self.obs.then(|| qspr_obs::span("finalize"));
         let mut plans = std::mem::take(&mut self.epoch_plans);
         let mut owners = std::mem::take(&mut self.epoch_owners);
         if plans.len() >= 2 {
+            let _span = self.obs.then(|| qspr_obs::span("refine"));
             // Rip the epoch's bookings out, offer the joint set to the
             // engine in place (no incumbent cloning), and book whatever
             // survives (the incumbents when the engine declines).
@@ -812,6 +823,7 @@ impl<'m, 'a> Sim<'m, 'a> {
     /// routed; the joint answer is only adopted when it strictly
     /// unblocks movers.
     fn route_with_epoch(&mut self, requests: &[RouteRequest]) -> Vec<Option<RoutePlan>> {
+        let _span = self.obs.then(|| qspr_obs::span("route"));
         let (plans, _epoch) = self.engine.route_batch(&self.resources, requests);
         if !self.defer_epoch || self.epoch_plans.is_empty() || plans.iter().all(Option::is_some) {
             return plans;

@@ -49,6 +49,7 @@ impl<'a> TimingAnalysis<'a> {
         program: &Program,
         outcome: &MappingOutcome,
     ) -> Result<TimingReport, StaError> {
+        let _span = qspr_obs::span("sta");
         let trace = outcome.trace().ok_or(StaError::MissingTrace)?;
         let qidg = Qidg::new(program, &self.tech);
         let n = qidg.len();

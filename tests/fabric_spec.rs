@@ -17,7 +17,7 @@ const BELL: &str = "QUBIT a\nQUBIT b\nH a\nC-X a,b\n";
 /// spec-built fabric and its anonymous programmatic twin: wall-clock
 /// and spec provenance. Everything else must match byte for byte.
 fn normalized(mut summary: FlowSummary) -> FlowSummary {
-    summary.cpu_ms = 0;
+    summary.timing = qspr::FlowTiming::default();
     summary.fabric = None;
     summary
 }
