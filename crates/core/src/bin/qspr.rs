@@ -1,11 +1,11 @@
 //! `qspr` — command-line front end for the QSPR mapper.
 //!
 //! ```text
-//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--profile] [--fabric F] [--format FMT]
-//! qspr sta <file.qasm> [--policy P] [--router R] [--m N] [--sta-feedback] [--fabric F] [--format FMT]
-//! qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
-//! qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
-//! qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
+//! qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--jobs N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--profile] [--fabric F] [--format FMT]
+//! qspr sta <file.qasm> [--policy P] [--router R] [--m N] [--jobs N] [--sta-feedback] [--fabric F] [--format FMT]
+//! qspr compare <file.qasm> [--router R] [--m N] [--jobs N] [--fabric F] [--format FMT]
+//! qspr suite [--router R] [--m N] [--jobs N] [--fabric F] [--format FMT]
+//! qspr batch [files...] [--suite] [--router R] [--m N] [--jobs N] [--threads T] [--fabric F] [--format FMT]
 //! qspr serve [--addr A] [--threads T] [--cache N] [--log] [--fabric F]
 //! qspr fabric [--fabric F]
 //! qspr encode <CODE>
@@ -13,8 +13,11 @@
 //! ```
 //!
 //! `--fabric` takes `quale45x85` (default) or a path to a fabric file —
-//! a JSON `FabricSpec` document or plain ASCII art (auto-detected); `--router` is `greedy` (default) or `negotiated`
-//! (PathFinder-style rip-up-and-reroute); `--format` is `text`
+//! a JSON `FabricSpec` document or plain ASCII art (auto-detected); `--router` is `greedy` (default), `negotiated`
+//! (PathFinder-style rip-up-and-reroute) or `race` (run both engines —
+//! and the slack-feedback pilot under `--sta-feedback` — concurrently
+//! and keep the lowest latency); `--jobs N` grants the run N worker
+//! threads with byte-identical output at every N; `--format` is `text`
 //! (default) or `json` (stable machine-readable schema); `CODE` is one
 //! of `5,1,3`, `7,1,3`, `9,1,3`, `14,8,3`, `19,1,7`, `23,1,7`.
 //!
@@ -62,11 +65,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--profile] [--fabric F] [--format FMT]
-  qspr sta <file.qasm> [--policy P] [--router R] [--m N] [--sta-feedback] [--fabric F] [--format FMT]
-  qspr compare <file.qasm> [--router R] [--m N] [--fabric F] [--format FMT]
-  qspr suite [--router R] [--m N] [--fabric F] [--format FMT]
-  qspr batch [files...] [--suite] [--router R] [--m N] [--threads T] [--fabric F] [--format FMT]
+  qspr map <file.qasm> [--policy qspr|quale|qpos] [--router R] [--m N] [--jobs N] [--trace] [--sta] [--sta-feedback] [--dump-trace FILE] [--profile] [--fabric F] [--format FMT]
+  qspr sta <file.qasm> [--policy P] [--router R] [--m N] [--jobs N] [--sta-feedback] [--fabric F] [--format FMT]
+  qspr compare <file.qasm> [--router R] [--m N] [--jobs N] [--fabric F] [--format FMT]
+  qspr suite [--router R] [--m N] [--jobs N] [--fabric F] [--format FMT]
+  qspr batch [files...] [--suite] [--router R] [--m N] [--jobs N] [--threads T] [--fabric F] [--format FMT]
   qspr serve [--addr A] [--threads T] [--cache N] [--log] [--fabric F]
   qspr fabric [--fabric F]
   qspr encode <CODE>          (5,1,3 | 7,1,3 | 9,1,3 | 14,8,3 | 19,1,7 | 23,1,7)
@@ -75,8 +78,9 @@ usage:
 options:
   --fabric F    quale45x85 (default) or a fabric file (spec JSON or ASCII art)
   --policy P    mapper policy for `map` (default qspr)
-  --router R    routing engine: greedy (default) or negotiated
+  --router R    routing engine: greedy (default), negotiated or race
   --m N         MVFB seed count (default 25)
+  --jobs N      worker threads per mapping run (default 1; identical output at any N)
   --threads T   worker threads for `batch`/`serve` (default: all CPUs)
   --format FMT  output format: text (default) or json
   --suite       add the paper's six benchmark circuits to the batch
@@ -107,11 +111,12 @@ struct Cli {
 
 impl Cli {
     fn parse(args: &[String]) -> Result<Cli, QsprError> {
-        const VALUE_FLAGS: [&str; 9] = [
+        const VALUE_FLAGS: [&str; 10] = [
             "--fabric",
             "--policy",
             "--router",
             "--m",
+            "--jobs",
             "--threads",
             "--format",
             "--addr",
@@ -176,6 +181,18 @@ impl Cli {
         }
     }
 
+    fn jobs(&self) -> Result<usize, QsprError> {
+        match self.value("--jobs") {
+            None => Ok(1),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(QsprError::usage(format!(
+                    "--jobs expects a positive number, got {v:?}"
+                ))),
+            },
+        }
+    }
+
     fn threads(&self) -> Result<Option<usize>, QsprError> {
         match self.value("--threads") {
             None => Ok(None),
@@ -231,9 +248,9 @@ impl Cli {
         if !self.switch("--sta-feedback") {
             return Ok(false);
         }
-        if self.router()? != RouterKind::Negotiated {
+        if !matches!(self.router()?, RouterKind::Negotiated | RouterKind::Race) {
             return Err(QsprError::usage(
-                "--sta-feedback requires --router negotiated",
+                "--sta-feedback requires --router negotiated or race",
             ));
         }
         Ok(true)
@@ -244,7 +261,8 @@ impl Cli {
     fn flow(&self) -> Result<Flow, QsprError> {
         Ok(Flow::on(self.fabric()?)
             .seeds(self.m()?)
-            .router(self.router()?))
+            .router(self.router()?)
+            .jobs(self.jobs()?))
     }
 }
 
@@ -501,7 +519,15 @@ fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
         config.threads = threads;
     }
     let cache_capacity = cli.cache()?;
-    let service = Arc::new(MapService::new(cli.fabric()?, cache_capacity));
+    // Per-request "jobs" budget: the worker pool already fans out
+    // across requests, so each request gets at most its fair share of
+    // the host's cores — pool threads times intra-map jobs can never
+    // oversubscribe. Clamping is safe because jobs never changes
+    // response bytes.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs_budget = (cores / config.threads.max(1)).max(1);
+    let service =
+        Arc::new(MapService::new(cli.fabric()?, cache_capacity).with_jobs_budget(jobs_budget));
     // Feed every pipeline span (parse, place, route epochs, sta, ...)
     // into the service registry as per-phase latency histograms, so
     // `GET /metrics` reports where mapping time goes. Global, because
@@ -710,6 +736,42 @@ mod tests {
             Cli::parse(&[]).unwrap().flow().unwrap().router_name(),
             "greedy"
         );
+    }
+
+    #[test]
+    fn jobs_flag_parses_validates_and_feeds_the_flow() {
+        assert_eq!(Cli::parse(&[]).unwrap().jobs().unwrap(), 1);
+        let cli = Cli::parse(&strings(&["--jobs", "4"])).unwrap();
+        assert_eq!(cli.jobs().unwrap(), 4);
+        assert_eq!(cli.flow().unwrap().job_count(), 4);
+        assert!(Cli::parse(&strings(&["--jobs", "0"]))
+            .unwrap()
+            .jobs()
+            .is_err());
+        assert!(Cli::parse(&strings(&["--jobs", "many"]))
+            .unwrap()
+            .jobs()
+            .is_err());
+        assert!(Cli::parse(&strings(&["--jobs"])).is_err());
+        assert!(Cli::parse(&strings(&["--jobs", "1", "--jobs", "2"])).is_err());
+    }
+
+    #[test]
+    fn race_router_parses_and_allows_sta_feedback() {
+        let cli = Cli::parse(&strings(&["--router", "race"])).unwrap();
+        assert_eq!(cli.router().unwrap(), RouterKind::Race);
+        assert_eq!(cli.flow().unwrap().router_name(), "race");
+        // Racing includes the sta leg, so the pairing is legal; the
+        // error (if any) is the missing file.
+        let err = run(&strings(&[
+            "map",
+            "missing.qasm",
+            "--router",
+            "race",
+            "--sta-feedback",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, QsprError::Io { .. }));
     }
 
     #[test]

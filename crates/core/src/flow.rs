@@ -124,6 +124,7 @@ pub struct Flow {
     // Internal: installed by the feedback re-run, never set directly by
     // callers (so it has no fingerprint axis of its own).
     order_boost: Option<Arc<Vec<Time>>>,
+    jobs: usize,
 }
 
 impl Flow {
@@ -144,6 +145,7 @@ impl Flow {
             record_trace: false,
             sta_feedback: false,
             order_boost: None,
+            jobs: 1,
         }
     }
 
@@ -219,6 +221,25 @@ impl Flow {
         self.sta_feedback
     }
 
+    /// Grants the flow up to `jobs` worker threads (clamped to at
+    /// least 1; default 1): the routing engine may parallelize inside
+    /// an epoch (the mapper additionally clamps its grant to the
+    /// host's cores — oversubscription only adds speculation
+    /// overhead), and `--router race` runs its engine legs
+    /// concurrently.
+    /// Purely a performance hint — results are byte-identical at every
+    /// value, so `jobs` is deliberately *not* a [`Flow::fingerprint`]
+    /// axis and cached answers remain valid across thread counts.
+    pub fn jobs(mut self, jobs: usize) -> Flow {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker-thread budget.
+    pub fn job_count(&self) -> usize {
+        self.jobs
+    }
+
     /// The fabric this flow maps onto.
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
@@ -254,8 +275,9 @@ impl Flow {
     }
 
     fn mapper(&self, policy: MapperPolicy) -> Mapper<'_> {
-        let mut mapper =
-            Mapper::new(&self.fabric, self.tech, policy).router(Arc::clone(&self.router));
+        let mut mapper = Mapper::new(&self.fabric, self.tech, policy)
+            .router(Arc::clone(&self.router))
+            .jobs(self.jobs);
         if let Some(boost) = &self.order_boost {
             mapper = mapper.order_boost(boost.as_ref().clone());
         }
@@ -352,6 +374,9 @@ impl Flow {
     /// Returns [`QsprError::Map`] when the program cannot be mapped
     /// (stalls on degenerate fabrics, placement mismatches).
     pub fn run(&self, program: &Program) -> Result<FlowResult, QsprError> {
+        if self.router_name() == "race" {
+            return self.run_race(program);
+        }
         if self.sta_feedback {
             return self.run_with_feedback(program);
         }
@@ -429,6 +454,73 @@ impl Flow {
             outcome,
             forward_trace,
         })
+    }
+
+    /// The speculative racing driver behind `--router race`
+    /// ([`qspr_route::RouterKind::Race`]): run the greedy and
+    /// negotiated engines on the whole flow — plus the slack-feedback
+    /// pilot when [`Flow::sta_feedback`] is enabled — and keep the leg
+    /// with the lowest latency, breaking ties toward the earlier leg in
+    /// the fixed `[greedy, negotiated, negotiated+sta]` order. Every
+    /// leg is seed-deterministic and the winner is chosen by a pure
+    /// config-order rule, so the race result is byte-identical whether
+    /// the legs run sequentially (`jobs = 1`) or concurrently.
+    fn run_race(&self, program: &Program) -> Result<FlowResult, QsprError> {
+        let run_started = Instant::now();
+        let _race = qspr_obs::span("race");
+        let mut legs: Vec<Flow> = Vec::new();
+        let mut base = self.clone();
+        base.sta_feedback = false;
+        legs.push(base.clone().router(RouterKind::Greedy));
+        legs.push(base.clone().router(RouterKind::Negotiated));
+        if self.sta_feedback {
+            legs.push(base.router(RouterKind::Negotiated).sta_feedback(true));
+        }
+        let results: Vec<Result<FlowResult, QsprError>> = if self.jobs > 1 {
+            let relay = qspr_obs::Relay::capture();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = legs
+                    .iter()
+                    .map(|leg| {
+                        let relay = relay.clone();
+                        scope.spawn(move || {
+                            let _sink = relay.install();
+                            let _leg = qspr_obs::span("race_leg");
+                            leg.run(program)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("race leg panicked"))
+                    .collect()
+            })
+        } else {
+            legs.iter()
+                .map(|leg| {
+                    let _leg = qspr_obs::span("race_leg");
+                    leg.run(program)
+                })
+                .collect()
+        };
+        // Every leg always runs to completion; the earliest error in
+        // leg order wins error reporting, the lowest latency (earliest
+        // leg on ties) wins the race.
+        let mut best: Option<FlowResult> = None;
+        for result in results {
+            let result = result?;
+            let better = match &best {
+                Some(b) => result.latency < b.latency,
+                None => true,
+            };
+            if better {
+                best = Some(result);
+            }
+        }
+        let mut best = best.expect("race always has at least two legs");
+        // The whole driver is the wall-clock cost of the answer.
+        best.wall = run_started.elapsed();
+        Ok(best)
     }
 
     /// The best-of-two feedback driver behind [`Flow::sta_feedback`]:
@@ -988,6 +1080,65 @@ C-Z q4,q0
         assert!(greedy_result.outcome.routing_stats().epochs > 0);
         assert_eq!(greedy_result.outcome.routing_stats().iterations, 0);
         assert!(negotiated_result.outcome.routing_stats().epochs > 0);
+    }
+
+    #[test]
+    fn race_router_keeps_the_best_leg_at_any_thread_count() {
+        let program = program();
+        let greedy = fast_flow().run(&program).unwrap();
+        let negotiated = fast_flow()
+            .router(RouterKind::Negotiated)
+            .run(&program)
+            .unwrap();
+        let race = fast_flow().router(RouterKind::Race).run(&program).unwrap();
+        assert_eq!(race.latency, greedy.latency.min(negotiated.latency));
+        // Config-order tie-break: greedy wins ties.
+        let expected = if greedy.latency <= negotiated.latency {
+            "greedy"
+        } else {
+            "negotiated"
+        };
+        assert_eq!(race.router, expected);
+        for jobs in [2, 4] {
+            let par = fast_flow()
+                .router(RouterKind::Race)
+                .jobs(jobs)
+                .run(&program)
+                .unwrap();
+            let mut a = race.summary();
+            let mut b = par.summary();
+            // Wall timing is the only nondeterministic block.
+            a.timing = FlowTiming::default();
+            b.timing = FlowTiming::default();
+            assert_eq!(a, b, "race with jobs={jobs} diverged");
+            assert_eq!(par.initial_placement, race.initial_placement);
+        }
+    }
+
+    #[test]
+    fn race_router_includes_the_sta_leg_when_feedback_is_on() {
+        let program = program();
+        let race = fast_flow()
+            .router(RouterKind::Race)
+            .sta_feedback(true)
+            .run(&program)
+            .unwrap();
+        let sta = fast_flow()
+            .router(RouterKind::Negotiated)
+            .sta_feedback(true)
+            .run(&program)
+            .unwrap();
+        let greedy = fast_flow().run(&program).unwrap();
+        assert_eq!(race.latency, greedy.latency.min(sta.latency));
+        assert!(["greedy", "negotiated", "negotiated+sta"].contains(&race.router.as_str()));
+    }
+
+    #[test]
+    fn jobs_does_not_change_the_fingerprint() {
+        let base = fast_flow();
+        let fp = base.fingerprint(FIG3);
+        assert_eq!(fp, base.clone().jobs(8).fingerprint(FIG3));
+        assert_eq!(base.clone().jobs(0).job_count(), 1, "jobs clamps to 1");
     }
 
     #[test]

@@ -17,16 +17,21 @@
 //!
 //! | endpoint | body | response |
 //! |---|---|---|
-//! | `POST /map` | `{"program", "policy"?, "router"?, "m"?, "trace"?, "fabric"?}` | the [`FlowSummary`](crate::FlowSummary) JSON of `qspr map --format json` |
-//! | `POST /compare` | `{"program", "name"?, "router"?, "m"?, "fabric"?}` | the [`ComparisonRow`](crate::ComparisonRow) JSON of `qspr compare --format json` |
-//! | `POST /sta` | `{"program", "policy"?, "router"?, "m"?, "feedback"?, "fabric"?}` | the [`qspr_sta::TimingReport`] JSON of `qspr sta --format json` |
+//! | `POST /map` | `{"program", "policy"?, "router"?, "m"?, "jobs"?, "trace"?, "fabric"?}` | the [`FlowSummary`](crate::FlowSummary) JSON of `qspr map --format json` |
+//! | `POST /compare` | `{"program", "name"?, "router"?, "m"?, "jobs"?, "fabric"?}` | the [`ComparisonRow`](crate::ComparisonRow) JSON of `qspr compare --format json` |
+//! | `POST /sta` | `{"program", "policy"?, "router"?, "m"?, "jobs"?, "feedback"?, "fabric"?}` | the [`qspr_sta::TimingReport`] JSON of `qspr sta --format json` |
 //! | `GET /healthz` | — | `{"status":"ok","version":...}` (the crate version the CLI reports) |
 //! | `GET /stats` | — | [`StatsSnapshot`] JSON: requests, cache hits/misses, worker busy time, uptime, bound address |
 //! | `GET /metrics` | — | Prometheus text exposition: request counts by endpoint/status, cache hits/misses, queue-wait and handler-latency histograms, per-phase span timings |
 //! | `POST /shutdown` | — | `{"status":"shutting-down"}`, then a graceful stop |
 //!
 //! Defaults mirror the CLI: `policy` `"qspr"`, `router` `"greedy"`,
-//! `m` 25, `trace` false. The optional `"fabric"` field carries a
+//! `m` 25, `jobs` 1, `trace` false. The `"jobs"` field grants the
+//! mapper worker threads for intra-request parallelism (the `--jobs`
+//! flag of `qspr map`); it never changes response bytes, and the
+//! service clamps it to [`MapService::jobs_budget`] so concurrent
+//! request workers times intra-map threads cannot oversubscribe the
+//! host. The optional `"fabric"` field carries a
 //! fabric description *document* (a JSON [`qspr_fabric::FabricSpec`]
 //! embedded as a string, or ASCII art) and maps that request onto the
 //! described fabric instead of the server's resident one; a malformed
@@ -220,8 +225,11 @@ impl ToJson for StatsSnapshot {
 /// exercise; [`Server`] adds the TCP listener and worker pool on top.
 pub struct MapService {
     fabric: Arc<Fabric>,
-    /// One configured `Flow` per `(policy, router, m, trace)`, all
-    /// sharing `fabric` behind the same `Arc`.
+    /// Upper bound on a request's `"jobs"` value (see
+    /// [`MapService::jobs_budget`]).
+    jobs_budget: usize,
+    /// One configured `Flow` per `(policy, router, m, trace, jobs)`,
+    /// all sharing `fabric` behind the same `Arc`.
     flows: Mutex<HashMap<String, Flow>>,
     cache: Mutex<LruCache<String>>,
     counters: Counters,
@@ -264,6 +272,9 @@ struct MapRequest {
     router: RouterKind,
     seeds: usize,
     trace: bool,
+    /// Worker threads granted to the mapper (clamped to the service's
+    /// [`MapService::jobs_budget`] before use; never changes bytes).
+    jobs: usize,
     /// `/compare` only: the circuit name echoed in the row.
     name: String,
     /// `/sta` only: remap with slack-aware feedback, keeping the
@@ -280,6 +291,7 @@ impl MapService {
     pub fn new(fabric: impl Into<Arc<Fabric>>, cache_capacity: usize) -> MapService {
         MapService {
             fabric: fabric.into(),
+            jobs_budget: thread::available_parallelism().map_or(1, |n| n.get()),
             flows: Mutex::new(HashMap::new()),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             counters: Counters::default(),
@@ -293,6 +305,27 @@ impl MapService {
     /// The fabric every request maps onto.
     pub fn fabric(&self) -> &Arc<Fabric> {
         &self.fabric
+    }
+
+    /// Sets the server-wide cap on per-request `"jobs"` values
+    /// (clamped to at least 1; defaults to the host's available
+    /// parallelism).
+    ///
+    /// `"jobs"` scales *threads* the way `"m"` scales work, so an
+    /// untrusted body must not be able to multiply the worker pool.
+    /// Values above the budget are clamped silently rather than
+    /// rejected — `"jobs"` is a performance hint that never changes
+    /// response bytes, so clamping preserves the answer.
+    #[must_use]
+    pub fn with_jobs_budget(mut self, budget: usize) -> MapService {
+        self.jobs_budget = budget.max(1);
+        self
+    }
+
+    /// The largest `"jobs"` value a request is granted; anything above
+    /// is clamped down before the flow is configured.
+    pub fn jobs_budget(&self) -> usize {
+        self.jobs_budget
     }
 
     /// The metrics registry rendered by `GET /metrics`. Shared so the
@@ -432,10 +465,14 @@ impl MapService {
             Endpoint::Sta => &self.counters.sta_requests,
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        let request = match parse_mapping_request(endpoint, body) {
+        let mut request = match parse_mapping_request(endpoint, body) {
             Ok(request) => request,
             Err(e) => return error_response(400, &e.to_string()),
         };
+        // The budget clamp keeps batch-level concurrency (the worker
+        // pool) times intra-map parallelism bounded no matter what the
+        // body asked for; results are byte-identical at every value.
+        request.jobs = request.jobs.min(self.jobs_budget);
         // A request-supplied fabric document replaces the resident
         // fabric for this request only; a document that fails to parse
         // is well-formed JSON carrying unprocessable content, i.e. 422.
@@ -521,8 +558,8 @@ impl MapService {
             return Self::configure(Flow::on(fabric), request);
         }
         let key = format!(
-            "{}|{}|{}|{}",
-            request.policy, request.router, request.seeds, request.trace
+            "{}|{}|{}|{}|{}",
+            request.policy, request.router, request.seeds, request.trace, request.jobs
         );
         let mut flows = self.flows.lock().expect("flows lock");
         flows
@@ -537,6 +574,7 @@ impl MapService {
             .router(request.router)
             .seeds(request.seeds)
             .record_trace(request.trace)
+            .jobs(request.jobs)
     }
 
     /// Bumps one of the two cache counters in the metrics registry
@@ -599,9 +637,13 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
         return Err(QsprError::usage("request body must be a JSON object"));
     };
     let allowed: &[&str] = match endpoint {
-        Endpoint::Map => &["program", "policy", "router", "m", "trace", "fabric"],
-        Endpoint::Compare => &["program", "name", "router", "m", "fabric"],
-        Endpoint::Sta => &["program", "policy", "router", "m", "feedback", "fabric"],
+        Endpoint::Map => &[
+            "program", "policy", "router", "m", "jobs", "trace", "fabric",
+        ],
+        Endpoint::Compare => &["program", "name", "router", "m", "jobs", "fabric"],
+        Endpoint::Sta => &[
+            "program", "policy", "router", "m", "jobs", "feedback", "fabric",
+        ],
     };
     for (key, _) in fields {
         if !allowed.contains(&key.as_str()) {
@@ -646,6 +688,16 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
             m as usize
         }
     };
+    let jobs = match value.get("jobs") {
+        None => 1,
+        Some(v) => {
+            let jobs = v
+                .as_u64()
+                .filter(|&jobs| jobs > 0)
+                .ok_or_else(|| QsprError::usage("field \"jobs\" must be a positive integer"))?;
+            jobs as usize
+        }
+    };
     let trace = match value.get("trace") {
         None => false,
         Some(v) => v
@@ -660,9 +712,9 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
     };
     // Mirror the CLI's pairing rule: the feedback re-run only makes
     // sense against a negotiated pilot.
-    if feedback && router != RouterKind::Negotiated {
+    if feedback && !matches!(router, RouterKind::Negotiated | RouterKind::Race) {
         return Err(QsprError::usage(
-            "field \"feedback\" requires \"router\":\"negotiated\"",
+            "field \"feedback\" requires \"router\":\"negotiated\" or \"race\"",
         ));
     }
     let name = match value.get("name") {
@@ -689,6 +741,7 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
         router,
         seeds,
         trace,
+        jobs,
         name,
         feedback,
         fabric,

@@ -122,7 +122,7 @@ fn healthz_and_error_bodies_are_pinned() {
     assert!(response.body.starts_with(r#"{"error":"invalid JSON body:"#));
     assert_eq!(
         post(&service, "/map", r#"{"frob":1}"#).body,
-        r#"{"error":"unknown field \"frob\" (allowed: program, policy, router, m, trace, fabric)"}"#
+        r#"{"error":"unknown field \"frob\" (allowed: program, policy, router, m, jobs, trace, fabric)"}"#
     );
     assert_eq!(
         get(&service, "/nope"),
@@ -238,7 +238,7 @@ fn compare_rejects_map_only_fields() {
     assert_eq!(response.status, 400);
     assert!(response
         .body
-        .contains("allowed: program, name, router, m, fabric"));
+        .contains("allowed: program, name, router, m, jobs, fabric"));
 }
 
 #[test]
@@ -307,7 +307,7 @@ fn sta_requests_validate_their_fields() {
     assert_eq!(response.status, 400);
     assert!(response
         .body
-        .contains("allowed: program, policy, router, m, feedback, fabric"));
+        .contains("allowed: program, policy, router, m, jobs, feedback, fabric"));
     // Feedback needs the negotiated router, like the CLI.
     let response = post(
         &service,
@@ -342,6 +342,72 @@ fn flows_are_reused_per_configuration() {
     for flow in service.flows.lock().unwrap().values() {
         assert!(Arc::ptr_eq(flow.fabric_arc(), service.fabric()));
     }
+}
+
+#[test]
+fn jobs_field_parses_clamps_and_never_changes_bytes() {
+    let service = MapService::new(Fabric::quale_45x85(), 8).with_jobs_budget(2);
+    assert_eq!(service.jobs_budget(), 2);
+    let bad = |body: &str| {
+        let response = post(&service, "/map", body);
+        assert_eq!(response.status, 400, "{body} -> {}", response.body);
+        response.body
+    };
+    assert!(bad(&format!("{{\"program\":{BELL:?},\"jobs\":0}}")).contains("positive integer"));
+    assert!(bad(&format!("{{\"program\":{BELL:?},\"jobs\":\"two\"}}")).contains("positive integer"));
+    // An over-budget request is clamped, not rejected: the flow the
+    // service builds runs with the budgeted thread count.
+    let response = post(
+        &service,
+        "/map",
+        &format!("{{\"program\":{BELL:?},\"m\":2,\"jobs\":64}}"),
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    {
+        let flows = service.flows.lock().unwrap();
+        assert_eq!(flows.len(), 1);
+        let (key, flow) = flows.iter().next().unwrap();
+        assert!(key.ends_with("|2"), "flows key carries clamped jobs: {key}");
+        assert_eq!(flow.job_count(), 2);
+    }
+    // `jobs` is a performance hint, not a result axis: a fresh service
+    // mapping the same program sequentially produces the same bytes
+    // modulo the wall clock.
+    let sequential = MapService::new(Fabric::quale_45x85(), 8);
+    let baseline = post(
+        &sequential,
+        "/map",
+        &format!("{{\"program\":{BELL:?},\"m\":2,\"jobs\":1}}"),
+    );
+    assert_eq!(
+        normalize_timing(&response.body),
+        normalize_timing(&baseline.body)
+    );
+}
+
+#[test]
+fn race_router_is_served_and_allows_feedback() {
+    let service = service();
+    let response = post(
+        &service,
+        "/map",
+        &format!("{{\"program\":{BELL:?},\"m\":2,\"router\":\"race\"}}"),
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    // The summary names the engine that won the race, never "race".
+    assert!(
+        response.body.contains(r#""router":"greedy""#)
+            || response.body.contains(r#""router":"negotiated""#),
+        "{}",
+        response.body
+    );
+    let response = post(
+        &service,
+        "/sta",
+        &format!("{{\"program\":{BELL:?},\"m\":2,\"router\":\"race\",\"feedback\":true}}"),
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(response.body.contains(r#""critical_path":["#));
 }
 
 #[test]

@@ -41,6 +41,6 @@ mod span;
 pub use metrics::{Counter, Gauge, Histogram, MetricsSpanSink, Registry, QUANTILES};
 pub use profile::{EpochCounts, ProfilePhase, ProfileReport};
 pub use span::{
-    enabled, install_global, install_thread, span, uninstall_global, Collector, SpanGuard,
+    enabled, install_global, install_thread, span, uninstall_global, Collector, Relay, SpanGuard,
     SpanNode, SpanSink, ThreadSinkGuard,
 };

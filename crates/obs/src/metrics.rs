@@ -5,9 +5,12 @@
 //! style): values `0..16` land in exact unit buckets; above that,
 //! each power-of-two range splits into 16 sub-buckets, giving ≤ 6.25%
 //! relative error across the whole `u64` range with a fixed 976-slot
-//! table and lock-free recording. Percentile extraction reports the
-//! bucket's lower bound, so reported quantiles never exceed the true
-//! sample value.
+//! table and lock-free recording. Percentile extraction interpolates
+//! by rank *inside* the bucket (and clamps to the recorded maximum),
+//! so nearby tail quantiles — p99 vs p999 of a tight distribution —
+//! stay distinguishable instead of collapsing onto one shared bucket
+//! floor; the reported value always lies in the sample's bucket, so
+//! the ≤ 6.25% relative-error bound holds for every quantile.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -114,6 +117,16 @@ fn bucket_floor(idx: usize) -> u64 {
     }
 }
 
+/// Number of distinct values bucket `idx` spans (1 for the exact
+/// range, `2^(group-1)` in the log-linear range).
+fn bucket_width(idx: usize) -> u64 {
+    if idx < LINEAR_MAX as usize {
+        1
+    } else {
+        1 << (idx / SUB_BUCKETS - 1)
+    }
+}
+
 /// Fixed log-linear latency histogram with lock-free recording.
 ///
 /// Supports bucket-wise [`merge`](Histogram::merge_from) whose
@@ -177,8 +190,15 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
-    /// The `q`-quantile (`0 < q <= 1`) as the lower bound of the bucket
-    /// containing the sample of that rank; `None` when empty.
+    /// The `q`-quantile (`0 < q <= 1`): the bucket containing the
+    /// sample of that rank, rank-interpolated across the bucket's
+    /// width and clamped to the recorded maximum; `None` when empty.
+    ///
+    /// Interpolation keeps tight tails resolvable — when p99 and p999
+    /// share one log-linear bucket, their distinct in-bucket ranks
+    /// yield distinct values instead of one shared bucket floor. The
+    /// result always lies inside the rank sample's bucket, so the
+    /// layout's ≤ 6.25% relative-error bound is preserved.
     pub fn percentile(&self, q: f64) -> Option<u64> {
         let count = self.count();
         if count == 0 {
@@ -187,9 +207,23 @@ impl Histogram {
         let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut seen = 0u64;
         for (idx, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            seen += in_bucket;
             if seen >= rank {
-                return Some(bucket_floor(idx));
+                let floor = bucket_floor(idx);
+                let width = bucket_width(idx);
+                // Spread the bucket's samples evenly across its value
+                // range by rank: the first reports the floor, the last
+                // the bucket's top value. (u128 avoids overflow near
+                // the top of the u64 range.)
+                let pos = rank - (seen - in_bucket); // 1..=in_bucket
+                let interpolated = if in_bucket > 1 {
+                    let offset = (width - 1) as u128 * (pos - 1) as u128 / (in_bucket - 1) as u128;
+                    floor + offset as u64
+                } else {
+                    floor
+                };
+                return Some(interpolated.min(self.max_value()));
             }
         }
         // Unreachable while count() matches bucket totals; be safe.
@@ -519,6 +553,39 @@ mod tests {
     }
 
     #[test]
+    fn tail_quantiles_stay_distinct_within_one_bucket() {
+        // Regression: 980 fast samples plus a 20-sample tail spread
+        // across ONE log-linear bucket (floor 98 304, width 4 096) used
+        // to report p99 == p999 == the shared floor; rank interpolation
+        // must keep them distinct and ordered.
+        let h = Histogram::new();
+        for _ in 0..980 {
+            h.record(500);
+        }
+        for i in 0..20u64 {
+            h.record(98_304 + i * 200);
+        }
+        assert_eq!(bucket_index(98_304), bucket_index(98_304 + 19 * 200));
+        let (p99, p999) = (h.p99().unwrap(), h.p999().unwrap());
+        assert!(p99 >= 98_304, "p99 = {p99} fell out of the tail bucket");
+        assert!(p99 < p999, "tail collapsed: p99 = {p99}, p999 = {p999}");
+        assert!(p999 <= h.max_value());
+    }
+
+    #[test]
+    fn identical_samples_report_their_exact_value_at_every_quantile() {
+        // All samples equal: interpolation would walk the bucket, but
+        // the max clamp pins every quantile at the one true value.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100_000);
+        }
+        for p in [h.p50(), h.p90(), h.p99(), h.p999()] {
+            assert_eq!(p, Some(100_000));
+        }
+    }
+
+    #[test]
     fn sum_saturates_instead_of_wrapping() {
         let h = Histogram::new();
         h.record(u64::MAX);
@@ -585,16 +652,17 @@ mod tests {
                 prop_assert_eq!(merged.percentile(q), all.percentile(q));
             }
             // Within bucket resolution of the true sample percentile:
-            // the reported p50 is the floor of the bucket holding the
-            // rank-⌈n/2⌉ sample of the sorted concatenated stream.
+            // the reported p50 lies inside the bucket holding the
+            // rank-⌈n/2⌉ sample of the sorted concatenated stream (the
+            // exact position is rank-interpolated) and never exceeds
+            // the recorded maximum.
             let mut sorted = [xs.as_slice(), ys.as_slice()].concat();
             sorted.sort_unstable();
             if !sorted.is_empty() {
                 let true_p50 = sorted[sorted.len().div_ceil(2) - 1];
-                prop_assert_eq!(
-                    merged.p50(),
-                    Some(bucket_floor(bucket_index(true_p50)))
-                );
+                let p50 = merged.p50().unwrap();
+                prop_assert_eq!(bucket_index(p50), bucket_index(true_p50));
+                prop_assert!(p50 <= merged.max_value());
             }
         }
     }

@@ -264,6 +264,45 @@ mod tests {
     }
 
     #[test]
+    fn relayed_parallel_sections_keep_phases_summing_to_total() {
+        // Under `--jobs > 1` workers emit spans from other threads
+        // through a [`Relay`](crate::span::Relay); those must merge
+        // under the main thread's open root rather than surface as new
+        // top-level phases, or the phase table would double-count the
+        // concurrent wall time and phases + other would exceed total.
+        use crate::span::{install_thread, span, Relay};
+        use std::sync::Arc;
+        let collector = Arc::new(Collector::new());
+        let guard = install_thread(collector.clone());
+        {
+            let _map = span("map");
+            let relay = Relay::capture();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let _sink = relay.install();
+                        let _leg = span("race_leg");
+                    });
+                }
+            });
+        }
+        drop(guard);
+        let report = ProfileReport::from_collector(&collector, Duration::from_micros(10_000));
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["map", "other"], "worker spans must not add phases");
+        let map = &report.spans[0];
+        let legs: u64 = map
+            .children
+            .iter()
+            .filter(|c| c.name == "race_leg")
+            .map(|c| c.count)
+            .sum();
+        assert_eq!(legs, 2, "both workers' spans merge under the open root");
+        let sum: u64 = report.phases.iter().map(|p| p.wall_us).sum();
+        assert_eq!(sum, report.total_wall_us);
+    }
+
+    #[test]
     fn text_rendering_mentions_every_phase() {
         let text = synthetic_report().to_string();
         for name in ["parse", "map", "simulate", "issue", "route", "sta", "other"] {

@@ -168,6 +168,97 @@ impl Drop for SpanGuard {
     }
 }
 
+/// A captured span context for carrying the calling thread's sink and
+/// innermost open span into worker threads.
+///
+/// Parallel sections (speculative routing, engine racing) run work on
+/// scoped threads, but spans are delivered to per-thread sinks and
+/// parented by a per-thread stack — a worker would either record
+/// nothing (thread-local sink elsewhere) or start a fresh root tree.
+/// `Relay::capture` snapshots the active sink *and* the innermost open
+/// span on the forking thread; [`Relay::install`] then installs a
+/// forwarding sink on the worker that parents the worker's root spans
+/// under that anchor, so the merged tree reads as if the work had run
+/// inline.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use qspr_obs::{span, Collector, Relay};
+///
+/// let collector = Arc::new(Collector::new());
+/// let guard = qspr_obs::install_thread(collector.clone());
+/// {
+///     let _parent = span("parent");
+///     let relay = Relay::capture();
+///     std::thread::scope(|scope| {
+///         scope.spawn(move || {
+///             let _guard = relay.install();
+///             let _child = span("child");
+///         });
+///     });
+/// }
+/// drop(guard);
+/// let roots = collector.snapshot();
+/// assert_eq!(roots.len(), 1, "child attaches under parent, not as a root");
+/// assert_eq!(roots[0].children[0].name, "child");
+/// ```
+#[derive(Clone)]
+pub struct Relay {
+    sink: Option<Arc<dyn SpanSink>>,
+    anchor: Option<u32>,
+}
+
+impl Relay {
+    /// Snapshots the calling thread's span context: its effective sink
+    /// (thread-local, else global) and the token of its innermost open
+    /// span. Cheap when tracing is disabled.
+    pub fn capture() -> Relay {
+        if ACTIVE.load(Ordering::Relaxed) == 0 {
+            return Relay {
+                sink: None,
+                anchor: None,
+            };
+        }
+        let sink = LOCAL
+            .with(|l| l.borrow().clone())
+            .or_else(|| GLOBAL.lock().expect("span sink lock").clone());
+        let anchor = STACK.with(|s| s.borrow().last().copied());
+        Relay { sink, anchor }
+    }
+
+    /// Installs the captured context on the current (worker) thread.
+    /// Returns `None` when the capturing thread had no sink — the
+    /// worker then records nothing, exactly like the capturer.
+    #[must_use = "dropping the guard immediately uninstalls the relayed sink"]
+    pub fn install(&self) -> Option<ThreadSinkGuard> {
+        let inner = self.sink.clone()?;
+        Some(install_thread(Arc::new(RelaySink {
+            inner,
+            anchor: self.anchor,
+        })))
+    }
+}
+
+/// The forwarding sink behind [`Relay::install`]: parentless spans are
+/// re-parented under the captured anchor; everything else passes
+/// through.
+struct RelaySink {
+    inner: Arc<dyn SpanSink>,
+    anchor: Option<u32>,
+}
+
+impl SpanSink for RelaySink {
+    fn enter(&self, parent: Option<u32>, name: &'static str) -> u32 {
+        self.inner.enter(parent.or(self.anchor), name)
+    }
+
+    fn exit(&self, token: u32, name: &'static str, nanos: u64) {
+        self.inner.exit(token, name, nanos);
+    }
+}
+
 /// A thread-safe span aggregator building a call tree.
 ///
 /// Spans with the same `(parent, name)` pair aggregate into one node
@@ -365,6 +456,41 @@ mod tests {
         assert_eq!(b.count_of("in_a"), 0);
         assert_eq!(a.count_of("in_a"), 1);
         assert_eq!(a.count_of("in_b"), 0);
+    }
+
+    #[test]
+    fn relay_carries_spans_across_threads_under_the_anchor() {
+        let collector = Arc::new(Collector::new());
+        let guard = install_thread(collector.clone());
+        {
+            let _outer = span("outer");
+            let relay = Relay::capture();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let relay = relay.clone();
+                    scope.spawn(move || {
+                        let _g = relay.install();
+                        let _leg = span("leg");
+                        let _work = span("work");
+                    });
+                }
+            });
+        }
+        drop(guard);
+        let roots = collector.snapshot();
+        assert_eq!(roots.len(), 1, "worker spans must not become new roots");
+        assert_eq!(roots[0].name, "outer");
+        let leg = &roots[0].children[0];
+        assert_eq!((leg.name, leg.count), ("leg", 2));
+        assert_eq!((leg.children[0].name, leg.children[0].count), ("work", 2));
+    }
+
+    #[test]
+    fn relay_from_a_sinkless_thread_installs_nothing() {
+        let relay = Relay::capture();
+        assert!(relay.install().is_none());
+        // And spans on this thread stay inert.
+        let _s = span("nothing");
     }
 
     #[test]

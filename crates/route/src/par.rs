@@ -1,0 +1,86 @@
+//! Deterministic fork/join helpers for the speculative parallel
+//! engines.
+//!
+//! Work is striped over worker states round-robin by index — worker
+//! `w` of `W` handles items `w, w + W, w + 2W, …` — and the results
+//! are returned in item order. The assignment depends only on the item
+//! index and the worker count, never on thread scheduling, so a run is
+//! reproducible even before the engines' order-based merges re-impose
+//! the sequential semantics. Threads come from [`std::thread::scope`]:
+//! no pool to manage, no `'static` bounds, and worker states borrow
+//! the caller's stack freely.
+
+use std::thread;
+
+/// Runs `f(state, index)` for every index in `0..len`, striping the
+/// indices across the worker `states`, and returns the results in
+/// index order.
+///
+/// With a single worker state (or fewer than two items) everything
+/// runs inline on the caller's thread — the degenerate case costs no
+/// thread spawn, which keeps `jobs = 1` on the exact sequential code
+/// path.
+pub(crate) fn map_striped<S, T, F>(states: &mut [S], len: usize, f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = states.len();
+    if workers <= 1 || len <= 1 {
+        let state = states.first_mut().expect("at least one worker state");
+        return (0..len).map(|i| f(state, i)).collect();
+    }
+    let mut stripes: Vec<Vec<T>> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, state) in states.iter_mut().enumerate() {
+            let f = &f;
+            handles.push(
+                scope.spawn(move || (w..len).step_by(workers).map(|i| f(state, i)).collect()),
+            );
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("striped worker panicked"))
+            .collect()
+    });
+    // Interleave the stripes back into item order. Draining front to
+    // back keeps each stripe a simple `Vec` pop from a moving cursor.
+    let mut cursors: Vec<std::vec::IntoIter<T>> = stripes.drain(..).map(Vec::into_iter).collect();
+    (0..len)
+        .map(|i| cursors[i % workers].next().expect("stripe underrun"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_results_come_back_in_index_order() {
+        for workers in 1..=5 {
+            for len in 0..10 {
+                let mut states: Vec<usize> = (0..workers).collect();
+                let out = map_striped(&mut states, len, |&mut w, i| (w, i * 10));
+                assert_eq!(out.len(), len);
+                for (i, &(w, v)) in out.iter().enumerate() {
+                    assert_eq!(v, i * 10);
+                    if workers > 1 && len > 1 {
+                        assert_eq!(w, i % workers, "stripe assignment must be by index");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let mut states = vec![0u32];
+        let out = map_striped(&mut states, 4, |s, i| {
+            *s += 1;
+            (*s, i)
+        });
+        // Inline execution threads one mutable state through all items.
+        assert_eq!(out, vec![(1, 0), (2, 1), (3, 2), (4, 3)]);
+    }
+}

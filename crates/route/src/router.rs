@@ -5,12 +5,13 @@
 //! [`SearchScratch`] arena, with goal-directed early termination — see
 //! the crate docs ("Performance") for the design.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use qspr_fabric::{
-    SearchGraph, Segment, SegmentEnd, SegmentId, TechParams, Time, Topology, TrapId,
+    JunctionId, SearchGraph, Segment, SegmentEnd, SegmentId, TechParams, Time, Topology, TrapId,
 };
 
 use crate::plan::{RoutePlan, Step};
@@ -217,6 +218,44 @@ pub struct Router<'a> {
     /// allocating. Borrowed only for the duration of one search, never
     /// across calls, so the runtime check can't fail.
     scratch: RefCell<SearchScratch>,
+    /// Per-target-segment empty-fabric distance-to-goal fields backing
+    /// the exact pruning in [`Router::route_with`]. Depends only on the
+    /// topology and the (immutable) config, so entries never
+    /// invalidate.
+    goal_dist: RefCell<HashMap<SegmentId, Arc<[u64]>>>,
+    /// Whether queries currently record their resource reads. Kept as a
+    /// separate `Cell` so the inactive case costs one branch per weight
+    /// lookup instead of a `RefCell` borrow.
+    log_active: Cell<bool>,
+    /// Deduplicating recorder behind [`Router::begin_read_log`].
+    read_log: RefCell<ReadLogger>,
+}
+
+/// Every segment and junction whose weight or toll a routing query
+/// consulted, in first-read order, without duplicates.
+///
+/// A query's answer is a pure function of its read set: replaying the
+/// same query against any resource state and overlay that agree on
+/// these resources (and on the router's own history) reproduces the
+/// same plan byte for byte. The speculative parallel engines lean on
+/// this to decide whether a plan computed against a frozen snapshot is
+/// still valid after earlier movers committed theirs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReadSet {
+    /// Segments whose weight was consulted.
+    pub(crate) segments: Vec<SegmentId>,
+    /// Junctions whose toll was consulted.
+    pub(crate) junctions: Vec<JunctionId>,
+}
+
+/// Generation-stamped dedup state for read logging; sized lazily to the
+/// topology on first activation.
+#[derive(Debug, Clone, Default)]
+struct ReadLogger {
+    seg_gen: Vec<u32>,
+    junc_gen: Vec<u32>,
+    generation: u32,
+    set: ReadSet,
 }
 
 impl<'a> Router<'a> {
@@ -239,7 +278,124 @@ impl<'a> Router<'a> {
             junc_caps,
             history: vec![0; topology.segments().len()],
             scratch: RefCell::new(SearchScratch::new(topology.search_graph().num_nodes())),
+            goal_dist: RefCell::new(HashMap::new()),
+            log_active: Cell::new(false),
+            read_log: RefCell::new(ReadLogger::default()),
         }
+    }
+
+    /// Starts recording the resource reads of subsequent queries.
+    /// Recording stays on until [`Router::take_read_set`] collects the
+    /// result.
+    pub(crate) fn begin_read_log(&self) {
+        let mut log = self.read_log.borrow_mut();
+        if log.seg_gen.len() != self.topology.segments().len() {
+            log.seg_gen = vec![0; self.topology.segments().len()];
+            log.junc_gen = vec![0; self.topology.junctions().len()];
+        }
+        log.generation = log.generation.wrapping_add(1);
+        if log.generation == 0 {
+            log.seg_gen.fill(0);
+            log.junc_gen.fill(0);
+            log.generation = 1;
+        }
+        log.set.segments.clear();
+        log.set.junctions.clear();
+        self.log_active.set(true);
+    }
+
+    /// Stops recording and returns the reads accumulated since
+    /// [`Router::begin_read_log`].
+    pub(crate) fn take_read_set(&self) -> ReadSet {
+        self.log_active.set(false);
+        std::mem::take(&mut self.read_log.borrow_mut().set)
+    }
+
+    #[inline]
+    fn note_seg_read(&self, seg: SegmentId) {
+        if !self.log_active.get() {
+            return;
+        }
+        let mut log = self.read_log.borrow_mut();
+        let generation = log.generation;
+        if log.seg_gen[seg.index()] != generation {
+            log.seg_gen[seg.index()] = generation;
+            log.set.segments.push(seg);
+        }
+    }
+
+    #[inline]
+    fn note_junc_read(&self, j: JunctionId) {
+        if !self.log_active.get() {
+            return;
+        }
+        let mut log = self.read_log.borrow_mut();
+        let generation = log.generation;
+        if log.junc_gen[j.index()] != generation {
+            log.junc_gen[j.index()] = generation;
+            log.set.junctions.push(j);
+        }
+    }
+
+    /// Empty-fabric lower-bound cost from every search node to the
+    /// junction-attached ends of target segment `dst`, cached per
+    /// target segment.
+    ///
+    /// Computed with base segment weights (`moves * t_move`), zero
+    /// junction tolls and the configured turn weight, which
+    /// lower-bounds the true edge costs under every resource state and
+    /// overlay: occupancy multipliers and presence/history surcharges
+    /// only ever add cost. The search graph is symmetric (every
+    /// segment edge exists in both directions with equal `moves`, and
+    /// the turn edge is an involution with a fixed weight), so a
+    /// forward Dijkstra seeded at the goal nodes yields exact
+    /// to-goal distances.
+    fn goal_heuristic(&self, dst: SegmentId) -> Arc<[u64]> {
+        if let Some(h) = self.goal_dist.borrow().get(&dst) {
+            return Arc::clone(h);
+        }
+        let topo = self.topology;
+        let graph = topo.search_graph();
+        let turn_weight = if self.config.turn_aware {
+            self.config.t_turn
+        } else {
+            0
+        };
+        let mut dist = vec![INF; graph.num_nodes()];
+        let mut heap = BinaryHeap::new();
+        let seg = topo.segment(dst);
+        for end in 0..2 {
+            if let SegmentEnd::Junction(j) = seg.ends()[end] {
+                let node = SearchGraph::node(j, seg.orientation());
+                if dist[node] > 0 {
+                    dist[node] = 0;
+                    heap.push(Reverse((0u64, node)));
+                }
+            }
+        }
+        while let Some(Reverse((cost, node))) = heap.pop() {
+            if cost > dist[node] {
+                continue;
+            }
+            let turn_node = SearchGraph::turn_of(node);
+            let turn_cost = cost.saturating_add(turn_weight);
+            if turn_cost < dist[turn_node] {
+                dist[turn_node] = turn_cost;
+                heap.push(Reverse((turn_cost, turn_node)));
+            }
+            for edge in graph.edges(node) {
+                let w = u64::from(edge.moves) * self.config.t_move;
+                let next = edge.to_node as usize;
+                let c = cost.saturating_add(w);
+                if c < dist[next] {
+                    dist[next] = c;
+                    heap.push(Reverse((c, next)));
+                }
+            }
+        }
+        let h: Arc<[u64]> = dist.into();
+        self.goal_dist.borrow_mut().insert(dst, Arc::clone(&h));
+        h
     }
 
     /// The effective capacity of `resource`: the fabric's per-resource
@@ -330,6 +486,7 @@ impl<'a> Router<'a> {
 
         // Goal-directed Dijkstra over the precomputed search graph,
         // running in the reusable scratch arena (no allocation).
+        let h = self.goal_heuristic(pt.segment);
         let mut scratch = self.scratch.borrow_mut();
         let scratch = &mut *scratch;
         scratch.begin();
@@ -378,10 +535,33 @@ impl<'a> Router<'a> {
             if best_direct.is_some_and(|bd| cost >= bd) {
                 break;
             }
+            // Exact lower-bound prune: `h[n]` underestimates the
+            // remaining cost from `n` to the goal nodes under every
+            // overlay, and `bound` (the worst live goal's tentative
+            // distance) only decreases over the search, so a
+            // relaxation with `dist + h` above `bound` — or at least
+            // the direct candidate's cost, which wins the `cd <= cv`
+            // tie — can never lower a goal's final distance nor sit on
+            // the returned plan's predecessor chain. Skipping it
+            // leaves the output bytes identical to the unpruned
+            // search (the `route_naive` equivalence proptest pins
+            // this), while cutting the explored frontier roughly from
+            // one-way to round-trip reach.
+            let bound = goals
+                .iter()
+                .flatten()
+                .map(|&g| scratch.dist(g))
+                .max()
+                .unwrap_or(INF);
+            let prune = |f: u64| f > bound || best_direct.is_some_and(|bd| f >= bd);
+            if prune(cost.saturating_add(h[node])) {
+                continue;
+            }
             // Turn edge within the junction.
             let turn_node = SearchGraph::turn_of(node);
             let turn_cost = cost.saturating_add(turn_weight);
-            if turn_cost < scratch.dist(turn_node) {
+            if turn_cost < scratch.dist(turn_node) && !prune(turn_cost.saturating_add(h[turn_node]))
+            {
                 scratch.set(turn_node, turn_cost, Prev::Turn { from: node });
                 scratch.heap.push(Reverse((turn_cost, turn_node)));
             }
@@ -395,7 +575,7 @@ impl<'a> Router<'a> {
                 };
                 let next = edge.to_node as usize;
                 let next_cost = cost.saturating_add(w).saturating_add(toll2);
-                if next_cost < scratch.dist(next) {
+                if next_cost < scratch.dist(next) && !prune(next_cost.saturating_add(h[next])) {
                     scratch.set(
                         next,
                         next_cost,
@@ -602,6 +782,7 @@ impl<'a> Router<'a> {
         moves: u32,
         overlay: Option<&Overlay<'_>>,
     ) -> Option<u64> {
+        self.note_seg_read(seg);
         let mut n = state.usage(Resource::Segment(seg));
         if let Some(ov) = overlay {
             n = n.saturating_add(ov.extra_segments[seg.index()]);
@@ -642,9 +823,10 @@ impl<'a> Router<'a> {
     fn junction_toll(
         &self,
         state: &ResourceState,
-        j: qspr_fabric::JunctionId,
+        j: JunctionId,
         overlay: Option<&Overlay<'_>>,
     ) -> Option<u64> {
+        self.note_junc_read(j);
         let mut n = state.usage(Resource::Junction(j));
         if let Some(ov) = overlay {
             n = n.saturating_add(ov.extra_junctions[j.index()]);

@@ -31,6 +31,7 @@ pub struct Mapper<'a> {
     router: Arc<dyn RouterFactory + Send + Sync>,
     record_trace: bool,
     order_boost: Option<Arc<Vec<Time>>>,
+    jobs: usize,
 }
 
 impl<'a> Mapper<'a> {
@@ -43,6 +44,7 @@ impl<'a> Mapper<'a> {
             router: Arc::new(RouterKind::Greedy),
             record_trace: false,
             order_boost: None,
+            jobs: 1,
         }
     }
 
@@ -57,6 +59,22 @@ impl<'a> Mapper<'a> {
     /// The name of the active routing engine.
     pub fn router_name(&self) -> &str {
         self.router.name()
+    }
+
+    /// Grants the routing engine up to `jobs` worker threads for
+    /// intra-epoch parallelism (default 1). Purely a performance hint
+    /// — mapping results are byte-identical at every value, see
+    /// [`RoutingEngine::set_parallelism`](qspr_route::RoutingEngine::set_parallelism).
+    ///
+    /// Clamped to at least 1 and at most the host's available
+    /// parallelism: granting more workers than cores cannot overlap
+    /// anything and only adds speculation overhead (rejected
+    /// speculative rounds are recomputed sequentially), so an
+    /// oversubscribed grant would make mapping strictly slower.
+    pub fn jobs(mut self, jobs: usize) -> Mapper<'a> {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.jobs = jobs.clamp(1, cores);
+        self
     }
 
     /// Enables or disables micro-command trace recording (off by default;
@@ -303,7 +321,8 @@ impl<'m, 'a> Sim<'m, 'a> {
             .topo_order()
             .filter(|id| pending[id.index()] == 0)
             .collect();
-        let engine = mapper.router.build(topo, mapper.policy.router);
+        let mut engine = mapper.router.build(topo, mapper.policy.router);
+        engine.set_parallelism(mapper.jobs);
         Sim {
             defer_epoch: engine.refines(),
             epoch_plans: Vec::new(),

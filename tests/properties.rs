@@ -183,6 +183,71 @@ proptest! {
         prop_assert_eq!(plain.totals(), traced.totals());
     }
 
+    /// `Flow::jobs` is a pure performance hint: for any random fabric
+    /// and circuit, every engine (greedy, negotiated, and the racing
+    /// meta-engine) produces byte-identical summary JSON — modulo the
+    /// wall-clock `"timing"` object — and a byte-identical recorded
+    /// trace at every thread count. This is the determinism contract
+    /// behind `qspr map --jobs N` and the serve `"jobs"` field.
+    #[test]
+    fn jobs_never_change_flow_results(
+        rows in 8u16..16,
+        cols in 8u16..16,
+        pitch in 2u16..4,
+        qubits in 2usize..6,
+        gates in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        use std::sync::Arc;
+        use qspr::service::normalize_timing;
+        use qspr::{Flow, RouterKind, ToJson};
+
+        let Ok(fabric) = RegularFabricSpec::new(rows, cols, pitch).build() else {
+            return Ok(()); // too small for a tile: nothing to test
+        };
+        prop_assume!(fabric.topology().traps().len() >= qubits);
+        let fabric = Arc::new(fabric);
+        let program = random_program(
+            &RandomProgramConfig::new(qubits, gates).two_qubit_fraction(0.8),
+            seed,
+        );
+        for router in [RouterKind::Greedy, RouterKind::Negotiated, RouterKind::Race] {
+            let base = Flow::on(Arc::clone(&fabric))
+                .router(router)
+                .seeds(2)
+                .record_trace(true);
+            let reference = base.clone().run(&program);
+            for jobs in [2usize, 4, 8] {
+                let result = base.clone().jobs(jobs).run(&program);
+                match (&reference, &result) {
+                    (Ok(expected), Ok(got)) => {
+                        prop_assert_eq!(
+                            normalize_timing(&expected.summary().to_json()),
+                            normalize_timing(&got.summary().to_json()),
+                            "summary diverged at jobs={} router={:?}", jobs, router
+                        );
+                        prop_assert_eq!(
+                            &expected.forward_trace, &got.forward_trace,
+                            "trace diverged at jobs={} router={:?}", jobs, router
+                        );
+                    }
+                    // A fabric this small can legitimately stall; the
+                    // failure itself must be thread-count independent.
+                    (Err(expected), Err(got)) => {
+                        prop_assert_eq!(
+                            expected.to_string(), got.to_string(),
+                            "error diverged at jobs={} router={:?}", jobs, router
+                        );
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "mappability diverged at jobs={jobs} router={router:?}"
+                    ),
+                }
+            }
+        }
+    }
+
     /// The three baselines never beat the ideal bound, on any program.
     #[test]
     fn baselines_respect_the_ideal_bound(
