@@ -1,10 +1,10 @@
 //! Load generator, latency harness and correctness oracle for
 //! `qspr serve`.
 //!
-//! Drives N concurrent connections against a running service and
-//! asserts that every response matches what the library (and therefore
-//! `qspr map --format json` / `qspr compare --format json`) produces
-//! locally for the same inputs:
+//! Drives N persistent keep-alive connections against a running
+//! service and asserts that every response matches what the library
+//! (and therefore `qspr map --format json` / `qspr compare --format
+//! json`) produces locally for the same inputs:
 //!
 //! * `/map` responses must equal the local [`FlowSummary`] JSON
 //!   *modulo the `"timing"` object* (placement wall-clock — the one
@@ -13,16 +13,39 @@
 //!   the stored cold response;
 //! * `/compare` responses carry no clock and must be byte-identical to
 //!   the local [`ComparisonRow`] JSON, always;
-//! * `/stats` counters must add up (hits + misses = mapping requests,
-//!   hits > 0 once the workload repeats itself);
+//! * `/batch` responses must be byte-identical to the JSON array of
+//!   the local comparison rows, in input order — and must share cache
+//!   entries with `/compare`;
+//! * `/sta` responses carry no clock either: every response must be
+//!   byte-identical to the first;
+//! * `/stats` counters must add up (hits + misses = map + compare +
+//!   sta requests + batch programs, hits > 0 once the workload repeats
+//!   itself) and the summed `qspr_http_requests_total` samples on
+//!   `/metrics` must equal the `/stats` request counter;
 //! * `/metrics` must serve non-empty Prometheus text in which every
 //!   `# TYPE` family has at least one sample line.
 //!
 //! Every request's wall-clock latency lands in a per-thread
-//! [`Histogram`]; the merged distribution is
-//! reported as p50/p90/p99/p999 and written to `--bench-out`
-//! (default `BENCH_serve.json`, strict `qspr::json` — re-parsed before
-//! exit so a malformed artifact fails the run, not a consumer).
+//! [`Histogram`]; the merged distribution is reported as
+//! p50/p90/p99/p999 and written to `--bench-out` (default
+//! `BENCH_serve.json`, strict `qspr::json` — re-parsed before exit so
+//! a malformed artifact fails the run, not a consumer).
+//!
+//! Two load models: `--mode closed` (default) keeps every connection
+//! saturated — the classic closed loop; `--mode open` fires requests
+//! on a fixed schedule (`--rate` requests/second across all
+//! connections) and measures latency from the *scheduled* arrival, so
+//! a slow server cannot hide queueing delay by slowing the arrival
+//! process (coordinated omission). `--no-keep-alive` reverts to one
+//! connection per request for A/B comparisons against the keep-alive
+//! path.
+//!
+//! `--storm N` switches to the backpressure drill: N threads fire one
+//! heavy `/map` each through a barrier and every response must be
+//! either a correct 200 or a `429 Too Many Requests` carrying
+//! `Retry-After`; at least one of each must be observed, and every
+//! rejected request must succeed when retried after the storm. CI
+//! runs this against `qspr serve --threads 1 --max-queue 1`.
 //!
 //! Any violation prints the offending pair and exits non-zero — CI
 //! runs `loadgen --quick` against a freshly started server as the
@@ -30,17 +53,18 @@
 //!
 //! Usage: `cargo run -p qspr-bench --release --bin loadgen --
 //! --addr 127.0.0.1:7878 [--connections N] [--iters N] [--quick]
+//! [--mode closed|open] [--rate RPS] [--no-keep-alive] [--storm N]
 //! [--bench-out FILE] [--shutdown]`
 //!
 //! [`FlowSummary`]: qspr::FlowSummary
 //! [`ComparisonRow`]: qspr::ComparisonRow
 
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use qspr::json::{JsonObject, JsonValue, ToJson};
+use qspr::json::{JsonArray, JsonObject, JsonValue, ToJson};
 use qspr::obs::Histogram;
 use qspr::service::{http, normalize_timing};
 use qspr::{Flow, FlowPolicy, RouterKind};
@@ -48,6 +72,9 @@ use qspr_bench::{parse_flag, quick_mode};
 use qspr_fabric::Fabric;
 use qspr_qasm::Program;
 use qspr_qecc::{codes, encoder};
+
+const BELL: &str = "QUBIT a\nQUBIT b\nH a\nC-X a,b\n";
+const GHZ3: &str = "QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X b,c\n";
 
 /// One request case: the `/map` (and `/compare`) body to send plus the
 /// locally computed expected responses.
@@ -59,6 +86,16 @@ struct Case {
     expect_map: String,
     /// Expected `/compare` body, exact.
     expect_compare: String,
+}
+
+/// The full workload: per-case oracles plus one `/batch` request whose
+/// expected body is the input-ordered array of the first two cases'
+/// comparison rows, and one clock-free `/sta` probe.
+struct Workload {
+    cases: Vec<Case>,
+    batch_body: String,
+    expect_batch: String,
+    sta_body: String,
 }
 
 fn string_flag(name: &str) -> Option<String> {
@@ -73,9 +110,7 @@ fn string_flag(name: &str) -> Option<String> {
 
 /// Builds the workload: every case carries its own expected bytes,
 /// computed through the same `Flow` code path the CLI uses.
-fn build_cases(quick: bool) -> Vec<Case> {
-    const BELL: &str = "QUBIT a\nQUBIT b\nH a\nC-X a,b\n";
-    const GHZ3: &str = "QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X b,c\n";
+fn build_workload(quick: bool) -> Workload {
     let five13 = encoder::encoding_circuit(&codes::five_one_three())
         .expect("paper code encodes")
         .to_qasm();
@@ -130,7 +165,7 @@ fn build_cases(quick: bool) -> Vec<Case> {
     }
 
     let fabric = Arc::new(Fabric::quale_45x85());
-    specs
+    let cases: Vec<Case> = specs
         .into_iter()
         .map(|(label, text, policy, router, m)| {
             let program = Program::parse(&text).expect("workload programs parse");
@@ -172,7 +207,36 @@ fn build_cases(quick: bool) -> Vec<Case> {
                 expect_compare,
             }
         })
-        .collect()
+        .collect();
+
+    // The batch request reuses the first two cases (both compare under
+    // greedy / m=4) with the same names, so its cache entries are the
+    // same entries `/compare` populates — the sharing is part of the
+    // contract under test.
+    let string_array = |items: &[&str]| {
+        let mut array = JsonArray::new();
+        for item in items {
+            array.push_raw(&format!("\"{}\"", qspr::json::escape(item)));
+        }
+        array.build()
+    };
+    let batch_body = JsonObject::new()
+        .raw("programs", &string_array(&[BELL, GHZ3]))
+        .raw("names", &string_array(&[&cases[0].label, &cases[1].label]))
+        .string("router", "greedy")
+        .number("m", 4)
+        .build();
+    let expect_batch = format!("[{},{}]", cases[0].expect_compare, cases[1].expect_compare);
+    let sta_body = JsonObject::new()
+        .string("program", BELL)
+        .number("m", 4)
+        .build();
+    Workload {
+        cases,
+        batch_body,
+        expect_batch,
+        sta_body,
+    }
 }
 
 /// Waits for `/healthz` to answer (a freshly spawned server may still
@@ -187,6 +251,47 @@ fn await_health(addr: &str) -> Result<(), String> {
     Err(format!("service at {addr} did not become healthy"))
 }
 
+/// Sends one request over the connection in `client`, transparently
+/// (re)connecting — on first use, after a `Connection: close`, or when
+/// the server reaped the idle connection between iterations. With
+/// `keep_alive` off every request gets a fresh connection, exactly
+/// like the pre-keep-alive harness.
+fn send(
+    client: &mut Option<http::Client>,
+    addr: &str,
+    keep_alive: bool,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<http::Response, String> {
+    if !keep_alive {
+        return http::call(addr, method, path, body).map_err(|e| format!("{method} {path}: {e}"));
+    }
+    for retry in [true, false] {
+        let usable = client.as_ref().is_some_and(|c| !c.is_closed());
+        if !usable {
+            *client =
+                Some(http::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?);
+        }
+        match client
+            .as_mut()
+            .expect("connected above")
+            .send(method, path, body)
+        {
+            Ok(response) => return Ok(response),
+            Err(e) => {
+                // A dead keep-alive socket is retried once on a fresh
+                // connection; a second failure is the server's fault.
+                *client = None;
+                if !retry {
+                    return Err(format!("{method} {path}: {e}"));
+                }
+            }
+        }
+    }
+    unreachable!("the retry loop returns")
+}
+
 /// Expected response body for one oracle request: `exact` compares
 /// bytes verbatim, otherwise the response's `"timing"` object is
 /// normalized first (it is the one non-deterministic part of `/map`).
@@ -196,21 +301,14 @@ struct Expect<'a> {
 }
 
 fn check(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: &str,
+    response: &http::Response,
     expect: Expect<'_>,
     label: &str,
-    latency: &Histogram,
+    path: &str,
 ) -> Result<(), String> {
-    let t0 = Instant::now();
-    let response = http::call(addr, method, path, body)
-        .map_err(|e| format!("{label}: {method} {path} failed: {e}"))?;
-    latency.record(t0.elapsed().as_micros() as u64);
     if response.status != 200 {
         return Err(format!(
-            "{label}: {method} {path} -> {} {}",
+            "{label}: POST {path} -> {} {}",
             response.status, response.body
         ));
     }
@@ -219,11 +317,10 @@ fn check(
     } else {
         normalize_timing(&response.body)
     };
-    let expect = expect.body;
-    if actual != expect {
+    if actual != expect.body {
         return Err(format!(
-            "{label}: {path} response differs from `qspr {} --format json`\n  expected: {expect}\n  actual:   {actual}",
-            if path == "/map" { "map" } else { "compare" },
+            "{label}: {path} response differs from the local oracle\n  expected: {}\n  actual:   {actual}",
+            expect.body,
         ));
     }
     Ok(())
@@ -263,7 +360,10 @@ fn validate_metrics(text: &str) -> Result<(), String> {
 
 /// Serializes the merged latency distribution plus run parameters as
 /// the committed `BENCH_serve.json` schema.
+#[allow(clippy::too_many_arguments)]
 fn bench_report(
+    mode: &str,
+    keep_alive: bool,
     connections: usize,
     iters: usize,
     cases: usize,
@@ -277,6 +377,8 @@ fn bench_report(
     }
     JsonObject::new()
         .string("benchmark", "qspr serve latency under concurrent load")
+        .string("mode", mode)
+        .boolean("keep_alive", keep_alive)
         .number("connections", connections as u64)
         .number("iters", iters as u64)
         .number("cases", cases as u64)
@@ -296,22 +398,146 @@ fn bench_report(
         .build()
 }
 
+/// The backpressure drill: `threads` concurrent heavy `/map` requests
+/// released through a barrier against a deliberately tiny admission
+/// queue. Every response must be a correct 200 or a 429 with
+/// `Retry-After`; both kinds must be observed, and every rejected
+/// request must succeed on a calm retry.
+fn storm(addr: &str, threads: usize) -> Result<(), String> {
+    await_health(addr)?;
+    let five13 = encoder::encoding_circuit(&codes::five_one_three())
+        .expect("paper code encodes")
+        .to_qasm();
+    // Distinct seed counts keep every request a cache miss (distinct
+    // fingerprints), so each one really occupies the worker pool.
+    let body = |m: usize| {
+        JsonObject::new()
+            .string("program", &five13)
+            .number("m", m as u64)
+            .build()
+    };
+    for attempt in 0..3 {
+        let base = 4 + attempt * threads;
+        let barrier = Arc::new(Barrier::new(threads));
+        let mut outcomes: Vec<(usize, http::Response)> = Vec::new();
+        thread::scope(|scope| -> Result<(), String> {
+            let mut handles = Vec::new();
+            for i in 0..threads {
+                let barrier = Arc::clone(&barrier);
+                let body = body(base + i);
+                handles.push(scope.spawn(move || -> Result<http::Response, String> {
+                    let mut client =
+                        Some(http::Client::connect(addr).map_err(|e| format!("connect: {e}"))?);
+                    barrier.wait();
+                    send(&mut client, addr, true, "POST", "/map", &body)
+                }));
+            }
+            for (i, handle) in handles.into_iter().enumerate() {
+                outcomes.push((i, handle.join().expect("storm worker panicked")?));
+            }
+            Ok(())
+        })?;
+
+        let mut accepted = 0usize;
+        let mut rejected: Vec<usize> = Vec::new();
+        for (i, response) in &outcomes {
+            match response.status {
+                200 => accepted += 1,
+                429 => {
+                    if response.retry_after.is_none() {
+                        return Err(format!("429 without Retry-After: {}", response.body));
+                    }
+                    if !response.body.contains("admission queue") {
+                        return Err(format!("unexpected 429 body: {}", response.body));
+                    }
+                    rejected.push(*i);
+                }
+                other => return Err(format!("storm request {i} -> {other} {}", response.body)),
+            }
+        }
+        eprintln!(
+            "storm attempt {attempt}: {accepted} accepted, {} rejected",
+            rejected.len()
+        );
+        if accepted == 0 {
+            return Err("storm: every request was rejected".into());
+        }
+        if rejected.is_empty() {
+            // The pool drained faster than the barrier released the
+            // herd; rerun with fresh seed counts before giving up.
+            continue;
+        }
+        // Calm retries of the rejected bodies must all be admitted now,
+        // and replay byte-identically from the cache on a second pass.
+        let mut client = None;
+        for i in rejected {
+            let retry = send(&mut client, addr, true, "POST", "/map", &body(base + i))?;
+            if retry.status != 200 {
+                return Err(format!(
+                    "post-storm retry {i} -> {} {}",
+                    retry.status, retry.body
+                ));
+            }
+            let replay = send(&mut client, addr, true, "POST", "/map", &body(base + i))?;
+            if replay != retry {
+                return Err(format!("post-storm replay {i} is not byte-identical"));
+            }
+        }
+        eprintln!("storm: backpressure observed and every rejected request recovered");
+        return Ok(());
+    }
+    Err("storm: no 429 observed in 3 attempts (queue never filled)".into())
+}
+
+#[allow(clippy::too_many_lines)]
 fn run() -> Result<(), String> {
     let addr = string_flag("--addr").ok_or("loadgen needs --addr host:port")?;
     let quick = quick_mode();
-    let connections = parse_flag("--connections", 8);
-    let iters = parse_flag("--iters", if quick { 2 } else { 4 });
     let shutdown = std::env::args().any(|a| a == "--shutdown");
+    if let Some(threads) = string_flag("--storm") {
+        let threads: usize = threads
+            .parse()
+            .map_err(|_| format!("--storm expects a thread count, got {threads:?}"))?;
+        storm(&addr, threads.max(2))?;
+        if shutdown {
+            let bye = http::call(&addr, "POST", "/shutdown", "")
+                .map_err(|e| format!("POST /shutdown failed: {e}"))?;
+            if bye.status != 200 {
+                return Err(format!("shutdown refused: {} {}", bye.status, bye.body));
+            }
+        }
+        return Ok(());
+    }
+    let connections = parse_flag("--connections", 8);
+    let iters = parse_flag("--iters", if quick { 4 } else { 32 });
+    let keep_alive = !std::env::args().any(|a| a == "--no-keep-alive");
+    let mode = string_flag("--mode").unwrap_or_else(|| "closed".to_owned());
+    if mode != "closed" && mode != "open" {
+        return Err(format!("--mode expects closed or open, got {mode:?}"));
+    }
+    let rate = parse_flag("--rate", 400);
     let bench_out = string_flag("--bench-out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
 
     await_health(&addr)?;
     eprintln!("building expected responses locally (the oracle run)...");
-    let cases = Arc::new(build_cases(quick));
-    let total_per_thread = iters * cases.len() * 2;
+    let workload = Arc::new(build_workload(quick));
+    // The /sta oracle is the service's own first answer: the report
+    // carries no clock, so every later response must repeat it byte
+    // for byte (across cache hits and misses alike).
+    let expect_sta = {
+        let cold = http::call(&addr, "POST", "/sta", &workload.sta_body)
+            .map_err(|e| format!("POST /sta failed: {e}"))?;
+        if cold.status != 200 {
+            return Err(format!("POST /sta -> {} {}", cold.status, cold.body));
+        }
+        cold.body
+    };
+    let per_thread = iters * (workload.cases.len() * 2 + 2);
 
     eprintln!(
-        "driving {connections} connections x {iters} iters x {} cases...",
-        cases.len()
+        "driving {connections} connections x {iters} iters x {} cases ({mode} loop, keep-alive {})...",
+        workload.cases.len(),
+        if keep_alive { "on" } else { "off" },
     );
     let started = Instant::now();
     let mut failures: Vec<String> = Vec::new();
@@ -320,21 +546,50 @@ fn run() -> Result<(), String> {
     // the percentiles of the concatenated stream — a golden-tested
     // property of the bucket representation.
     let latency = Histogram::new();
+    // Open loop: requests depart on a fixed schedule (one every
+    // `interval` per connection) and latency runs from the scheduled
+    // departure, so server-side queueing cannot slow the arrival
+    // process down and hide itself (coordinated omission).
+    let interval = Duration::from_secs_f64(connections as f64 / (rate as f64).max(1.0));
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..connections {
-            let cases = Arc::clone(&cases);
+            let workload = Arc::clone(&workload);
             let addr = addr.clone();
+            let expect_sta = expect_sta.as_str();
+            let mode = mode.as_str();
             handles.push(scope.spawn(move || -> Result<Histogram, String> {
                 let local = Histogram::new();
+                let mut client: Option<http::Client> = None;
+                let epoch = Instant::now();
+                let mut sent = 0u32;
+                let mut fire = |client: &mut Option<http::Client>,
+                                path: &str,
+                                body: &str,
+                                expect: Expect<'_>,
+                                label: &str|
+                 -> Result<(), String> {
+                    let scheduled = if mode == "open" {
+                        let due = epoch + interval * sent;
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            thread::sleep(wait);
+                        }
+                        due
+                    } else {
+                        Instant::now()
+                    };
+                    sent += 1;
+                    let response = send(client, &addr, keep_alive, "POST", path, body)?;
+                    local.record(scheduled.elapsed().as_micros() as u64);
+                    check(&response, expect, label, path)
+                };
                 for i in 0..iters {
                     // Stagger starting offsets so threads collide on
                     // different cases (more cold/warm interleavings).
-                    for c in 0..cases.len() {
-                        let case = &cases[(c + t + i) % cases.len()];
-                        check(
-                            &addr,
-                            "POST",
+                    for c in 0..workload.cases.len() {
+                        let case = &workload.cases[(c + t + i) % workload.cases.len()];
+                        fire(
+                            &mut client,
                             "/map",
                             &case.map_body,
                             Expect {
@@ -342,11 +597,9 @@ fn run() -> Result<(), String> {
                                 exact: false,
                             },
                             &case.label,
-                            &local,
                         )?;
-                        check(
-                            &addr,
-                            "POST",
+                        fire(
+                            &mut client,
                             "/compare",
                             &case.compare_body,
                             Expect {
@@ -354,9 +607,28 @@ fn run() -> Result<(), String> {
                                 exact: true,
                             },
                             &case.label,
-                            &local,
                         )?;
                     }
+                    fire(
+                        &mut client,
+                        "/batch",
+                        &workload.batch_body,
+                        Expect {
+                            body: &workload.expect_batch,
+                            exact: true,
+                        },
+                        "batch",
+                    )?;
+                    fire(
+                        &mut client,
+                        "/sta",
+                        &workload.sta_body,
+                        Expect {
+                            body: expect_sta,
+                            exact: true,
+                        },
+                        "sta",
+                    )?;
                 }
                 Ok(local)
             }));
@@ -372,7 +644,7 @@ fn run() -> Result<(), String> {
     if !failures.is_empty() {
         return Err(failures.join("\n"));
     }
-    let requests = connections * total_per_thread;
+    let requests = connections * per_thread;
     eprintln!(
         "{requests} concurrent requests ok in {wall:.2?} ({:.0} req/s)",
         requests as f64 / wall.as_secs_f64()
@@ -388,11 +660,24 @@ fn run() -> Result<(), String> {
 
     // Sequential epilogue: with no concurrent cold-path races, the
     // cached response must be byte-identical — cpu_ms included.
-    for case in cases.iter() {
-        let first = http::call(&addr, "POST", "/map", &case.map_body)
-            .map_err(|e| format!("{}: {e}", case.label))?;
-        let second = http::call(&addr, "POST", "/map", &case.map_body)
-            .map_err(|e| format!("{}: {e}", case.label))?;
+    let mut client: Option<http::Client> = None;
+    for case in workload.cases.iter() {
+        let first = send(
+            &mut client,
+            &addr,
+            keep_alive,
+            "POST",
+            "/map",
+            &case.map_body,
+        )?;
+        let second = send(
+            &mut client,
+            &addr,
+            keep_alive,
+            "POST",
+            "/map",
+            &case.map_body,
+        )?;
         if first != second {
             return Err(format!(
                 "{}: cached /map response is not byte-identical\n  first:  {}\n  second: {}",
@@ -400,12 +685,25 @@ fn run() -> Result<(), String> {
             ));
         }
     }
+    let batch = send(
+        &mut client,
+        &addr,
+        keep_alive,
+        "POST",
+        "/batch",
+        &workload.batch_body,
+    )?;
+    if batch.body != workload.expect_batch {
+        return Err(format!(
+            "cached /batch response drifted\n  expected: {}\n  actual:   {}",
+            workload.expect_batch, batch.body
+        ));
+    }
     eprintln!("cached responses byte-identical across repeats");
 
-    // The counters must add up.
-    let stats_body = http::call(&addr, "GET", "/stats", "")
-        .map_err(|e| format!("GET /stats failed: {e}"))?
-        .body;
+    // The counters must add up: every cache lookup belongs to exactly
+    // one map/compare/sta request or batch program, and vice versa.
+    let stats_body = send(&mut client, &addr, keep_alive, "GET", "/stats", "")?.body;
     let stats =
         JsonValue::parse(&stats_body).map_err(|e| format!("/stats body unparseable: {e}"))?;
     let field = |name: &str| -> Result<u64, String> {
@@ -414,11 +712,14 @@ fn run() -> Result<(), String> {
             .and_then(JsonValue::as_u64)
             .ok_or_else(|| format!("/stats lacks {name:?}: {stats_body}"))
     };
-    let (map_reqs, cmp_reqs) = (field("map_requests")?, field("compare_requests")?);
+    let lookups = field("map_requests")?
+        + field("compare_requests")?
+        + field("sta_requests")?
+        + field("batch_programs")?;
     let (hits, misses) = (field("cache_hits")?, field("cache_misses")?);
-    if hits + misses != map_reqs + cmp_reqs {
+    if hits + misses != lookups {
         return Err(format!(
-            "stats don't add up: {hits} hits + {misses} misses != {map_reqs} map + {cmp_reqs} compare\n  {stats_body}"
+            "stats don't add up: {hits} hits + {misses} misses != {lookups} cache lookups\n  {stats_body}"
         ));
     }
     if hits == 0 {
@@ -427,20 +728,36 @@ fn run() -> Result<(), String> {
         ));
     }
     eprintln!(
-        "stats consistent: {} requests, {hits} hits / {misses} misses, busy {}ms",
+        "stats consistent: {} requests, {hits} hits / {misses} misses, {} rejected, busy {}ms",
         field("requests")?,
+        field("rejected")?,
         field("busy_us")? / 1000
     );
 
-    // The Prometheus exposition must be well-formed after real load.
-    let metrics = http::call(&addr, "GET", "/metrics", "")
-        .map_err(|e| format!("GET /metrics failed: {e}"))?;
+    // The Prometheus exposition must be well-formed after real load,
+    // and its request counter must agree with /stats: the samples are
+    // recorded before /metrics renders, so the sum over all
+    // endpoint/status labels equals the snapshot taken by the /stats
+    // request just above (which counts itself).
+    let metrics = send(&mut client, &addr, keep_alive, "GET", "/metrics", "")?;
     if metrics.status != 200 {
         return Err(format!("GET /metrics -> {}", metrics.status));
     }
     validate_metrics(&metrics.body)?;
+    let metrics_requests: u64 = metrics
+        .body
+        .lines()
+        .filter(|l| l.starts_with("qspr_http_requests_total{"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum();
+    let stats_requests = field("requests")?;
+    if metrics_requests != stats_requests {
+        return Err(format!(
+            "request counters disagree: /metrics sums to {metrics_requests}, /stats says {stats_requests}"
+        ));
+    }
     eprintln!(
-        "/metrics exposition valid ({} families)",
+        "/metrics exposition valid ({} families, request counters agree)",
         metrics
             .body
             .lines()
@@ -450,7 +767,16 @@ fn run() -> Result<(), String> {
 
     // Write the latency artifact, then re-parse it strictly: a
     // malformed BENCH_serve.json must fail loadgen, not a consumer.
-    let report = bench_report(connections, iters, cases.len(), requests, wall, &latency);
+    let report = bench_report(
+        &mode,
+        keep_alive,
+        connections,
+        iters,
+        workload.cases.len(),
+        requests,
+        wall,
+        &latency,
+    );
     std::fs::write(&bench_out, format!("{report}\n"))
         .map_err(|e| format!("writing {bench_out}: {e}"))?;
     let written =

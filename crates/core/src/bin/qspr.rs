@@ -6,7 +6,7 @@
 //! qspr compare <file.qasm> [--router R] [--m N] [--jobs N] [--fabric F] [--format FMT]
 //! qspr suite [--router R] [--m N] [--jobs N] [--fabric F] [--format FMT]
 //! qspr batch [files...] [--suite] [--router R] [--m N] [--jobs N] [--threads T] [--fabric F] [--format FMT]
-//! qspr serve [--addr A] [--threads T] [--cache N] [--log] [--fabric F]
+//! qspr serve [--addr A] [--threads T] [--cache N] [--cache-shards S] [--max-queue Q] [--keep-alive SECS] [--log] [--fabric F]
 //! qspr fabric [--fabric F]
 //! qspr encode <CODE>
 //! qspr version
@@ -34,17 +34,22 @@
 //! table after the text report.
 //!
 //! `qspr serve` runs the resident mapping service of `qspr::service`:
-//! `POST /map`, `POST /compare` and `POST /sta` with the same JSON
-//! schemas as `--format json`, `GET /healthz`, `GET /stats`,
-//! `GET /metrics` (Prometheus text format), `POST /shutdown`, backed
-//! by an LRU result cache (`--cache N` entries, 0 disables). `--log`
-//! writes one structured access-log line per request to stderr.
+//! `POST /map`, `POST /compare`, `POST /sta` and `POST /batch` with
+//! the same JSON schemas as `--format json`, `GET /healthz`,
+//! `GET /stats`, `GET /metrics` (Prometheus text format),
+//! `POST /shutdown`. Connections are keep-alive by default
+//! (`--keep-alive SECS` idle timeout, 0 restores close-per-request),
+//! results come from a sharded LRU cache (`--cache N` entries across
+//! `--cache-shards S` locks, 0 disables), and each heavy endpoint
+//! admits at most `--max-queue Q` queued requests before answering
+//! `429 Too Many Requests` with `Retry-After`. `--log` writes one
+//! structured access-log line per request to stderr.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use qspr::json::JsonArray;
-use qspr::service::{MapService, ServeConfig, Server};
+use qspr::service::{CacheConfig, MapService, ServeConfig, Server};
 use qspr::{BatchJob, BatchMapper, Flow, FlowPolicy, QsprError, RouterKind, ToJson};
 use qspr_fabric::Fabric;
 use qspr_qasm::Program;
@@ -70,7 +75,7 @@ usage:
   qspr compare <file.qasm> [--router R] [--m N] [--jobs N] [--fabric F] [--format FMT]
   qspr suite [--router R] [--m N] [--jobs N] [--fabric F] [--format FMT]
   qspr batch [files...] [--suite] [--router R] [--m N] [--jobs N] [--threads T] [--fabric F] [--format FMT]
-  qspr serve [--addr A] [--threads T] [--cache N] [--log] [--fabric F]
+  qspr serve [--addr A] [--threads T] [--cache N] [--cache-shards S] [--max-queue Q] [--keep-alive SECS] [--log] [--fabric F]
   qspr fabric [--fabric F]
   qspr encode <CODE>          (5,1,3 | 7,1,3 | 9,1,3 | 14,8,3 | 19,1,7 | 23,1,7)
   qspr version
@@ -91,6 +96,9 @@ options:
   --profile     map: trace the run and report per-phase times and the span tree
   --addr A      serve: bind address (default 127.0.0.1:7878; port 0 = ephemeral)
   --cache N     serve: result-cache capacity in entries (default 128, 0 = off)
+  --cache-shards S  serve: lock shards in the result cache (default 8)
+  --max-queue Q serve: queued requests per heavy endpoint before 429 (default 256)
+  --keep-alive SECS  serve: idle connection timeout (default 30; 0 = close per request)
   --log         serve: one structured access-log line per request on stderr
   --help, -h    print this help and exit";
 
@@ -111,7 +119,7 @@ struct Cli {
 
 impl Cli {
     fn parse(args: &[String]) -> Result<Cli, QsprError> {
-        const VALUE_FLAGS: [&str; 10] = [
+        const VALUE_FLAGS: [&str; 13] = [
             "--fabric",
             "--policy",
             "--router",
@@ -121,6 +129,9 @@ impl Cli {
             "--format",
             "--addr",
             "--cache",
+            "--cache-shards",
+            "--max-queue",
+            "--keep-alive",
             "--dump-trace",
         ];
         const SWITCHES: [&str; 6] = [
@@ -210,6 +221,41 @@ impl Cli {
             None => Ok(128),
             Some(v) => v.parse().map_err(|_| {
                 QsprError::usage(format!("--cache expects a number of entries, got {v:?}"))
+            }),
+        }
+    }
+
+    fn cache_shards(&self) -> Result<usize, QsprError> {
+        match self.value("--cache-shards") {
+            None => Ok(8),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(QsprError::usage(format!(
+                    "--cache-shards expects a positive number, got {v:?}"
+                ))),
+            },
+        }
+    }
+
+    fn max_queue(&self) -> Result<usize, QsprError> {
+        match self.value("--max-queue") {
+            None => Ok(256),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(QsprError::usage(format!(
+                    "--max-queue expects a positive number, got {v:?}"
+                ))),
+            },
+        }
+    }
+
+    fn keep_alive(&self) -> Result<u64, QsprError> {
+        match self.value("--keep-alive") {
+            None => Ok(30),
+            Some(v) => v.parse().map_err(|_| {
+                QsprError::usage(format!(
+                    "--keep-alive expects an idle timeout in seconds (0 disables), got {v:?}"
+                ))
             }),
         }
     }
@@ -513,6 +559,8 @@ fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
     let mut config = ServeConfig {
         addr: cli.value("--addr").unwrap_or("127.0.0.1:7878").to_owned(),
         log: cli.switch("--log"),
+        keep_alive_secs: cli.keep_alive()?,
+        max_queue: cli.max_queue()?,
         ..ServeConfig::default()
     };
     if let Some(threads) = cli.threads()? {
@@ -526,8 +574,15 @@ fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
     // response bytes.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let jobs_budget = (cores / config.threads.max(1)).max(1);
-    let service =
-        Arc::new(MapService::new(cli.fabric()?, cache_capacity).with_jobs_budget(jobs_budget));
+    let service = Arc::new(
+        MapService::new(cli.fabric()?, cache_capacity)
+            .with_cache(CacheConfig {
+                entries: cache_capacity,
+                shards: cli.cache_shards()?,
+                ..CacheConfig::default()
+            })
+            .with_jobs_budget(jobs_budget),
+    );
     // Feed every pipeline span (parse, place, route epochs, sta, ...)
     // into the service registry as per-phase latency histograms, so
     // `GET /metrics` reports where mapping time goes. Global, because
@@ -544,21 +599,28 @@ fn cmd_serve(cli: &Cli) -> Result<(), QsprError> {
     // discover the ephemeral port), so it goes first on its own line.
     println!("listening on http://{addr}/");
     println!(
-        "threads {} | cache {} entries | POST /map, POST /compare, POST /sta, GET /healthz, GET /stats, GET /metrics, POST /shutdown",
-        config.threads, cache_capacity
+        "threads {} | cache {} entries x {} shards | keep-alive {}s | queue {} | POST /map, POST /compare, POST /sta, POST /batch, GET /healthz, GET /stats, GET /metrics, POST /shutdown",
+        config.threads,
+        cache_capacity,
+        service.cache().shard_count(),
+        config.keep_alive_secs,
+        config.max_queue,
     );
     server
         .run()
         .map_err(|e| QsprError::io(addr.to_string(), e))?;
     let stats = service.stats();
     println!(
-        "served {} requests ({} map, {} compare, {} sta) | cache {} hits / {} misses | busy {}ms",
+        "served {} requests ({} map, {} compare, {} sta, {} batch/{} programs) | cache {} hits / {} misses | rejected {} | busy {}ms",
         stats.requests,
         stats.map_requests,
         stats.compare_requests,
         stats.sta_requests,
+        stats.batch_requests,
+        stats.batch_programs,
         stats.cache_hits,
         stats.cache_misses,
+        stats.rejected,
         stats.busy_us / 1000,
     );
     Ok(())
@@ -815,6 +877,42 @@ mod tests {
         // Value-flag plumbing applies: duplicates and missing values.
         assert!(Cli::parse(&strings(&["--addr", "a", "--addr", "b"])).is_err());
         assert!(Cli::parse(&strings(&["--cache"])).is_err());
+    }
+
+    #[test]
+    fn front_end_flags_parse_and_validate() {
+        // Defaults: 8 shards, 256-deep admission queues, 30s keep-alive.
+        let cli = Cli::parse(&[]).unwrap();
+        assert_eq!(cli.cache_shards().unwrap(), 8);
+        assert_eq!(cli.max_queue().unwrap(), 256);
+        assert_eq!(cli.keep_alive().unwrap(), 30);
+        let cli = Cli::parse(&strings(&[
+            "--cache-shards",
+            "4",
+            "--max-queue",
+            "2",
+            "--keep-alive",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(cli.cache_shards().unwrap(), 4);
+        assert_eq!(cli.max_queue().unwrap(), 2);
+        assert_eq!(cli.keep_alive().unwrap(), 0, "0 = close per request");
+        // Shards and queue depth must stay positive; keep-alive allows 0.
+        assert!(Cli::parse(&strings(&["--cache-shards", "0"]))
+            .unwrap()
+            .cache_shards()
+            .is_err());
+        assert!(Cli::parse(&strings(&["--max-queue", "0"]))
+            .unwrap()
+            .max_queue()
+            .is_err());
+        assert!(Cli::parse(&strings(&["--keep-alive", "soon"]))
+            .unwrap()
+            .keep_alive()
+            .is_err());
+        assert!(Cli::parse(&strings(&["--max-queue"])).is_err());
+        assert!(Cli::parse(&strings(&["--keep-alive", "1", "--keep-alive", "2"])).is_err());
     }
 
     #[test]

@@ -1,14 +1,25 @@
-//! A hand-rolled, dependency-free LRU cache for mapped results.
+//! Hand-rolled, dependency-free result caches for mapped responses.
 //!
 //! Keys are the canonical flow fingerprints of
 //! [`Flow::fingerprint`](crate::Flow::fingerprint); values are the
 //! exact response bodies the service sent on the cold path, so a cache
-//! hit is byte-identical by construction. The structure is the
-//! classic HashMap-plus-intrusive-list design, but the doubly linked
-//! recency list lives in a slab of indices instead of pointers — no
-//! `unsafe`, O(1) get/insert/evict.
+//! hit is byte-identical by construction. Two structures live here:
+//!
+//! - [`LruCache`] — the original single-threaded LRU (HashMap plus an
+//!   intrusive recency list in a slab of indices — no `unsafe`, O(1)
+//!   get/insert/evict). The service used to guard one of these with a
+//!   single mutex; it remains the behavioral reference the sharded
+//!   cache's equivalence tests replay against.
+//! - [`ShardedCache`] — N independent [`LruCache`]-shaped shards, each
+//!   behind its own lock, selected by an FNV-1a hash of the key.
+//!   Concurrent requests for different keys almost never contend, and
+//!   each shard additionally accounts bytes, enforces an optional TTL,
+//!   and keeps hit/miss/eviction counters that `/stats` surfaces
+//!   per shard.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Sentinel for "no neighbor" in the intrusive recency list.
 const NONE: usize = usize::MAX;
@@ -164,6 +175,407 @@ impl<V> LruCache<V> {
         self.tail = prev;
         self.map.remove(&self.slab[victim].key);
         self.free.push(victim);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded cache
+// ---------------------------------------------------------------------------
+
+/// How a [`ShardedCache`] is sized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total entry capacity across all shards (0 disables caching).
+    pub entries: usize,
+    /// Number of independent shards (clamped to at least 1).
+    pub shards: usize,
+    /// Entries older than this are expired lazily on lookup
+    /// (`None` = never expire).
+    pub ttl: Option<Duration>,
+    /// Total byte budget across all shards (`None` = entries-only
+    /// limit). Bytes are accounted as `key.len() + value.len()`.
+    pub max_bytes: Option<usize>,
+}
+
+impl Default for CacheConfig {
+    /// 1024 entries across 8 shards, no TTL, no byte cap.
+    fn default() -> CacheConfig {
+        CacheConfig {
+            entries: 1024,
+            shards: 8,
+            ttl: None,
+            max_bytes: None,
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's counters and occupancy,
+/// surfaced by `GET /stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Entries currently held.
+    pub entries: u64,
+    /// Bytes currently held (keys + values).
+    pub bytes: u64,
+    /// Lookups answered from this shard.
+    pub hits: u64,
+    /// Lookups that found nothing (or an expired entry).
+    pub misses: u64,
+    /// Entries removed by capacity pressure or TTL expiry.
+    pub evictions: u64,
+}
+
+/// One shard: an [`LruCache`]-shaped slab LRU with byte accounting,
+/// optional expiry timestamps, and counters.
+#[derive(Debug)]
+struct Shard {
+    /// Entry capacity of this shard.
+    capacity: usize,
+    /// Byte capacity of this shard (`usize::MAX` = unbounded).
+    max_bytes: usize,
+    map: HashMap<String, usize>,
+    slab: Vec<ShardEntry>,
+    head: usize,
+    tail: usize,
+    free: Vec<usize>,
+    /// Bytes currently held (maintained incrementally; the test-only
+    /// audit recomputes it from the slab).
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct ShardEntry {
+    key: String,
+    value: String,
+    /// `key.len() + value.len()` at insert time.
+    bytes: usize,
+    /// Absolute expiry instant (`None` = never).
+    expires: Option<Instant>,
+    prev: usize,
+    next: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize, max_bytes: usize) -> Shard {
+        Shard {
+            capacity,
+            max_bytes,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            free: Vec::new(),
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up at time `now`: a live entry is promoted and
+    /// cloned out; an expired one is evicted and counted as a miss.
+    fn get(&mut self, key: &str, now: Instant) -> Option<String> {
+        let Some(&slot) = self.map.get(key) else {
+            self.misses += 1;
+            return None;
+        };
+        if self.slab[slot].expires.is_some_and(|at| now >= at) {
+            self.remove(slot);
+            self.evictions += 1;
+            self.misses += 1;
+            return None;
+        }
+        self.promote(slot);
+        self.hits += 1;
+        Some(self.slab[slot].value.clone())
+    }
+
+    fn insert(&mut self, key: String, value: String, expires: Option<Instant>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let entry_bytes = key.len() + value.len();
+        if let Some(&slot) = self.map.get(&key) {
+            self.bytes = self.bytes - self.slab[slot].bytes + entry_bytes;
+            self.slab[slot].value = value;
+            self.slab[slot].bytes = entry_bytes;
+            self.slab[slot].expires = expires;
+            self.promote(slot);
+            self.shrink_to_bytes();
+            return;
+        }
+        if self.map.len() == self.capacity {
+            self.evict_tail();
+        }
+        let entry = ShardEntry {
+            key: key.clone(),
+            value,
+            bytes: entry_bytes,
+            expires,
+            prev: NONE,
+            next: self.head,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = entry;
+                slot
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        if self.head != NONE {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+        self.map.insert(key, slot);
+        self.bytes += entry_bytes;
+        self.shrink_to_bytes();
+    }
+
+    /// Evicts from the tail until the byte budget holds (the freshly
+    /// inserted head survives even when it alone exceeds the budget —
+    /// an oversized result is still worth caching once).
+    fn shrink_to_bytes(&mut self) {
+        while self.bytes > self.max_bytes && self.map.len() > 1 {
+            self.evict_tail();
+        }
+    }
+
+    fn promote(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NONE {
+            self.slab[prev].next = next;
+        }
+        if next != NONE {
+            self.slab[next].prev = prev;
+        }
+        if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slab[slot].prev = NONE;
+        self.slab[slot].next = self.head;
+        if self.head != NONE {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+    }
+
+    fn evict_tail(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NONE, "evict called on an empty shard");
+        self.remove(victim);
+        self.evictions += 1;
+    }
+
+    /// Unlinks and frees `slot` (shared by eviction and TTL expiry).
+    fn remove(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NONE {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.bytes -= self.slab[slot].bytes;
+        self.map.remove(&self.slab[slot].key);
+        self.free.push(slot);
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            entries: self.map.len() as u64,
+            bytes: self.bytes as u64,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+/// A sharded, internally synchronized LRU result cache: N independent
+/// shards, each behind its own lock, selected by an FNV-1a hash of
+/// the key. Cheap shared access from many worker threads — two
+/// requests contend only when their keys land in the same shard.
+///
+/// With one shard, no TTL and no byte cap, the observable hit/miss/
+/// eviction behavior is identical to a mutex-wrapped [`LruCache`] (an
+/// equivalence the tests replay op-for-op).
+///
+/// # Examples
+///
+/// ```
+/// use qspr::service::{CacheConfig, ShardedCache};
+///
+/// let cache = ShardedCache::new(CacheConfig {
+///     entries: 64,
+///     shards: 4,
+///     ..CacheConfig::default()
+/// });
+/// cache.insert("key".into(), "body".into());
+/// assert_eq!(cache.get("key"), Some("body".into())); // hit
+/// assert_eq!(cache.get("absent"), None);             // miss
+/// let totals = cache.totals();
+/// assert_eq!((totals.hits, totals.misses), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// Total entry capacity as configured (shards each get a
+    /// `ceil(entries / shards)` slice).
+    entries: usize,
+    ttl: Option<Duration>,
+}
+
+impl ShardedCache {
+    /// Builds the shard array from `config` (shard count clamped to at
+    /// least 1; per-shard capacity is `ceil(entries / shards)` so the
+    /// total never rounds down to less than asked).
+    pub fn new(config: CacheConfig) -> ShardedCache {
+        let shard_count = config.shards.max(1);
+        let per_shard = config.entries.div_ceil(shard_count);
+        let bytes_per_shard = config
+            .max_bytes
+            .map_or(usize::MAX, |b| b.div_ceil(shard_count));
+        let shards = (0..shard_count)
+            .map(|_| Mutex::new(Shard::new(per_shard, bytes_per_shard)))
+            .collect();
+        ShardedCache {
+            shards,
+            entries: config.entries,
+            ttl: config.ttl,
+        }
+    }
+
+    /// The shard `key` belongs to.
+    fn shard_for(&self, key: &str) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Looks up `key`, promoting it on a hit; expired entries are
+    /// evicted lazily and count as a miss plus an eviction.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.shard_for(key)
+            .lock()
+            .expect("cache shard lock")
+            .get(key, Instant::now())
+    }
+
+    /// Like [`ShardedCache::get`] but reports which shard answered
+    /// (for per-shard metrics without re-hashing).
+    pub fn get_indexed(&self, key: &str) -> (usize, Option<String>) {
+        let index = self.shard_index(key);
+        let value = self.shards[index]
+            .lock()
+            .expect("cache shard lock")
+            .get(key, Instant::now());
+        (index, value)
+    }
+
+    /// The index of the shard `key` hashes to (FNV-1a over the key
+    /// bytes, reduced modulo the shard count).
+    pub fn shard_index(&self, key: &str) -> usize {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts (or replaces) `key`, stamping the configured TTL and
+    /// evicting LRU entries past the shard's entry or byte budget.
+    pub fn insert(&self, key: String, value: String) {
+        let expires = self.ttl.map(|ttl| Instant::now() + ttl);
+        self.shard_for(&key)
+            .lock()
+            .expect("cache shard lock")
+            .insert(key, value, expires);
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total configured entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries
+    }
+
+    /// Entries currently cached, summed across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").map.len())
+            .sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently cached (keys + values), summed across shards.
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").bytes as u64)
+            .sum()
+    }
+
+    /// A snapshot of every shard's counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").stats())
+            .collect()
+    }
+
+    /// Counters summed across shards.
+    pub fn totals(&self) -> ShardStats {
+        self.shard_stats()
+            .iter()
+            .fold(ShardStats::default(), |mut acc, s| {
+                acc.entries += s.entries;
+                acc.bytes += s.bytes;
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.evictions += s.evictions;
+                acc
+            })
+    }
+
+    /// Test-only invariant check: recomputes each shard's byte total
+    /// from its slab and asserts it matches the incremental counter.
+    /// Returns the audited grand total.
+    #[cfg(test)]
+    pub(crate) fn audit_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("cache shard lock");
+            let recomputed: usize = shard.map.values().map(|&slot| shard.slab[slot].bytes).sum();
+            assert_eq!(
+                recomputed, shard.bytes,
+                "shard byte accounting drifted from its slab"
+            );
+            total += shard.bytes as u64;
+        }
+        total
     }
 }
 

@@ -1,17 +1,31 @@
 //! `qspr serve` — a long-running mapping service with a result cache.
 //!
 //! Every other entry point in the workspace is a one-shot process: the
-//! CLI and [`BatchMapper`](crate::BatchMapper) re-parse, re-place and
+//! CLI and [`crate::BatchMapper`] re-parse, re-place and
 //! re-route from scratch on each invocation, even though the flow is
 //! fully seed-determined and identical requests are common (the same
 //! QECC encode blocks recur across suites). This module keeps the
-//! mapper resident: a hand-rolled HTTP/1.1 JSON server (on
-//! `std::net::TcpListener` — no new dependencies, same spirit as the
-//! vendored shims) with a fixed worker thread pool, one
-//! `Arc<Fabric>`-sharing [`Flow`] per requested configuration, and a
-//! seed-deterministic LRU **mapping cache** keyed by the canonical
-//! [`Flow::fingerprint`], so repeated requests return byte-identical
-//! cached responses without touching the mapper.
+//! mapper resident behind a fleet-grade, dependency-free front end:
+//!
+//! - **Persistent HTTP/1.1.** A hand-rolled readiness reactor
+//!   (non-blocking sockets + `poll(2)` through a thin libc-free
+//!   shim) owns every connection and feeds a fixed worker pool.
+//!   Connections are keep-alive by default and clients may pipeline
+//!   requests back-to-back; responses always come back in request
+//!   order, whichever worker finishes first.
+//! - **A sharded result cache.** Response bodies live in a
+//!   [`ShardedCache`] — N independent LRU shards, each behind its own
+//!   lock, keyed by the canonical
+//!   [`Flow::fingerprint`](crate::Flow::fingerprint) — with optional
+//!   TTL expiry and byte-budget accounting. Repeated requests return
+//!   byte-identical cached responses without touching the mapper or
+//!   contending on a global mutex.
+//! - **Admission control.** Each heavy endpoint has a bounded queue;
+//!   when it is full the reactor answers `429 Too Many Requests` with
+//!   a `Retry-After` header instead of queueing without bound, so an
+//!   overloaded server degrades predictably. Graceful drain is
+//!   preserved: shutdown stops reads, finishes in-flight requests and
+//!   flushes every buffered response.
 //!
 //! # Endpoints
 //!
@@ -20,10 +34,11 @@
 //! | `POST /map` | `{"program", "policy"?, "router"?, "m"?, "jobs"?, "trace"?, "fabric"?}` | the [`FlowSummary`](crate::FlowSummary) JSON of `qspr map --format json` |
 //! | `POST /compare` | `{"program", "name"?, "router"?, "m"?, "jobs"?, "fabric"?}` | the [`ComparisonRow`](crate::ComparisonRow) JSON of `qspr compare --format json` |
 //! | `POST /sta` | `{"program", "policy"?, "router"?, "m"?, "jobs"?, "feedback"?, "fabric"?}` | the [`qspr_sta::TimingReport`] JSON of `qspr sta --format json` |
+//! | `POST /batch` | `{"programs":[...], "names"?, "router"?, "m"?, "jobs"?, "fabric"?}` | a JSON **array** of [`ComparisonRow`](crate::ComparisonRow)s, in input order |
 //! | `GET /healthz` | — | `{"status":"ok","version":...}` (the crate version the CLI reports) |
-//! | `GET /stats` | — | [`StatsSnapshot`] JSON: requests, cache hits/misses, worker busy time, uptime, bound address |
-//! | `GET /metrics` | — | Prometheus text exposition: request counts by endpoint/status, cache hits/misses, queue-wait and handler-latency histograms, per-phase span timings |
-//! | `POST /shutdown` | — | `{"status":"shutting-down"}`, then a graceful stop |
+//! | `GET /stats` | — | [`StatsSnapshot`] JSON: requests, cache hits/misses (total and per shard), rejections, worker busy time, uptime, bound address |
+//! | `GET /metrics` | — | Prometheus text exposition: request counts by endpoint/status, cache hits/misses (total and per shard), queue depth and wait, rejections, handler latency, per-phase span timings |
+//! | `POST /shutdown` | — | `{"status":"shutting-down"}`, then a graceful drain |
 //!
 //! Defaults mirror the CLI: `policy` `"qspr"`, `router` `"greedy"`,
 //! `m` 25, `jobs` 1, `trace` false. The `"jobs"` field grants the
@@ -31,19 +46,23 @@
 //! flag of `qspr map`); it never changes response bytes, and the
 //! service clamps it to [`MapService::jobs_budget`] so concurrent
 //! request workers times intra-map threads cannot oversubscribe the
-//! host. The optional `"fabric"` field carries a
+//! host. `POST /batch` runs its programs through
+//! [`crate::BatchMapper`] under the same clamp, consults
+//! the cache per circuit (its items share cache entries with
+//! `/compare`), and replies with one input-ordered array however the
+//! pool scheduled the work. The optional `"fabric"` field carries a
 //! fabric description *document* (a JSON [`qspr_fabric::FabricSpec`]
 //! embedded as a string, or ASCII art) and maps that request onto the
 //! described fabric instead of the server's resident one; a malformed
 //! document is `422`. Unknown body fields are rejected (`400`), an
 //! unmappable program is `422`, and every response is
 //! `application/json` (except `GET /metrics`, which is Prometheus
-//! plain text) with `Connection: close` (one request per connection
-//! keeps the fixed pool starvation-free). Untrusted input
-//! is bounded on every axis: request line/header/body size limits in
-//! [`http`], JSON nesting depth in the parser, and `m` (the one field
-//! that scales *work*, not input size) capped at 10 000 seeds per
-//! request.
+//! plain text). Untrusted input is bounded on every axis: request
+//! line/header/body size limits in [`http`], JSON nesting depth in the
+//! parser, `m` (the one field that scales *work*, not input size)
+//! capped at 10 000 seeds per request, `/batch` capped at 256 programs,
+//! pipelining capped per connection, and the admission queues bounded
+//! by `--max-queue`.
 //!
 //! # Determinism and the cache
 //!
@@ -52,9 +71,10 @@
 //! object of `/map` (placement/run wall-clock, reported exactly like
 //! the CLI does — see [`normalize_timing`]). The cache stores the cold
 //! response verbatim, so repeated requests are byte-identical;
-//! `/compare` responses carry no clock at all and are byte-identical
-//! to the CLI's for the same inputs. The `loadgen` binary in
-//! `qspr-bench` asserts both properties under concurrent load.
+//! `/compare` and `/batch` responses carry no clock at all and are
+//! byte-identical to the CLI's for the same inputs. The `loadgen`
+//! binary in `qspr-bench` asserts both properties under concurrent
+//! keep-alive load.
 //!
 //! # Examples
 //!
@@ -68,16 +88,19 @@
 //! let config = ServeConfig {
 //!     addr: "127.0.0.1:0".into(), // ephemeral port
 //!     threads: 2,
-//!     log: false,
+//!     ..ServeConfig::default()
 //! };
 //! let handle = Server::bind(Arc::clone(&service), &config)?.spawn();
 //!
-//! let health = http::call(handle.addr(), "GET", "/healthz", "")?;
+//! // One persistent connection, several requests.
+//! let mut client = http::Client::connect(handle.addr())?;
+//! let health = client.send("GET", "/healthz", "")?;
 //! assert_eq!(health.status, 200);
 //! assert!(health.body.starts_with(r#"{"status":"ok","version":"#));
 //!
-//! let metrics = http::call(handle.addr(), "GET", "/metrics", "")?;
+//! let metrics = client.send("GET", "/metrics", "")?;
 //! assert!(metrics.body.contains("# TYPE qspr_http_requests_total counter"));
+//! assert!(!client.is_closed()); // still keep-alive
 //!
 //! handle.shutdown()?;
 //! # Ok(())
@@ -87,8 +110,10 @@
 pub mod http;
 
 mod cache;
+mod poll;
+mod reactor;
 
-pub use cache::LruCache;
+pub use cache::{CacheConfig, LruCache, ShardStats, ShardedCache};
 pub use http::{Request, Response};
 
 use std::collections::HashMap;
@@ -96,22 +121,24 @@ use std::fmt;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use qspr_fabric::Fabric;
-use qspr_obs::Registry;
+use qspr_obs::{Counter, Registry};
 use qspr_qasm::Program;
 use qspr_route::RouterKind;
 
+use crate::batch::{BatchJob, BatchMapper};
 use crate::error::QsprError;
 use crate::flow::{Flow, FlowPolicy};
-use crate::json::{JsonObject, JsonValue, ToJson};
+use crate::json::{JsonArray, JsonObject, JsonValue, ToJson};
 
-/// How a [`Server`] binds and sizes its worker pool. (The result-cache
-/// capacity belongs to [`MapService::new`] — the service, not the
-/// transport, owns the cache.)
+/// How a [`Server`] binds, sizes its worker pool, and paces its
+/// connections. (The result-cache geometry belongs to
+/// [`MapService::new`] / [`MapService::with_cache`] — the service, not
+/// the transport, owns the cache.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Bind address (`host:port`; port 0 picks an ephemeral port).
@@ -121,15 +148,27 @@ pub struct ServeConfig {
     /// Emit one structured access-log line per request to stderr
     /// (`--log` on the CLI).
     pub log: bool,
+    /// Idle seconds before a keep-alive connection is closed. `0`
+    /// disables persistence entirely: every response carries
+    /// `Connection: close` (the pre-reactor behavior, `--keep-alive 0`
+    /// on the CLI).
+    pub keep_alive_secs: u64,
+    /// Bound on each heavy endpoint's admission queue; a request
+    /// arriving past it is answered `429` + `Retry-After` instead of
+    /// queued (`--max-queue` on the CLI).
+    pub max_queue: usize,
 }
 
 impl Default for ServeConfig {
-    /// `127.0.0.1:7878`, one worker per CPU, no access log.
+    /// `127.0.0.1:7878`, one worker per CPU, no access log, 30-second
+    /// keep-alive, 256-deep admission queues.
     fn default() -> ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:7878".into(),
             threads: thread::available_parallelism().map_or(1, |n| n.get()),
             log: false,
+            keep_alive_secs: 30,
+            max_queue: 256,
         }
     }
 }
@@ -145,6 +184,11 @@ const DEFAULT_SEEDS: usize = 25;
 /// `--m` legitimately may. 10k is ~100x the paper's largest setting.
 const MAX_SEEDS: usize = 10_000;
 
+/// Most programs accepted in one `POST /batch` body. Each program is a
+/// full comparison flow (three mapped runs), so the cap bounds the
+/// work one request can pin a worker with, exactly like [`MAX_SEEDS`].
+const MAX_BATCH_PROGRAMS: usize = 256;
+
 /// Monotonic service counters (updated with relaxed atomics; the
 /// counters are statistics, not synchronization).
 #[derive(Debug, Default)]
@@ -153,8 +197,11 @@ struct Counters {
     map_requests: AtomicU64,
     compare_requests: AtomicU64,
     sta_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    batch_programs: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    rejected: AtomicU64,
     errors: AtomicU64,
     busy_us: AtomicU64,
 }
@@ -163,7 +210,8 @@ struct Counters {
 /// `GET /stats`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Total requests handled (every endpoint, every status).
+    /// Total requests handled (every endpoint, every status, including
+    /// rejected and protocol-error requests).
     pub requests: u64,
     /// `POST /map` requests.
     pub map_requests: u64,
@@ -171,14 +219,26 @@ pub struct StatsSnapshot {
     pub compare_requests: u64,
     /// `POST /sta` requests.
     pub sta_requests: u64,
-    /// Mapping-cache hits.
+    /// `POST /batch` requests.
+    pub batch_requests: u64,
+    /// Programs carried by `/batch` requests that reached the cache
+    /// (each one is a hit or a miss, like a `/compare` request).
+    pub batch_programs: u64,
+    /// Mapping-cache hits, summed over shards.
     pub cache_hits: u64,
-    /// Mapping-cache misses (cold mappings executed).
+    /// Mapping-cache misses (cold mappings executed), summed over
+    /// shards.
     pub cache_misses: u64,
     /// Entries currently cached.
     pub cache_entries: u64,
-    /// Configured cache capacity.
+    /// Configured total cache capacity (entries).
     pub cache_capacity: u64,
+    /// Bytes currently cached (keys + values).
+    pub cache_bytes: u64,
+    /// Per-shard occupancy and counters, in shard order.
+    pub cache_shards: Vec<ShardStats>,
+    /// Requests answered `429` by admission control.
+    pub rejected: u64,
     /// Responses with a 4xx/5xx status.
     pub errors: u64,
     /// Cumulative wall-clock time workers spent handling requests, µs.
@@ -196,18 +256,37 @@ pub struct StatsSnapshot {
 impl ToJson for StatsSnapshot {
     /// Stable JSON schema, pinned by a golden test:
     /// `{"requests","map_requests","compare_requests","sta_requests",
-    /// "cache_hits","cache_misses","cache_entries","cache_capacity",
-    /// "errors","busy_us","uptime_ms","uptime_s","addr"}`.
+    /// "batch_requests","batch_programs","cache_hits","cache_misses",
+    /// "cache_entries","cache_capacity","cache_bytes",
+    /// "cache_shards":[{"entries","bytes","hits","misses","evictions"}],
+    /// "rejected","errors","busy_us","uptime_ms","uptime_s","addr"}`.
     fn to_json(&self) -> String {
+        let mut shards = JsonArray::new();
+        for shard in &self.cache_shards {
+            shards.push_raw(
+                &JsonObject::new()
+                    .number("entries", shard.entries)
+                    .number("bytes", shard.bytes)
+                    .number("hits", shard.hits)
+                    .number("misses", shard.misses)
+                    .number("evictions", shard.evictions)
+                    .build(),
+            );
+        }
         JsonObject::new()
             .number("requests", self.requests)
             .number("map_requests", self.map_requests)
             .number("compare_requests", self.compare_requests)
             .number("sta_requests", self.sta_requests)
+            .number("batch_requests", self.batch_requests)
+            .number("batch_programs", self.batch_programs)
             .number("cache_hits", self.cache_hits)
             .number("cache_misses", self.cache_misses)
             .number("cache_entries", self.cache_entries)
             .number("cache_capacity", self.cache_capacity)
+            .number("cache_bytes", self.cache_bytes)
+            .raw("cache_shards", &shards.build())
+            .number("rejected", self.rejected)
             .number("errors", self.errors)
             .number("busy_us", self.busy_us)
             .number("uptime_ms", self.uptime_ms)
@@ -218,11 +297,12 @@ impl ToJson for StatsSnapshot {
 }
 
 /// The resident mapping service: one shared fabric, one [`Flow`] per
-/// requested configuration, one LRU cache of response bodies.
+/// requested configuration, one sharded LRU cache of response bodies.
 ///
 /// `MapService` is transport-free — [`MapService::handle`] maps a
 /// parsed [`Request`] to a [`Response`] and is what the golden tests
-/// exercise; [`Server`] adds the TCP listener and worker pool on top.
+/// exercise; [`Server`] adds the reactor, TCP listener and worker pool
+/// on top.
 pub struct MapService {
     fabric: Arc<Fabric>,
     /// Upper bound on a request's `"jobs"` value (see
@@ -231,7 +311,11 @@ pub struct MapService {
     /// One configured `Flow` per `(policy, router, m, trace, jobs)`,
     /// all sharing `fabric` behind the same `Arc`.
     flows: Mutex<HashMap<String, Flow>>,
-    cache: Mutex<LruCache<String>>,
+    cache: ShardedCache,
+    /// Pre-created per-shard hit/miss counters (`shard="<i>"` labels),
+    /// so the hot path never formats a label.
+    shard_hits: Vec<Arc<Counter>>,
+    shard_misses: Vec<Arc<Counter>>,
     counters: Counters,
     /// The Prometheus-rendered metrics behind `GET /metrics`.
     metrics: Arc<Registry>,
@@ -285,26 +369,67 @@ struct MapRequest {
     fabric: Option<String>,
 }
 
+/// A parsed, validated `/batch` request body.
+#[derive(Debug)]
+struct BatchRequest {
+    /// `(name, program text, parsed program)` per circuit, in input
+    /// order.
+    circuits: Vec<(String, String, Program)>,
+    router: RouterKind,
+    seeds: usize,
+    jobs: usize,
+    fabric: Option<String>,
+}
+
 impl MapService {
     /// Creates a service mapping onto `fabric` with a
-    /// `cache_capacity`-entry result cache.
+    /// `cache_capacity`-entry result cache (default shard geometry:
+    /// [`CacheConfig::default`]'s 8 shards, no TTL, no byte cap —
+    /// reshape with [`MapService::with_cache`]).
     pub fn new(fabric: impl Into<Arc<Fabric>>, cache_capacity: usize) -> MapService {
+        let config = CacheConfig {
+            entries: cache_capacity,
+            ..CacheConfig::default()
+        };
+        let fabric = fabric.into();
+        let cache = ShardedCache::new(config);
+        let metrics = Arc::new(Registry::new());
+        let (shard_hits, shard_misses) = shard_counters(&metrics, cache.shard_count());
         MapService {
-            fabric: fabric.into(),
+            fabric,
             jobs_budget: thread::available_parallelism().map_or(1, |n| n.get()),
             flows: Mutex::new(HashMap::new()),
-            cache: Mutex::new(LruCache::new(cache_capacity)),
+            cache,
+            shard_hits,
+            shard_misses,
             counters: Counters::default(),
-            metrics: Arc::new(Registry::new()),
+            metrics,
             bound_addr: Mutex::new(None),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
         }
     }
 
+    /// Replaces the result cache with one built from `config` (shard
+    /// count, TTL, byte budget). Existing entries are discarded; use at
+    /// construction time.
+    #[must_use]
+    pub fn with_cache(mut self, config: CacheConfig) -> MapService {
+        self.cache = ShardedCache::new(config);
+        let (hits, misses) = shard_counters(&self.metrics, self.cache.shard_count());
+        self.shard_hits = hits;
+        self.shard_misses = misses;
+        self
+    }
+
     /// The fabric every request maps onto.
     pub fn fabric(&self) -> &Arc<Fabric> {
         &self.fabric
+    }
+
+    /// The result cache (exposed for tests and stats).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
     }
 
     /// Sets the server-wide cap on per-request `"jobs"` values
@@ -356,20 +481,22 @@ impl MapService {
     /// A copy of the current counters.
     pub fn stats(&self) -> StatsSnapshot {
         let c = &self.counters;
-        let (cache_entries, cache_capacity) = {
-            let cache = self.cache.lock().expect("cache lock");
-            (cache.len() as u64, cache.capacity() as u64)
-        };
+        let cache_shards = self.cache.shard_stats();
         let uptime = self.started.elapsed();
         StatsSnapshot {
             requests: c.requests.load(Ordering::Relaxed),
             map_requests: c.map_requests.load(Ordering::Relaxed),
             compare_requests: c.compare_requests.load(Ordering::Relaxed),
             sta_requests: c.sta_requests.load(Ordering::Relaxed),
+            batch_requests: c.batch_requests.load(Ordering::Relaxed),
+            batch_programs: c.batch_programs.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
-            cache_entries,
-            cache_capacity,
+            cache_entries: self.cache.len() as u64,
+            cache_capacity: self.cache.capacity() as u64,
+            cache_bytes: cache_shards.iter().map(|s| s.bytes).sum(),
+            cache_shards,
+            rejected: c.rejected.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
             busy_us: c.busy_us.load(Ordering::Relaxed),
             uptime_ms: uptime.as_millis() as u64,
@@ -389,15 +516,6 @@ impl MapService {
     pub fn handle(&self, request: &Request) -> Response {
         let t0 = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        const KNOWN: &[&str] = &[
-            "/healthz",
-            "/stats",
-            "/metrics",
-            "/shutdown",
-            "/map",
-            "/compare",
-            "/sta",
-        ];
         let response = match (request.method.as_str(), request.path.as_str()) {
             // The version is the one `qspr --version` prints; both read
             // the same Cargo manifest field at compile time.
@@ -418,7 +536,8 @@ impl MapService {
             ("POST", "/map") => self.mapping(Endpoint::Map, &request.body),
             ("POST", "/compare") => self.mapping(Endpoint::Compare, &request.body),
             ("POST", "/sta") => self.mapping(Endpoint::Sta, &request.body),
-            (_, path) if KNOWN.contains(&path) => {
+            ("POST", "/batch") => self.batch(&request.body),
+            (_, path) if KNOWN_PATHS.contains(&path) => {
                 error_response(405, &format!("method {} not allowed here", request.method))
             }
             (_, path) => error_response(404, &format!("no endpoint {path}")),
@@ -430,14 +549,7 @@ impl MapService {
         self.counters
             .busy_us
             .fetch_add(elapsed_us, Ordering::Relaxed);
-        // Per-endpoint request count (by status) and handler latency.
-        // Unknown paths share one "other" label so an untrusted peer
-        // cannot grow the registry without bound.
-        let endpoint = if KNOWN.contains(&request.path.as_str()) {
-            request.path.as_str()
-        } else {
-            "other"
-        };
+        let endpoint = endpoint_label(&request.path);
         let status = response.status.to_string();
         self.metrics
             .counter(
@@ -454,6 +566,57 @@ impl MapService {
             )
             .record(elapsed_us);
         response
+    }
+
+    /// The `429 Too Many Requests` answer for a request the reactor
+    /// refused to enqueue: counted as a request and an error, tagged
+    /// with a one-second `Retry-After` (the queue drains at
+    /// mapping-request speed, so "soon" is the honest hint).
+    pub fn reject(&self, endpoint: &'static str) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .counter(
+                "qspr_http_requests_total",
+                "Requests handled, by endpoint and status.",
+                &[("endpoint", endpoint), ("status", "429")],
+            )
+            .inc();
+        self.metrics
+            .counter(
+                "qspr_rejected_total",
+                "Requests rejected by admission control, by endpoint.",
+                &[("endpoint", endpoint)],
+            )
+            .inc();
+        error_response(
+            429,
+            &format!("admission queue for {endpoint} is full; retry shortly"),
+        )
+        .with_retry_after(1)
+    }
+
+    /// The response for a connection-level protocol error (counted as a
+    /// request so `/stats` keeps adding up): `413` for an over-limit
+    /// body, `400` for everything else the parser rejects.
+    pub fn protocol_response(&self, error: &io::Error) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        let status = if error.kind() == io::ErrorKind::InvalidInput {
+            413
+        } else {
+            400
+        };
+        let status_text = status.to_string();
+        self.metrics
+            .counter(
+                "qspr_http_requests_total",
+                "Requests handled, by endpoint and status.",
+                &[("endpoint", "other"), ("status", &status_text)],
+            )
+            .inc();
+        error_response(status, &error.to_string())
     }
 
     /// `POST /map`, `POST /compare` and `POST /sta`: parse, consult
@@ -489,22 +652,16 @@ impl MapService {
         if endpoint == Endpoint::Sta {
             flow = flow.record_trace(true).sta_feedback(request.feedback);
         }
-        // The fingerprint hashes fabric geometry and capacities but not
-        // spec provenance (which shows up in the response's `fabric`
-        // block), so the document itself joins the cache key verbatim.
-        let fabric_key = request.fabric.as_deref().map_or(String::new(), |text| {
-            format!("fabric:{}:{text}|", text.len())
-        });
+        let fabric_key = fabric_cache_key(request.fabric.as_deref());
         let key = match endpoint {
             Endpoint::Map => format!(
                 "map|{fabric_key}{}",
                 flow.fingerprint(&request.program_text)
             ),
-            Endpoint::Compare => format!(
-                "compare|{fabric_key}{}:{}|{}",
-                request.name.len(),
-                request.name,
-                flow.fingerprint(&request.program_text)
+            Endpoint::Compare => compare_cache_key(
+                &fabric_key,
+                &request.name,
+                &flow.fingerprint(&request.program_text),
             ),
             // The fingerprint already carries the trace and feedback
             // axes set above.
@@ -513,16 +670,9 @@ impl MapService {
                 flow.fingerprint(&request.program_text)
             ),
         };
-        if let Some(cached) = self.cache.lock().expect("cache lock").get(&key) {
-            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            self.cache_metric("qspr_cache_hits_total", "Mapping-cache hits.");
-            return Response::new(200, cached.clone());
+        if let Some(cached) = self.cache_lookup(&key) {
+            return Response::new(200, cached);
         }
-        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-        self.cache_metric(
-            "qspr_cache_misses_total",
-            "Mapping-cache misses (cold mappings executed).",
-        );
         let result = match endpoint {
             Endpoint::Map => flow.run(&request.program).map(|r| r.summary().to_json()),
             Endpoint::Compare => flow
@@ -535,10 +685,7 @@ impl MapService {
         };
         match result {
             Ok(json) => {
-                self.cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(key, json.clone());
+                self.cache.insert(key, json.clone());
                 Response::new(200, json)
             }
             // The program parsed but cannot be mapped (stall, placement
@@ -548,40 +695,202 @@ impl MapService {
         }
     }
 
+    /// `POST /batch`: N circuits through [`BatchMapper`] on one
+    /// request, cache-aware per circuit, replied as one input-ordered
+    /// JSON array of comparison rows.
+    ///
+    /// Each circuit's cache key is exactly the `/compare` key for the
+    /// same `(name, program, router, m, fabric)` — the two endpoints
+    /// share entries, and a batch re-run is pure cache hits.
+    fn batch(&self, body: &str) -> Response {
+        self.counters.batch_requests.fetch_add(1, Ordering::Relaxed);
+        let mut request = match parse_batch_request(body) {
+            Ok(request) => request,
+            Err(e) => return error_response(400, &e.to_string()),
+        };
+        request.jobs = request.jobs.min(self.jobs_budget);
+        let fabric = match &request.fabric {
+            None => None,
+            Some(text) => match Fabric::parse(text) {
+                Ok(fabric) => Some(Arc::new(fabric)),
+                Err(e) => return error_response(422, &e.to_string()),
+            },
+        };
+        let flow = self.flow_for_config(
+            FlowPolicy::Qspr,
+            request.router,
+            request.seeds,
+            false,
+            request.jobs,
+            fabric,
+        );
+        let fabric_key = fabric_cache_key(request.fabric.as_deref());
+        // From here on every circuit reaches the cache, so it joins the
+        // hits+misses == mapping-requests accounting.
+        self.counters
+            .batch_programs
+            .fetch_add(request.circuits.len() as u64, Ordering::Relaxed);
+        let keys: Vec<String> = request
+            .circuits
+            .iter()
+            .map(|(name, text, _)| compare_cache_key(&fabric_key, name, &flow.fingerprint(text)))
+            .collect();
+        let mut rows: Vec<Option<String>> = keys.iter().map(|key| self.cache_lookup(key)).collect();
+        let missing: Vec<usize> = (0..rows.len()).filter(|&i| rows[i].is_none()).collect();
+        if !missing.is_empty() {
+            let jobs: Vec<BatchJob> = missing
+                .iter()
+                .map(|&i| {
+                    let (name, _, program) = &request.circuits[i];
+                    BatchJob::new(name.clone(), program.clone())
+                })
+                .collect();
+            let report = match BatchMapper::new(flow).threads(request.jobs).run(&jobs) {
+                Ok(report) => report,
+                Err(e) => return error_response(422, &e.to_string()),
+            };
+            for (&i, item) in missing.iter().zip(report.items.iter()) {
+                let json = item.row.to_json();
+                self.cache.insert(keys[i].clone(), json.clone());
+                rows[i] = Some(json);
+            }
+        }
+        let mut array = JsonArray::new();
+        for row in rows {
+            array.push_raw(&row.expect("every circuit is cached or mapped by now"));
+        }
+        Response::new(200, array.build())
+    }
+
+    /// Looks `key` up in the sharded cache, mirroring the outcome into
+    /// the service counters and the aggregate + per-shard metrics.
+    fn cache_lookup(&self, key: &str) -> Option<String> {
+        let (shard, value) = self.cache.get_indexed(key);
+        if value.is_some() {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache_metric("qspr_cache_hits_total", "Mapping-cache hits.");
+            self.shard_hits[shard].inc();
+        } else {
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.cache_metric(
+                "qspr_cache_misses_total",
+                "Mapping-cache misses (cold mappings executed).",
+            );
+            self.shard_misses[shard].inc();
+        }
+        value
+    }
+
     /// The shared [`Flow`] for a request's configuration, created on
     /// first use; every flow shares the service fabric's `Arc`. A
     /// request-supplied `fabric` gets a one-off flow instead — the
     /// flows map is keyed by configuration only and must stay bound to
     /// the resident fabric.
     fn flow_for(&self, request: &MapRequest, fabric: Option<Arc<Fabric>>) -> Flow {
+        self.flow_for_config(
+            request.policy,
+            request.router,
+            request.seeds,
+            request.trace,
+            request.jobs,
+            fabric,
+        )
+    }
+
+    /// [`MapService::flow_for`] by explicit configuration axes (shared
+    /// with `/batch`, which has no single `MapRequest`).
+    fn flow_for_config(
+        &self,
+        policy: FlowPolicy,
+        router: RouterKind,
+        seeds: usize,
+        trace: bool,
+        jobs: usize,
+        fabric: Option<Arc<Fabric>>,
+    ) -> Flow {
+        let configure = |flow: Flow| {
+            flow.policy(policy)
+                .router(router)
+                .seeds(seeds)
+                .record_trace(trace)
+                .jobs(jobs)
+        };
         if let Some(fabric) = fabric {
-            return Self::configure(Flow::on(fabric), request);
+            return configure(Flow::on(fabric));
         }
-        let key = format!(
-            "{}|{}|{}|{}|{}",
-            request.policy, request.router, request.seeds, request.trace, request.jobs
-        );
+        let key = format!("{policy}|{router}|{seeds}|{trace}|{jobs}");
         let mut flows = self.flows.lock().expect("flows lock");
         flows
             .entry(key)
-            .or_insert_with(|| Self::configure(Flow::on(Arc::clone(&self.fabric)), request))
+            .or_insert_with(|| configure(Flow::on(Arc::clone(&self.fabric))))
             .clone()
     }
 
-    /// Applies a request's configuration fields to `flow`.
-    fn configure(flow: Flow, request: &MapRequest) -> Flow {
-        flow.policy(request.policy)
-            .router(request.router)
-            .seeds(request.seeds)
-            .record_trace(request.trace)
-            .jobs(request.jobs)
-    }
-
-    /// Bumps one of the two cache counters in the metrics registry
-    /// (mirrors the `Counters` atomics into `/metrics`).
+    /// Bumps one of the two aggregate cache counters in the metrics
+    /// registry (mirrors the `Counters` atomics into `/metrics`).
     fn cache_metric(&self, name: &str, help: &str) {
         self.metrics.counter(name, help, &[]).inc();
     }
+}
+
+/// Every routable path (anything else is `404`; a known path with the
+/// wrong method is `405`).
+const KNOWN_PATHS: &[&str] = &[
+    "/healthz",
+    "/stats",
+    "/metrics",
+    "/shutdown",
+    "/map",
+    "/compare",
+    "/sta",
+    "/batch",
+];
+
+/// The metrics label for a request path. Unknown paths share one
+/// `"other"` label so an untrusted peer cannot grow the registry
+/// without bound.
+fn endpoint_label(path: &str) -> &'static str {
+    KNOWN_PATHS
+        .iter()
+        .find(|&&known| known == path)
+        .copied()
+        .unwrap_or("other")
+}
+
+/// Pre-creates the per-shard cache hit/miss counters so lookups index
+/// an array instead of formatting labels.
+fn shard_counters(metrics: &Registry, shards: usize) -> (Vec<Arc<Counter>>, Vec<Arc<Counter>>) {
+    let make = |name: &str, help: &str| {
+        (0..shards)
+            .map(|i| metrics.counter(name, help, &[("shard", &i.to_string())]))
+            .collect()
+    };
+    (
+        make(
+            "qspr_cache_shard_hits_total",
+            "Mapping-cache hits, by shard.",
+        ),
+        make(
+            "qspr_cache_shard_misses_total",
+            "Mapping-cache misses, by shard.",
+        ),
+    )
+}
+
+/// The cache-key fragment for a request-supplied fabric document. The
+/// fingerprint hashes fabric geometry and capacities but not spec
+/// provenance (which shows up in the response's `fabric` block), so
+/// the document itself joins the cache key verbatim.
+fn fabric_cache_key(fabric: Option<&str>) -> String {
+    fabric.map_or(String::new(), |text| {
+        format!("fabric:{}:{text}|", text.len())
+    })
+}
+
+/// The cache key of a comparison result — shared by `/compare` and the
+/// per-circuit lookups of `/batch`.
+fn compare_cache_key(fabric_key: &str, name: &str, fingerprint: &str) -> String {
+    format!("compare|{fabric_key}{}:{name}|{fingerprint}", name.len())
 }
 
 /// Renders an error status with the `{"error":...}` body shape (pinned
@@ -666,38 +975,9 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
             .ok_or_else(|| QsprError::usage("field \"policy\" must be a string"))?
             .parse()?,
     };
-    let router = match value.get("router") {
-        None => RouterKind::Greedy,
-        Some(v) => v
-            .as_str()
-            .ok_or_else(|| QsprError::usage("field \"router\" must be a string"))?
-            .parse()
-            .map_err(|e| QsprError::usage(format!("{e}")))?,
-    };
-    let seeds = match value.get("m") {
-        None => DEFAULT_SEEDS,
-        Some(v) => {
-            let m = v
-                .as_u64()
-                .ok_or_else(|| QsprError::usage("field \"m\" must be a non-negative integer"))?;
-            if m > MAX_SEEDS as u64 {
-                return Err(QsprError::usage(format!(
-                    "field \"m\" exceeds the service limit of {MAX_SEEDS}"
-                )));
-            }
-            m as usize
-        }
-    };
-    let jobs = match value.get("jobs") {
-        None => 1,
-        Some(v) => {
-            let jobs = v
-                .as_u64()
-                .filter(|&jobs| jobs > 0)
-                .ok_or_else(|| QsprError::usage("field \"jobs\" must be a positive integer"))?;
-            jobs as usize
-        }
-    };
+    let router = parse_router_field(&value)?;
+    let seeds = parse_seeds_field(&value)?;
+    let jobs = parse_jobs_field(&value)?;
     let trace = match value.get("trace") {
         None => false,
         Some(v) => v
@@ -724,16 +1004,7 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
             .ok_or_else(|| QsprError::usage("field \"name\" must be a string"))?
             .to_owned(),
     };
-    let fabric = match value.get("fabric") {
-        None => None,
-        Some(v) => Some(
-            v.as_str()
-                .ok_or_else(|| {
-                    QsprError::usage("field \"fabric\" must be a string (spec JSON or ASCII art)")
-                })?
-                .to_owned(),
-        ),
-    };
+    let fabric = parse_fabric_field(&value)?;
     Ok(MapRequest {
         program_text,
         program,
@@ -748,14 +1019,149 @@ fn parse_mapping_request(endpoint: Endpoint, body: &str) -> Result<MapRequest, Q
     })
 }
 
-/// The TCP front end: a listener plus a fixed worker pool, all serving
-/// one shared [`MapService`].
+/// Parses and validates a `/batch` body: a `"programs"` array (each a
+/// QASM string), optional per-circuit `"names"`, and the shared
+/// `router`/`m`/`jobs`/`fabric` axes of `/compare`.
+fn parse_batch_request(body: &str) -> Result<BatchRequest, QsprError> {
+    let value =
+        JsonValue::parse(body).map_err(|e| QsprError::usage(format!("invalid JSON body: {e}")))?;
+    let Some(fields) = value.as_object() else {
+        return Err(QsprError::usage("request body must be a JSON object"));
+    };
+    const ALLOWED: &[&str] = &["programs", "names", "router", "m", "jobs", "fabric"];
+    for (key, _) in fields {
+        if !ALLOWED.contains(&key.as_str()) {
+            return Err(QsprError::usage(format!(
+                "unknown field {key:?} (allowed: {})",
+                ALLOWED.join(", ")
+            )));
+        }
+    }
+    let programs = value
+        .get("programs")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| QsprError::usage("field \"programs\" (array of strings) is required"))?;
+    if programs.is_empty() {
+        return Err(QsprError::usage("field \"programs\" must not be empty"));
+    }
+    if programs.len() > MAX_BATCH_PROGRAMS {
+        return Err(QsprError::usage(format!(
+            "field \"programs\" exceeds the service limit of {MAX_BATCH_PROGRAMS} circuits"
+        )));
+    }
+    let names: Option<Vec<String>> = match value.get("names") {
+        None => None,
+        Some(v) => {
+            let names = v
+                .as_array()
+                .ok_or_else(|| QsprError::usage("field \"names\" must be an array of strings"))?;
+            if names.len() != programs.len() {
+                return Err(QsprError::usage(format!(
+                    "field \"names\" has {} entries for {} programs",
+                    names.len(),
+                    programs.len()
+                )));
+            }
+            Some(
+                names
+                    .iter()
+                    .map(|n| {
+                        n.as_str().map(str::to_owned).ok_or_else(|| {
+                            QsprError::usage("field \"names\" must be an array of strings")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            )
+        }
+    };
+    let mut circuits = Vec::with_capacity(programs.len());
+    for (i, entry) in programs.iter().enumerate() {
+        let text = entry
+            .as_str()
+            .ok_or_else(|| QsprError::usage(format!("programs[{i}] must be a string")))?;
+        let program =
+            Program::parse(text).map_err(|e| QsprError::usage(format!("programs[{i}]: {e}")))?;
+        let name = names
+            .as_ref()
+            .map_or_else(|| format!("program{i}"), |names| names[i].clone());
+        circuits.push((name, text.to_owned(), program));
+    }
+    Ok(BatchRequest {
+        circuits,
+        router: parse_router_field(&value)?,
+        seeds: parse_seeds_field(&value)?,
+        jobs: parse_jobs_field(&value)?,
+        fabric: parse_fabric_field(&value)?,
+    })
+}
+
+/// The shared `"router"` field (defaults to greedy, like `--router`).
+fn parse_router_field(value: &JsonValue) -> Result<RouterKind, QsprError> {
+    match value.get("router") {
+        None => Ok(RouterKind::Greedy),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| QsprError::usage("field \"router\" must be a string"))?
+            .parse()
+            .map_err(|e| QsprError::usage(format!("{e}"))),
+    }
+}
+
+/// The shared `"m"` field (defaults to [`DEFAULT_SEEDS`], capped at
+/// [`MAX_SEEDS`]).
+fn parse_seeds_field(value: &JsonValue) -> Result<usize, QsprError> {
+    match value.get("m") {
+        None => Ok(DEFAULT_SEEDS),
+        Some(v) => {
+            let m = v
+                .as_u64()
+                .ok_or_else(|| QsprError::usage("field \"m\" must be a non-negative integer"))?;
+            if m > MAX_SEEDS as u64 {
+                return Err(QsprError::usage(format!(
+                    "field \"m\" exceeds the service limit of {MAX_SEEDS}"
+                )));
+            }
+            Ok(m as usize)
+        }
+    }
+}
+
+/// The shared `"jobs"` field (defaults to 1; clamped to the budget by
+/// the caller).
+fn parse_jobs_field(value: &JsonValue) -> Result<usize, QsprError> {
+    match value.get("jobs") {
+        None => Ok(1),
+        Some(v) => {
+            let jobs = v
+                .as_u64()
+                .filter(|&jobs| jobs > 0)
+                .ok_or_else(|| QsprError::usage("field \"jobs\" must be a positive integer"))?;
+            Ok(jobs as usize)
+        }
+    }
+}
+
+/// The shared optional `"fabric"` document field.
+fn parse_fabric_field(value: &JsonValue) -> Result<Option<String>, QsprError> {
+    match value.get("fabric") {
+        None => Ok(None),
+        Some(v) => Ok(Some(
+            v.as_str()
+                .ok_or_else(|| {
+                    QsprError::usage("field \"fabric\" must be a string (spec JSON or ASCII art)")
+                })?
+                .to_owned(),
+        )),
+    }
+}
+
+/// The TCP front end: a readiness reactor plus a fixed worker pool,
+/// all serving one shared [`MapService`].
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     service: Arc<MapService>,
-    threads: usize,
-    log: bool,
+    config: reactor::ReactorConfig,
 }
 
 impl Server {
@@ -772,8 +1178,12 @@ impl Server {
         Ok(Server {
             listener,
             service,
-            threads: config.threads.max(1),
-            log: config.log,
+            config: reactor::ReactorConfig {
+                threads: config.threads.max(1),
+                log: config.log,
+                keep_alive_secs: config.keep_alive_secs,
+                max_queue: config.max_queue.max(1),
+            },
         })
     }
 
@@ -786,63 +1196,25 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until shutdown is requested, then drains gracefully:
-    /// the accept loop stops, already-queued connections are still
-    /// served, in-flight requests finish, workers join.
+    /// Serves until shutdown is requested, then drains gracefully: the
+    /// listener closes, reads stop, in-flight requests finish, every
+    /// buffered response flushes, workers join.
     ///
-    /// Connections are handed to a fixed pool of `threads` workers over
-    /// a channel; each connection carries **one** request (responses
-    /// are `Connection: close`), so a slow client can never pin a
-    /// worker between requests.
+    /// One reactor thread (this one) owns every socket: it accepts,
+    /// reads, parses, enforces admission control and writes, while the
+    /// fixed pool of `threads` workers runs
+    /// [`MapService::handle`] on dispatched requests. Responses go out
+    /// strictly in per-connection request order — pipelined requests
+    /// may *complete* out of order across the pool, but never reorder
+    /// on the wire.
     ///
     /// # Errors
     ///
-    /// Returns the first fatal `accept` error. Per-connection I/O
-    /// failures are answered with `400`/`413` where possible and never
-    /// stop the server.
+    /// Returns the first fatal `accept`/`poll` error. Per-connection
+    /// I/O failures are answered with `400`/`413` where possible and
+    /// never stop the server.
     pub fn run(self) -> io::Result<()> {
-        let addr = self.local_addr()?;
-        let service = &self.service;
-        let log = self.log;
-        // Each queued connection carries its enqueue time so workers
-        // can report queue wait (time spent between accept and pickup).
-        let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
-        let rx = Arc::new(Mutex::new(rx));
-        thread::scope(|scope| {
-            for _ in 0..self.threads {
-                let rx = Arc::clone(&rx);
-                scope.spawn(move || loop {
-                    // Hold the receiver lock only to pull the next
-                    // connection, never while serving it.
-                    let next = rx.lock().expect("receiver lock").recv();
-                    match next {
-                        Ok((stream, queued)) => {
-                            serve_connection(service, addr, stream, queued, log)
-                        }
-                        Err(_) => break, // sender dropped: drain done
-                    }
-                });
-            }
-            let result = loop {
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        // A worker wakes this loop (by connecting) after
-                        // flipping the flag; connections racing the
-                        // shutdown are dropped unserved.
-                        if service.shutdown_requested() {
-                            break Ok(());
-                        }
-                        if tx.send((stream, Instant::now())).is_err() {
-                            break Ok(());
-                        }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
-                    Err(e) => break Err(e),
-                }
-            };
-            drop(tx);
-            result
-        })
+        reactor::run(self.listener, &self.service, &self.config)
     }
 
     /// Runs the server on a background thread, returning a
@@ -881,7 +1253,7 @@ impl ServerHandle {
         &self.service
     }
 
-    /// Requests shutdown, wakes the accept loop and joins the server
+    /// Requests shutdown, wakes the reactor and joins the server
     /// thread (in-flight requests finish first).
     ///
     /// # Errors
@@ -893,8 +1265,9 @@ impl ServerHandle {
     /// Panics if the server thread itself panicked.
     pub fn shutdown(self) -> io::Result<()> {
         self.service.request_shutdown();
-        // Wake the blocking accept; if the server already exited the
-        // connect simply fails, which is fine.
+        // Wake the reactor's poll by knocking on the listener; if the
+        // server already exited the connect simply fails, which is
+        // fine (the reactor also ticks on its own).
         let _ = TcpStream::connect(wake_addr(self.addr));
         self.thread.join().expect("server thread panicked")
     }
@@ -915,64 +1288,16 @@ fn wake_addr(addr: SocketAddr) -> SocketAddr {
     addr
 }
 
-/// Serves one connection: one request, one response, close. `queued`
-/// is when the accept loop enqueued the connection; the gap until now
-/// is the queue wait, recorded per connection.
-fn serve_connection(
-    service: &MapService,
-    addr: SocketAddr,
-    stream: TcpStream,
-    queued: Instant,
-    log: bool,
-) {
-    let wait_us = queued.elapsed().as_micros() as u64;
-    service
-        .metrics
-        .histogram(
-            "qspr_queue_wait_us",
-            "Time connections spent queued for a worker, microseconds.",
-            &[],
-        )
-        .record(wait_us);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut write_half = write_half;
-    let mut reader = std::io::BufReader::new(stream);
-    let t0 = Instant::now();
-    let response = match http::read_request(&mut reader) {
-        Ok(Some(request)) => {
-            let response = service.handle(&request);
-            let shutting_down = request.method == "POST" && request.path == "/shutdown";
-            let _ = http::write_response(&mut write_half, &response);
-            if log {
-                access_log(&request.method, &request.path, &response, wait_us, t0);
-            }
-            if shutting_down {
-                // Wake the accept loop so it observes the flag.
-                let _ = TcpStream::connect(wake_addr(addr));
-            }
-            return;
-        }
-        Ok(None) => return, // connected and left; nothing to answer
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => error_response(400, &e.to_string()),
-        Err(e) if e.kind() == io::ErrorKind::InvalidInput => error_response(413, &e.to_string()),
-        Err(_) => return, // socket-level failure; nothing we can send
-    };
-    service.counters.requests.fetch_add(1, Ordering::Relaxed);
-    service.counters.errors.fetch_add(1, Ordering::Relaxed);
-    let _ = http::write_response(&mut write_half, &response);
-    if log {
-        access_log("-", "-", &response, wait_us, t0);
-    }
-}
-
 /// Writes one structured (logfmt) access-log line to stderr. Stderr,
 /// not stdout: stdout carries exactly the startup banner the CI smoke
 /// greps for, and stays machine-parseable.
-fn access_log(method: &str, path: &str, response: &Response, wait_us: u64, started: Instant) {
+pub(crate) fn access_log(
+    method: &str,
+    path: &str,
+    response: &Response,
+    wait_us: u64,
+    started: Instant,
+) {
     let time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());

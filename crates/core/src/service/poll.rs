@@ -1,0 +1,184 @@
+//! A minimal `poll(2)` shim, declared directly against the platform C
+//! library so the reactor needs no external crate. Only what the
+//! readiness loop uses is exposed: readable/writable interest, the
+//! error/hang-up result bits, and a self-wake pipe built from a
+//! non-blocking [`UnixStream`] pair.
+//!
+//! The declaration matches the Linux ABI (`struct pollfd` is three
+//! integers; `nfds_t` is an unsigned long) and the file-descriptor
+//! counts involved are tiny, so the call is portable across the Unix
+//! targets CI builds on.
+
+use std::io::{self, Read, Write};
+use std::os::fd::RawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+/// Readable interest / result bit (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writable interest / result bit (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition result bit (`POLLERR`, result only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hang-up result bit (`POLLHUP`, result only).
+pub const POLLHUP: i16 = 0x010;
+
+/// `struct pollfd`, laid out exactly as `poll(2)` expects.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events (filled by the kernel).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Interest in `events` on `fd`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// `true` when any of `bits` came back in `revents`.
+    pub fn has(&self, bits: i16) -> bool {
+        self.revents & bits != 0
+    }
+
+    /// `true` on error or hang-up (the connection should be torn
+    /// down once buffered work is accounted for).
+    pub fn failed(&self) -> bool {
+        self.has(POLLERR | POLLHUP)
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Blocks until a watched descriptor is ready or `timeout_ms` elapses
+/// (`-1` blocks indefinitely). Returns the number of ready
+/// descriptors; `0` on timeout. `EINTR` is retried internally.
+///
+/// # Errors
+///
+/// The underlying `poll(2)` failure, `EINTR` excepted.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd records, and `len()` is its true length.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// A self-wake channel for the reactor: workers [`notify`](Waker::notify)
+/// when a result is ready, and the poll loop watches the read half.
+/// Built from a non-blocking [`UnixStream`] pair — a saturated pipe
+/// simply means a wake is already pending, so `WouldBlock` on notify
+/// is success.
+#[derive(Debug)]
+pub struct Waker {
+    read: UnixStream,
+    write: UnixStream,
+}
+
+impl Waker {
+    /// A fresh wake pipe, both ends non-blocking.
+    ///
+    /// # Errors
+    ///
+    /// Socket-pair creation or fcntl failure.
+    pub fn new() -> io::Result<Waker> {
+        let (read, write) = UnixStream::pair()?;
+        read.set_nonblocking(true)?;
+        write.set_nonblocking(true)?;
+        Ok(Waker { read, write })
+    }
+
+    /// The descriptor the poll loop should watch with [`POLLIN`].
+    pub fn fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        self.read.as_raw_fd()
+    }
+
+    /// Drains all pending wake bytes (call once per poll iteration).
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.read).read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// A cloneable handle that can wake the reactor from worker threads.
+/// Writes on a shared `&UnixStream` are atomic single-byte sends, so
+/// one duplicated descriptor serves every worker.
+#[derive(Debug, Clone)]
+pub struct WakeHandle {
+    write: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// A handle workers can clone and keep.
+    ///
+    /// # Errors
+    ///
+    /// Descriptor duplication failure.
+    pub fn handle(&self) -> io::Result<WakeHandle> {
+        Ok(WakeHandle {
+            write: Arc::new(self.write.try_clone()?),
+        })
+    }
+}
+
+impl WakeHandle {
+    /// Wakes the poll loop. Cheap, non-blocking, and safe to call from
+    /// any thread; `WouldBlock` (a wake already pending) and teardown
+    /// races are deliberately ignored — a failed wake at shutdown is
+    /// harmless.
+    pub fn notify(&self) {
+        let _ = (&*self.write).write(&[1u8]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_wakes_poll_and_drains() {
+        let waker = Waker::new().unwrap();
+        let handle = waker.handle().unwrap();
+        let mut fds = [PollFd::new(waker.fd(), POLLIN)];
+        // Nothing pending: times out.
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        handle.notify();
+        handle.notify(); // coalesces
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].has(POLLIN));
+        waker.drain();
+        fds[0].revents = 0;
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn handle_wakes_from_another_thread() {
+        let waker = Waker::new().unwrap();
+        let handle = waker.handle().unwrap();
+        let t = std::thread::spawn(move || handle.notify());
+        let mut fds = [PollFd::new(waker.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 5000).unwrap(), 1);
+        t.join().unwrap();
+        waker.drain();
+    }
+}

@@ -1,31 +1,31 @@
-//! Service tests: wire-schema goldens (the `/map`, `/stats` and error
-//! body contracts, alongside the JSON goldens in `crate::json`), cache
-//! semantics, and a real-TCP spawn/shutdown round trip.
+//! Service tests: wire-schema goldens (the `/map`, `/batch`, `/stats`
+//! and error body contracts, alongside the JSON goldens in
+//! `crate::json`), cache semantics (including sharded-vs-single-lock
+//! equivalence), HTTP parser property tests, and real-TCP keep-alive
+//! round trips.
 
+use super::http::{encode_response, Parser};
 use super::*;
+use proptest::prelude::*;
 use qspr_fabric::Fabric;
+use std::time::Duration;
 
 /// A two-qubit program that maps in well under a millisecond.
 const BELL: &str = "QUBIT a\nQUBIT b\nH a\nC-X a,b\n";
 
+/// A three-qubit companion for batch tests.
+const GHZ3: &str = "QUBIT a\nQUBIT b\nQUBIT c\nH a\nC-X a,b\nC-X b,c\n";
+
 fn service() -> MapService {
-    MapService::new(Fabric::quale_45x85(), 8)
+    MapService::new(Fabric::quale_45x85(), 64)
 }
 
 fn post(service: &MapService, path: &str, body: &str) -> Response {
-    service.handle(&Request {
-        method: "POST".into(),
-        path: path.into(),
-        body: body.into(),
-    })
+    service.handle(&Request::new("POST", path, body))
 }
 
 fn get(service: &MapService, path: &str) -> Response {
-    service.handle(&Request {
-        method: "GET".into(),
-        path: path.into(),
-        body: String::new(),
-    })
+    service.handle(&Request::new("GET", path, ""))
 }
 
 #[test]
@@ -86,10 +86,30 @@ fn stats_wire_schema_golden() {
         map_requests: 5,
         compare_requests: 2,
         sta_requests: 1,
+        batch_requests: 1,
+        batch_programs: 3,
         cache_hits: 3,
         cache_misses: 4,
         cache_entries: 4,
         cache_capacity: 128,
+        cache_bytes: 2048,
+        cache_shards: vec![
+            ShardStats {
+                entries: 3,
+                bytes: 1536,
+                hits: 2,
+                misses: 3,
+                evictions: 0,
+            },
+            ShardStats {
+                entries: 1,
+                bytes: 512,
+                hits: 1,
+                misses: 1,
+                evictions: 1,
+            },
+        ],
+        rejected: 2,
         errors: 1,
         busy_us: 123456,
         uptime_ms: 60000,
@@ -98,7 +118,15 @@ fn stats_wire_schema_golden() {
     };
     assert_eq!(
         snapshot.to_json(),
-        r#"{"requests":9,"map_requests":5,"compare_requests":2,"sta_requests":1,"cache_hits":3,"cache_misses":4,"cache_entries":4,"cache_capacity":128,"errors":1,"busy_us":123456,"uptime_ms":60000,"uptime_s":60,"addr":"127.0.0.1:7878"}"#
+        concat!(
+            r#"{"requests":9,"map_requests":5,"compare_requests":2,"sta_requests":1,"#,
+            r#""batch_requests":1,"batch_programs":3,"cache_hits":3,"cache_misses":4,"#,
+            r#""cache_entries":4,"cache_capacity":128,"cache_bytes":2048,"#,
+            r#""cache_shards":[{"entries":3,"bytes":1536,"hits":2,"misses":3,"evictions":0},"#,
+            r#"{"entries":1,"bytes":512,"hits":1,"misses":1,"evictions":1}],"#,
+            r#""rejected":2,"errors":1,"busy_us":123456,"uptime_ms":60000,"uptime_s":60,"#,
+            r#""addr":"127.0.0.1:7878"}"#,
+        )
     );
 }
 
@@ -132,6 +160,11 @@ fn healthz_and_error_bodies_are_pinned() {
         get(&service, "/map").status,
         405,
         "GET on a POST endpoint is rejected"
+    );
+    assert_eq!(
+        get(&service, "/batch").status,
+        405,
+        "GET on /batch is rejected"
     );
     assert_eq!(
         post(&service, "/healthz", "").status,
@@ -207,6 +240,21 @@ fn cache_hits_are_byte_identical_and_counted() {
     let stats = service.stats();
     assert_eq!((stats.cache_hits, stats.cache_misses), (3, 2));
     assert_eq!(stats.cache_entries, 2);
+    // Per-shard counters and byte accounting stay consistent with the
+    // aggregates.
+    assert_eq!(
+        stats.cache_shards.iter().map(|s| s.hits).sum::<u64>(),
+        stats.cache_hits
+    );
+    assert_eq!(
+        stats.cache_shards.iter().map(|s| s.misses).sum::<u64>(),
+        stats.cache_misses
+    );
+    assert_eq!(
+        stats.cache_shards.iter().map(|s| s.bytes).sum::<u64>(),
+        stats.cache_bytes
+    );
+    assert!(stats.cache_bytes > 0);
 }
 
 #[test]
@@ -243,9 +291,14 @@ fn compare_rejects_map_only_fields() {
 
 #[test]
 fn eviction_causes_a_rerun_not_a_wrong_answer() {
-    // Capacity 1: the second distinct request evicts the first; asking
-    // for the first again re-maps (miss) and yields the same latency.
-    let service = MapService::new(Fabric::quale_45x85(), 1);
+    // A single one-entry shard: the second distinct request evicts the
+    // first; asking for the first again re-maps (miss) and yields the
+    // same latency.
+    let service = MapService::new(Fabric::quale_45x85(), 1).with_cache(CacheConfig {
+        entries: 1,
+        shards: 1,
+        ..CacheConfig::default()
+    });
     let a = format!("{{\"program\":{BELL:?},\"m\":2}}");
     let b = format!("{{\"program\":{BELL:?},\"m\":3}}");
     let first = post(&service, "/map", &a);
@@ -255,6 +308,10 @@ fn eviction_causes_a_rerun_not_a_wrong_answer() {
     assert_eq!(stats.cache_hits, 0);
     assert_eq!(stats.cache_misses, 3);
     assert_eq!(stats.cache_entries, 1);
+    assert_eq!(
+        stats.cache_shards.iter().map(|s| s.evictions).sum::<u64>(),
+        2
+    );
     assert_eq!(
         normalize_timing(&first.body),
         normalize_timing(&again.body),
@@ -471,6 +528,551 @@ fn malformed_fabric_documents_are_422_goldens() {
     assert!(response.body.contains("must be a string"));
 }
 
+// ---------------------------------------------------------------------------
+// /batch
+// ---------------------------------------------------------------------------
+
+#[test]
+fn batch_returns_input_ordered_rows_matching_the_library() {
+    let service = service();
+    let body =
+        format!("{{\"programs\":[{BELL:?},{GHZ3:?}],\"names\":[\"bell\",\"ghz3\"],\"m\":2}}");
+    let response = post(&service, "/batch", &body);
+    assert_eq!(response.status, 200, "{}", response.body);
+    // Golden: the body is exactly the JSON array of the /compare rows
+    // the library computes, in input order.
+    let flow = Flow::on(Fabric::quale_45x85()).seeds(2);
+    let bell = flow
+        .compare("bell", &Program::parse(BELL).unwrap())
+        .unwrap()
+        .to_json();
+    let ghz = flow
+        .compare("ghz3", &Program::parse(GHZ3).unwrap())
+        .unwrap()
+        .to_json();
+    assert_eq!(response.body, format!("[{bell},{ghz}]"));
+    let stats = service.stats();
+    assert_eq!(stats.batch_requests, 1);
+    assert_eq!(stats.batch_programs, 2);
+    assert_eq!((stats.cache_hits, stats.cache_misses), (0, 2));
+    // A repeat is all cache hits and byte-identical.
+    let again = post(&service, "/batch", &body);
+    assert_eq!(again, response);
+    let stats = service.stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (2, 2));
+}
+
+#[test]
+fn batch_shares_cache_entries_with_compare() {
+    let service = service();
+    // Warm one circuit through /compare...
+    let compare = post(
+        &service,
+        "/compare",
+        &format!("{{\"program\":{BELL:?},\"name\":\"bell\",\"m\":2}}"),
+    );
+    assert_eq!(compare.status, 200);
+    // ...then batch the pair: bell hits, ghz3 misses.
+    let batch = post(
+        &service,
+        "/batch",
+        &format!("{{\"programs\":[{BELL:?},{GHZ3:?}],\"names\":[\"bell\",\"ghz3\"],\"m\":2}}"),
+    );
+    assert_eq!(batch.status, 200, "{}", batch.body);
+    assert!(batch.body.starts_with(&format!("[{}", compare.body)));
+    let stats = service.stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (1, 2));
+    // And the reverse direction: /compare now hits the batch's entry.
+    let ghz = post(
+        &service,
+        "/compare",
+        &format!("{{\"program\":{GHZ3:?},\"name\":\"ghz3\",\"m\":2}}"),
+    );
+    assert_eq!(ghz.status, 200);
+    assert!(batch.body.ends_with(&format!("{}]", ghz.body)));
+    assert_eq!(service.stats().cache_hits, 2);
+}
+
+#[test]
+fn batch_defaults_names_and_runs_under_the_jobs_clamp() {
+    let service = MapService::new(Fabric::quale_45x85(), 64).with_jobs_budget(2);
+    let response = post(
+        &service,
+        "/batch",
+        &format!("{{\"programs\":[{BELL:?},{GHZ3:?}],\"m\":2,\"jobs\":64}}"),
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(response.body.starts_with(r#"[{"circuit":"program0","#));
+    assert!(response.body.contains(r#"{"circuit":"program1","#));
+    // The jobs hint never changes bytes: a sequential service agrees.
+    let sequential = MapService::new(Fabric::quale_45x85(), 64);
+    let baseline = post(
+        &sequential,
+        "/batch",
+        &format!("{{\"programs\":[{BELL:?},{GHZ3:?}],\"m\":2}}"),
+    );
+    assert_eq!(baseline.body, response.body);
+}
+
+#[test]
+fn batch_requests_validate_their_fields() {
+    let service = service();
+    let bad = |body: &str| {
+        let response = post(&service, "/batch", body);
+        assert_eq!(response.status, 400, "{body} -> {}", response.body);
+        response.body
+    };
+    assert!(bad(r#"{}"#).contains("\\\"programs\\\" (array of strings) is required"));
+    assert!(bad(r#"{"programs":"x"}"#).contains("array of strings"));
+    assert!(bad(r#"{"programs":[]}"#).contains("must not be empty"));
+    assert!(bad(r#"{"programs":[5]}"#).contains("programs[0] must be a string"));
+    assert!(bad(&format!("{{\"programs\":[{BELL:?}],\"names\":[]}}"))
+        .contains("\\\"names\\\" has 0 entries for 1 programs"));
+    assert!(
+        bad(&format!("{{\"programs\":[{BELL:?}],\"program\":{BELL:?}}}")).contains(
+            "unknown field \\\"program\\\" (allowed: programs, names, router, m, jobs, fabric)"
+        )
+    );
+    assert!(bad(r#"{"programs":["FROB q\n"]}"#).contains("programs[0]:"));
+    // The batch size cap bounds per-request work like MAX_SEEDS does.
+    let many = format!(
+        "{{\"programs\":[{}]}}",
+        vec![format!("{BELL:?}"); 257].join(",")
+    );
+    assert!(bad(&many).contains("exceeds the service limit of 256 circuits"));
+    // An unmappable circuit is 422 and names its index-derived circuit.
+    let response = post(
+        &service,
+        "/batch",
+        &format!("{{\"programs\":[{BELL:?}],\"m\":0}}"),
+    );
+    assert_eq!(response.status, 422, "{}", response.body);
+    assert!(response.body.contains("program0"), "{}", response.body);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure and protocol responses
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reject_is_a_429_golden_with_retry_after() {
+    let service = service();
+    let response = service.reject("/map");
+    assert_eq!(response.status, 429);
+    assert_eq!(response.reason(), "Too Many Requests");
+    assert_eq!(response.retry_after, Some(1));
+    assert_eq!(
+        response.body,
+        r#"{"error":"admission queue for /map is full; retry shortly"}"#
+    );
+    let stats = service.stats();
+    assert_eq!((stats.requests, stats.rejected, stats.errors), (1, 1, 1));
+    let metrics = get(&service, "/metrics");
+    assert!(
+        metrics
+            .body
+            .contains("qspr_rejected_total{endpoint=\"/map\"} 1\n"),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        metrics
+            .body
+            .contains("qspr_http_requests_total{endpoint=\"/map\",status=\"429\"} 1\n"),
+        "{}",
+        metrics.body
+    );
+}
+
+#[test]
+fn protocol_responses_map_parser_errors_to_statuses() {
+    let service = service();
+    let bad = io::Error::new(io::ErrorKind::InvalidData, "malformed request line");
+    let response = service.protocol_response(&bad);
+    assert_eq!(response.status, 400);
+    assert_eq!(response.body, r#"{"error":"malformed request line"}"#);
+    let big = io::Error::new(io::ErrorKind::InvalidInput, "body exceeds limit");
+    let response = service.protocol_response(&big);
+    assert_eq!(response.status, 413);
+    let stats = service.stats();
+    assert_eq!((stats.requests, stats.errors), (2, 2));
+}
+
+#[test]
+fn encode_response_golden() {
+    let ok = Response::new(200, "{}");
+    assert_eq!(
+        String::from_utf8(encode_response(&ok, true)).unwrap(),
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}"
+    );
+    let busy = Response::new(429, "x").with_retry_after(7);
+    assert_eq!(
+        String::from_utf8(encode_response(&busy, false)).unwrap(),
+        "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nContent-Length: 1\r\nRetry-After: 7\r\nConnection: close\r\n\r\nx"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sharded cache
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_cache_accounts_bytes_exactly() {
+    let cache = ShardedCache::new(CacheConfig {
+        entries: 64,
+        shards: 4,
+        ..CacheConfig::default()
+    });
+    let mut expected = 0u64;
+    for i in 0..40 {
+        let key = format!("key-{i}");
+        let value = "v".repeat(i);
+        expected += (key.len() + value.len()) as u64;
+        cache.insert(key, value);
+    }
+    // No evictions yet (40 entries over 4 shards of 16): the audit
+    // (recomputed from the slabs) and the incremental totals agree.
+    assert_eq!(cache.audit_bytes(), expected);
+    assert_eq!(cache.bytes(), expected);
+    assert_eq!(
+        cache.shard_stats().iter().map(|s| s.bytes).sum::<u64>(),
+        expected
+    );
+    // Replacement adjusts, never leaks.
+    cache.insert("key-0".into(), "longer-value".repeat(4));
+    assert_eq!(cache.audit_bytes(), cache.bytes());
+    // Evictions release their bytes.
+    for i in 0..500 {
+        cache.insert(format!("evict-{i}"), "x".repeat(100));
+    }
+    assert!(cache.len() <= 64);
+    assert_eq!(cache.audit_bytes(), cache.bytes());
+}
+
+#[test]
+fn sharded_cache_enforces_a_byte_budget() {
+    let cache = ShardedCache::new(CacheConfig {
+        entries: 1024,
+        shards: 1,
+        ttl: None,
+        max_bytes: Some(100),
+    });
+    for i in 0..20 {
+        cache.insert(format!("k{i}"), "0123456789".into()); // 12 bytes each
+    }
+    assert!(cache.bytes() <= 100, "bytes={}", cache.bytes());
+    assert!(cache.len() < 20);
+    assert_eq!(cache.audit_bytes(), cache.bytes());
+    // The most recent insert always survives.
+    assert_eq!(cache.get("k19"), Some("0123456789".into()));
+}
+
+#[test]
+fn sharded_cache_expires_entries_lazily() {
+    let cache = ShardedCache::new(CacheConfig {
+        entries: 16,
+        shards: 2,
+        ttl: Some(Duration::from_millis(40)),
+        max_bytes: None,
+    });
+    cache.insert("a".into(), "alpha".into());
+    assert_eq!(cache.get("a"), Some("alpha".into()));
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(cache.get("a"), None, "expired entries miss");
+    let totals = cache.totals();
+    assert_eq!((totals.hits, totals.misses, totals.evictions), (1, 1, 1));
+    assert_eq!(cache.len(), 0);
+    assert_eq!(cache.bytes(), 0);
+    // Reinsert starts a fresh TTL.
+    cache.insert("a".into(), "beta".into());
+    assert_eq!(cache.get("a"), Some("beta".into()));
+}
+
+#[test]
+fn sharded_cache_is_deterministic_under_concurrency() {
+    // N threads hammer disjoint key ranges concurrently; every thread
+    // sees exactly its own values, and the final counters add up.
+    let cache = Arc::new(ShardedCache::new(CacheConfig {
+        entries: 4096,
+        shards: 8,
+        ..CacheConfig::default()
+    }));
+    let threads = 8;
+    let per_thread = 100u32;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for k in 0..per_thread {
+                    let key = format!("t{t}-k{k}");
+                    let value = format!("value-{t}-{k}");
+                    assert_eq!(cache.get(&key), None, "first lookup misses");
+                    cache.insert(key.clone(), value.clone());
+                    assert_eq!(cache.get(&key), Some(value), "own insert visible");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let totals = cache.totals();
+    let ops = u64::from(per_thread) * threads as u64;
+    assert_eq!(cache.len() as u64, ops);
+    assert_eq!(
+        (totals.hits, totals.misses, totals.evictions),
+        (ops, ops, 0)
+    );
+    assert_eq!(cache.audit_bytes(), cache.bytes());
+    // Everything is still retrievable afterwards, deterministically.
+    for t in 0..threads {
+        for k in 0..per_thread {
+            assert_eq!(
+                cache.get(&format!("t{t}-k{k}")),
+                Some(format!("value-{t}-{k}"))
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With one shard, no TTL and no byte budget, the sharded cache is
+    /// observably identical to the old mutex-wrapped [`LruCache`] on
+    /// any operation trace: same hits, same misses, same evictions,
+    /// same final contents.
+    #[test]
+    fn single_shard_matches_the_single_lock_reference(
+        ops in collection::vec((any::<bool>(), 0u8..12), 1..250),
+        capacity in 1usize..6,
+    ) {
+        let mut reference: LruCache<String> = LruCache::new(capacity);
+        let sharded = ShardedCache::new(CacheConfig {
+            entries: capacity,
+            shards: 1,
+            ttl: None,
+            max_bytes: None,
+        });
+        for (is_insert, key) in ops {
+            let key = format!("k{key}");
+            if is_insert {
+                let value = format!("value-of-{key}");
+                reference.insert(key.clone(), value.clone());
+                sharded.insert(key, value);
+            } else {
+                let expected = reference.get(&key).cloned();
+                prop_assert_eq!(sharded.get(&key), expected);
+            }
+        }
+        prop_assert_eq!(sharded.len(), reference.len());
+        for key in 0u8..12 {
+            let key = format!("k{key}");
+            let expected = reference.get(&key).cloned();
+            prop_assert_eq!(sharded.get(&key), expected);
+        }
+    }
+}
+
+#[test]
+fn shard_count_never_changes_response_bytes() {
+    // Replay one recorded request trace against a 1-shard and an
+    // 8-shard service: every response must be byte-identical modulo
+    // the /map timing block (and cached repeats identical, full stop).
+    let single = MapService::new(Fabric::quale_45x85(), 8).with_cache(CacheConfig {
+        entries: 8,
+        shards: 1,
+        ..CacheConfig::default()
+    });
+    let sharded = MapService::new(Fabric::quale_45x85(), 8);
+    let map_body = format!("{{\"program\":{BELL:?},\"m\":2}}");
+    let cmp_body = format!("{{\"program\":{BELL:?},\"name\":\"bell\",\"m\":2}}");
+    let batch_body = format!("{{\"programs\":[{BELL:?},{GHZ3:?}],\"m\":2}}");
+    let trace = [
+        ("/map", map_body.as_str()),
+        ("/compare", cmp_body.as_str()),
+        ("/map", map_body.as_str()), // repeat: hit on both
+        ("/batch", batch_body.as_str()),
+        ("/compare", cmp_body.as_str()),
+        ("/batch", batch_body.as_str()),
+    ];
+    for (path, body) in trace {
+        let a = post(&single, path, body);
+        let b = post(&sharded, path, body);
+        assert_eq!(a.status, b.status, "{path}");
+        assert_eq!(
+            normalize_timing(&a.body),
+            normalize_timing(&b.body),
+            "{path} diverged between shard layouts"
+        );
+    }
+    let a = single.stats();
+    let b = sharded.stats();
+    assert_eq!(
+        (a.cache_hits, a.cache_misses),
+        (b.cache_hits, b.cache_misses)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// HTTP parser properties
+// ---------------------------------------------------------------------------
+
+/// Drains every parsed request; returns the terminal error rendering,
+/// if the stream is in error.
+fn drain_parser(parser: &mut Parser, out: &mut Vec<Request>) -> Option<String> {
+    loop {
+        match parser.next_request() {
+            Ok(Some(request)) => out.push(request),
+            Ok(None) => return None,
+            Err(e) => return Some(format!("{:?}|{e}", e.kind())),
+        }
+    }
+}
+
+/// Parses `wire` in one shot (the reference outcome).
+fn parse_whole(wire: &[u8]) -> (Vec<Request>, Option<String>) {
+    let mut parser = Parser::new();
+    parser.feed(wire);
+    let mut requests = Vec::new();
+    let error = drain_parser(&mut parser, &mut requests);
+    (requests, error)
+}
+
+/// Parses `wire` split at the given cycle of chunk sizes, draining
+/// after every feed (the worst-case interleaving a reactor sees).
+fn parse_chunked(wire: &[u8], sizes: &[usize]) -> (Vec<Request>, Option<String>) {
+    let mut parser = Parser::new();
+    let mut requests = Vec::new();
+    let mut at = 0;
+    let mut cycle = sizes.iter().copied().cycle();
+    while at < wire.len() {
+        let n = cycle.next().unwrap_or(1).max(1).min(wire.len() - at);
+        parser.feed(&wire[at..at + n]);
+        at += n;
+        if let Some(error) = drain_parser(&mut parser, &mut requests) {
+            return (requests, Some(error));
+        }
+    }
+    (requests, None)
+}
+
+/// A pipelined wire stream of valid requests built from fragments.
+fn valid_stream(bodies: &[String]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for (i, body) in bodies.iter().enumerate() {
+        let head = format!(
+            "POST /map{i} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        wire.extend_from_slice(head.as_bytes());
+        wire.extend_from_slice(body.as_bytes());
+    }
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Chunking never changes the outcome: any split of any byte
+    /// stream — valid pipelines, junk, or truncations — parses to the
+    /// same requests and the same terminal error as the one-shot path,
+    /// and never panics.
+    #[test]
+    fn parser_is_chunking_invariant(
+        bodies in collection::vec(
+            collection::vec(32u8..127, 0..80).prop_map(|b| String::from_utf8(b).unwrap()),
+            0..4,
+        ),
+        junk in collection::vec(any::<u8>(), 0..64),
+        sizes in collection::vec(1usize..40, 1..12),
+        include_junk in any::<bool>(),
+    ) {
+        let mut wire = valid_stream(&bodies);
+        if include_junk {
+            wire.extend_from_slice(&junk);
+        }
+        let (want_requests, want_error) = parse_whole(&wire);
+        let (got_requests, got_error) = parse_chunked(&wire, &sizes);
+        prop_assert_eq!(&got_requests, &want_requests);
+        prop_assert_eq!(&got_error, &want_error);
+        // The valid prefix always comes through, junk notwithstanding.
+        prop_assert!(got_requests.len() >= bodies.len());
+        for (i, body) in bodies.iter().enumerate() {
+            prop_assert_eq!(&got_requests[i].path, &format!("/map{i}"));
+            prop_assert_eq!(&got_requests[i].body, body);
+            prop_assert!(!got_requests[i].close);
+        }
+    }
+
+    /// Arbitrary garbage never panics the parser and never produces a
+    /// phantom request unless the bytes really formed one.
+    #[test]
+    fn parser_survives_arbitrary_bytes(
+        wire in collection::vec(any::<u8>(), 0..300),
+        sizes in collection::vec(1usize..17, 1..8),
+    ) {
+        let whole = parse_whole(&wire);
+        let chunked = parse_chunked(&wire, &sizes);
+        prop_assert_eq!(whole, chunked);
+    }
+}
+
+#[test]
+fn parser_rejects_oversize_bodies_before_they_arrive() {
+    // The Content-Length header alone triggers the 413 path; the
+    // parser never waits for (or buffers) the oversized body.
+    let mut parser = Parser::new();
+    parser.feed(
+        format!(
+            "POST /map HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            http::MAX_BODY + 1
+        )
+        .as_bytes(),
+    );
+    let err = parser.next_request().unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+    // Errors are sticky: the connection must close, not resync.
+    assert!(parser.next_request().is_err());
+}
+
+#[test]
+fn parser_flags_connection_close_and_http10() {
+    let mut parser = Parser::new();
+    parser.feed(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(parser.next_request().unwrap().unwrap().close);
+    let mut parser = Parser::new();
+    parser.feed(b"GET /healthz HTTP/1.0\r\n\r\n");
+    assert!(
+        parser.next_request().unwrap().unwrap().close,
+        "HTTP/1.0 closes"
+    );
+    let mut parser = Parser::new();
+    parser.feed(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    assert!(!parser.next_request().unwrap().unwrap().close);
+}
+
+#[test]
+fn parser_enforces_line_and_header_limits_incrementally() {
+    // An endless request line errors as soon as the limit passes, even
+    // though no terminator ever arrived (the slowloris guard).
+    let mut parser = Parser::new();
+    parser.feed(&vec![b'A'; 10 * 1024]);
+    assert!(parser.next_request().is_err());
+    // Too many headers.
+    let mut parser = Parser::new();
+    parser.feed(b"GET / HTTP/1.1\r\n");
+    for i in 0..101 {
+        parser.feed(format!("X-H{i}: v\r\n").as_bytes());
+    }
+    parser.feed(b"\r\n");
+    assert!(parser.next_request().is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
 #[test]
 fn metrics_endpoint_exposes_prometheus_text() {
     let service = service();
@@ -494,6 +1096,18 @@ fn metrics_endpoint_exposes_prometheus_text() {
     assert!(text.contains("qspr_http_requests_total{endpoint=\"other\",status=\"404\"} 1\n"));
     assert!(text.contains("qspr_cache_hits_total 1\n"), "{text}");
     assert!(text.contains("qspr_cache_misses_total 1\n"), "{text}");
+    // The per-shard counters mirror the aggregates (exactly one shard
+    // took both the miss and the hit for the single key involved).
+    assert!(
+        text.contains("# TYPE qspr_cache_shard_hits_total counter"),
+        "{text}"
+    );
+    let shard_hits: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("qspr_cache_shard_hits_total{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(shard_hits, 1, "{text}");
     assert!(
         text.contains("# TYPE qspr_handler_latency_us summary\n"),
         "{text}"
@@ -528,6 +1142,10 @@ fn metrics_endpoint_exposes_prometheus_text() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Real TCP
+// ---------------------------------------------------------------------------
+
 #[test]
 fn wake_addr_rewrites_wildcard_binds_only() {
     let concrete: SocketAddr = "127.0.0.1:7878".parse().unwrap();
@@ -544,7 +1162,7 @@ fn server_round_trips_over_real_tcp() {
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
         threads: 2,
-        log: false,
+        ..ServeConfig::default()
     };
     let handle = Server::bind(Arc::clone(&service), &config)
         .expect("bind ephemeral")
@@ -578,7 +1196,7 @@ fn server_round_trips_over_real_tcp() {
     assert_eq!(cold.status, 200);
     assert_eq!(cold, warm, "cached response is byte-identical on the wire");
 
-    // Malformed HTTP gets a 400 without killing the worker.
+    // Malformed HTTP gets a 400 without killing the server.
     let garbage = http::call(addr, "BAD REQUEST LINE", "/", "").unwrap();
     assert_eq!(garbage.status, 400);
     let still_up = http::call(addr, "GET", "/healthz", "").unwrap();
@@ -589,12 +1207,99 @@ fn server_round_trips_over_real_tcp() {
 }
 
 #[test]
+fn keep_alive_connections_pipeline_and_preserve_order() {
+    let service = Arc::new(service());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind(Arc::clone(&service), &config)
+        .expect("bind ephemeral")
+        .spawn();
+    let mut client = http::Client::connect(handle.addr()).unwrap();
+
+    // Several sequential requests reuse the one connection.
+    for _ in 0..3 {
+        let health = client.send("GET", "/healthz", "").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(!client.is_closed(), "connection stays keep-alive");
+    }
+
+    // Pipelining: fire a slow mapping, a fast inline endpoint, another
+    // mapping and another inline request back-to-back, then read all
+    // four. Responses must come back in request order even though the
+    // pool finishes the fast ones first.
+    let map_body = format!("{{\"program\":{BELL:?},\"m\":2}}");
+    let cmp_body = format!("{{\"program\":{BELL:?},\"name\":\"bell\",\"m\":2}}");
+    client.write_request("POST", "/map", &map_body).unwrap();
+    client.write_request("GET", "/healthz", "").unwrap();
+    client.write_request("POST", "/compare", &cmp_body).unwrap();
+    client.write_request("GET", "/healthz", "").unwrap();
+    let first = client.read_response().unwrap();
+    let second = client.read_response().unwrap();
+    let third = client.read_response().unwrap();
+    let fourth = client.read_response().unwrap();
+    assert!(
+        first.body.starts_with(r#"{"policy":"qspr""#),
+        "map answer first: {}",
+        first.body
+    );
+    assert!(
+        second.body.starts_with(r#"{"status":"ok""#),
+        "{}",
+        second.body
+    );
+    assert!(
+        third.body.starts_with(r#"{"circuit":"bell""#),
+        "{}",
+        third.body
+    );
+    assert!(fourth.body.starts_with(r#"{"status":"ok""#));
+    assert!(!client.is_closed());
+
+    // A second client sees the cached bytes of the first, over its own
+    // persistent connection.
+    let mut other = http::Client::connect(handle.addr()).unwrap();
+    let warm = other.send("POST", "/map", &map_body).unwrap();
+    assert_eq!(warm.body, first.body);
+
+    // Connection: close is honored mid-stream.
+    let bye = http::call(handle.addr(), "GET", "/healthz", "").unwrap();
+    assert_eq!(bye.status, 200);
+
+    handle.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn keep_alive_zero_restores_close_per_request() {
+    let service = Arc::new(service());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        keep_alive_secs: 0,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind(Arc::clone(&service), &config)
+        .expect("bind ephemeral")
+        .spawn();
+    let mut client = http::Client::connect(handle.addr()).unwrap();
+    let health = client.send("GET", "/healthz", "").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(
+        client.is_closed(),
+        "keep_alive_secs=0 answers with Connection: close"
+    );
+    handle.shutdown().expect("graceful shutdown");
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_server() {
     let service = Arc::new(service());
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
         threads: 1,
-        log: false,
+        ..ServeConfig::default()
     };
     let handle = Server::bind(Arc::clone(&service), &config)
         .expect("bind ephemeral")

@@ -21,7 +21,7 @@ fn spawn_server(cache: usize, threads: usize) -> qspr::service::ServerHandle {
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
         threads,
-        log: false,
+        ..ServeConfig::default()
     };
     Server::bind(service, &config)
         .expect("bind ephemeral")
